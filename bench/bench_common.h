@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared configuration presets and printing helpers for the
+ * figure-reproduction benches. Each bench binary regenerates one of
+ * the paper's tables/figures and prints the paper's reported numbers
+ * next to the measured ones (shape comparison, not absolute).
+ */
+
+#ifndef CHECKIN_BENCH_BENCH_COMMON_H_
+#define CHECKIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/config_dump.h"
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace checkin::bench {
+
+/** The five evaluated configurations, in paper order. */
+inline const std::vector<CheckpointMode> kAllModes = {
+    CheckpointMode::Baseline, CheckpointMode::IscA,
+    CheckpointMode::IscB, CheckpointMode::IscC,
+    CheckpointMode::CheckIn};
+
+/**
+ * Default experiment scale used by the figure benches: a scaled-down
+ * device (128 MiB) and store so checkpoint/GC dynamics appear within
+ * simulation-friendly run lengths. All configurations share it.
+ */
+inline ExperimentConfig
+figureScale()
+{
+    ExperimentConfig c = ExperimentConfig::smallScale();
+    c.engine.checkpointInterval = 200 * kMsec;
+    c.engine.checkpointJournalBytes = 6 * kMiB;
+    c.workload.operationCount = 20'000;
+    c.threads = 32;
+    return c;
+}
+
+inline void
+printHeader(const char *figure, const char *what)
+{
+    std::printf("\n============================================"
+                "====================\n");
+    std::printf("%s — %s\n", figure, what);
+    std::printf("=============================================="
+                "==================\n");
+}
+
+/** Print the Table I block once per bench binary. */
+inline void
+printConfigOnce(const ExperimentConfig &cfg)
+{
+    static bool printed = false;
+    if (printed)
+        return;
+    printed = true;
+    std::printf("%s\n", describeConfig(cfg).c_str());
+}
+
+inline void
+printPaperNote(const char *note)
+{
+    std::printf("\npaper: %s\n", note);
+}
+
+inline const char *
+modeName(CheckpointMode m)
+{
+    return checkpointModeName(m);
+}
+
+} // namespace checkin::bench
+
+#endif // CHECKIN_BENCH_BENCH_COMMON_H_

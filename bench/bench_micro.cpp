@@ -1,0 +1,226 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the substrate hot paths: key
+ * distributions, token codec, histogram, event queue, and FTL
+ * write/remap operations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "engine/journal.h"
+#include "engine/record.h"
+#include "ftl/ftl.h"
+#include "nand/nand_flash.h"
+#include "sim/event_queue.h"
+#include "sim/histogram.h"
+#include "sim/rng.h"
+#include "sim/zipf.h"
+#include "ssd/ssd.h"
+
+namespace checkin {
+namespace {
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_ZipfianNext(benchmark::State &state)
+{
+    Rng rng(1);
+    ZipfianDistribution dist(std::uint64_t(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dist.next(rng));
+}
+BENCHMARK(BM_ZipfianNext)->Arg(1000)->Arg(100000);
+
+void
+BM_ScrambledZipfianNext(benchmark::State &state)
+{
+    Rng rng(1);
+    ScrambledZipfianDistribution dist(100000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dist.next(rng));
+}
+BENCHMARK(BM_ScrambledZipfianNext);
+
+void
+BM_TokenEncodeDecode(benchmark::State &state)
+{
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const std::uint64_t t = dataChunkToken(i & 0xffffff, i, 3);
+        benchmark::DoNotOptimize(decodeToken(t));
+        ++i;
+    }
+}
+BENCHMARK(BM_TokenEncodeDecode);
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    LatencyHistogram h;
+    Rng rng(1);
+    for (auto _ : state)
+        h.record(rng.nextBounded(100'000'000));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_HistogramQuantile(benchmark::State &state)
+{
+    LatencyHistogram h;
+    Rng rng(1);
+    for (int i = 0; i < 100'000; ++i)
+        h.record(rng.nextBounded(100'000'000));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(h.quantile(0.999));
+}
+BENCHMARK(BM_HistogramQuantile);
+
+void
+BM_EventQueueScheduleStep(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        eq.scheduleAfter(10, [] {});
+        eq.step();
+    }
+}
+BENCHMARK(BM_EventQueueScheduleStep);
+
+NandConfig
+benchNand()
+{
+    NandConfig c;
+    c.channels = 4;
+    c.diesPerChannel = 2;
+    c.blocksPerPlane = 64;
+    c.pagesPerBlock = 64;
+    return c;
+}
+
+void
+BM_FtlSectorWrite(benchmark::State &state)
+{
+    NandFlash nand(benchNand());
+    FtlConfig cfg;
+    cfg.mappingUnitBytes = std::uint32_t(state.range(0));
+    Ftl ftl(nand, cfg);
+    Rng rng(1);
+    const std::uint32_t spu = ftl.sectorsPerUnit();
+    std::vector<SectorData> data(spu);
+    const std::uint64_t span = ftl.logicalUnits() / 2;
+    for (auto _ : state) {
+        const Lba lba = rng.nextBounded(span) * spu;
+        benchmark::DoNotOptimize(ftl.writeSectors(
+            lba, spu, data.data(), IoCause::Query, 0));
+    }
+    state.counters["gc"] = double(ftl.stats().get("gc.invocations"));
+}
+BENCHMARK(BM_FtlSectorWrite)->Arg(512)->Arg(4096);
+
+void
+BM_FtlRemap(benchmark::State &state)
+{
+    NandFlash nand(benchNand());
+    FtlConfig cfg;
+    Ftl ftl(nand, cfg);
+    SectorData d;
+    ftl.writeSectors(0, 1, &d, IoCause::Journal, 0);
+    std::uint64_t dst = 1;
+    const std::uint64_t limit = ftl.logicalUnits();
+    for (auto _ : state) {
+        ftl.remapUnit(0, dst, 0);
+        dst = dst % (limit - 2) + 1;
+    }
+}
+BENCHMARK(BM_FtlRemap);
+
+void
+BM_FormatLogSize(benchmark::State &state)
+{
+    const bool aligned = state.range(0) != 0;
+    std::uint32_t bytes = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            formatLogSize(bytes, 512, aligned, 0.85));
+        bytes = bytes % 4096 + 37;
+    }
+}
+BENCHMARK(BM_FormatLogSize)->Arg(0)->Arg(1);
+
+void
+BM_SsdWriteCommandPath(benchmark::State &state)
+{
+    EventQueue eq;
+    NandConfig nand = benchNand();
+    FtlConfig ftl_cfg;
+    Ssd ssd(eq, nand, ftl_cfg, SsdConfig{});
+    Rng rng(1);
+    const std::uint64_t span = ssd.capacitySectors() / 2;
+    std::vector<SectorData> payload(1);
+    for (auto _ : state) {
+        ssd.submit(Command::write(rng.nextBounded(span), payload,
+                                  IoCause::Query),
+                   [](Tick) {});
+        eq.run();
+    }
+    state.counters["gc"] =
+        double(ssd.ftl().stats().get("gc.invocations"));
+}
+BENCHMARK(BM_SsdWriteCommandPath);
+
+void
+BM_GcReclaimCycle(benchmark::State &state)
+{
+    // Steady-state GC cost: device driven to continuous collection.
+    NandConfig nand_cfg = benchNand();
+    nand_cfg.blocksPerPlane = 16;
+    NandFlash nand(nand_cfg);
+    FtlConfig cfg;
+    cfg.exportedRatio = 0.7;
+    Ftl ftl(nand, cfg);
+    Rng rng(1);
+    const std::uint64_t span = ftl.logicalUnits() * 9 / 10;
+    SectorData d;
+    // Warm up to steady state.
+    for (int i = 0; i < 60'000; ++i)
+        ftl.writeSectors(rng.nextBounded(span), 1, &d,
+                         IoCause::Query, 0);
+    for (auto _ : state) {
+        ftl.writeSectors(rng.nextBounded(span), 1, &d,
+                         IoCause::Query, 0);
+    }
+    state.counters["gcPerKWrite"] =
+        double(ftl.stats().get("gc.invocations")) /
+        double(ftl.stats().get("ftl.slotWrites")) * 1000.0;
+}
+BENCHMARK(BM_GcReclaimCycle);
+
+void
+BM_PowerLossRebuild(benchmark::State &state)
+{
+    NandFlash nand(benchNand());
+    FtlConfig cfg;
+    Ftl ftl(nand, cfg);
+    Rng rng(1);
+    SectorData d;
+    for (int i = 0; i < 50'000; ++i)
+        ftl.writeSectors(rng.nextBounded(10'000), 1, &d,
+                         IoCause::Query, 0, std::uint64_t(i));
+    ftl.flushOpenPages(0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ftl.rebuildFromPowerLoss());
+}
+BENCHMARK(BM_PowerLossRebuild);
+
+} // namespace
+} // namespace checkin
+
+BENCHMARK_MAIN();

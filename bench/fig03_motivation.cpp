@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Figure 3 — motivation analysis of conventional checkpointing
+ * (baseline configuration only).
+ *
+ *  (a) I/O and flash-operation amplification of write queries under
+ *      uniform vs zipfian access.
+ *  (b) checkpointing time vs thread count, and the latest-version
+ *      ratio explaining the uniform/zipfian slope difference.
+ *  (c) query latency during checkpointing vs overall average.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace checkin;
+using namespace checkin::bench;
+
+namespace {
+
+ExperimentConfig
+baseCfg(Distribution dist, std::uint32_t threads)
+{
+    ExperimentConfig c = figureScale();
+    c.engine.mode = CheckpointMode::Baseline;
+    c.workload = WorkloadSpec::wo();
+    c.workload.distribution = dist;
+    c.threads = threads;
+    return c;
+}
+
+void
+partA()
+{
+    printHeader("Fig 3(a)", "I/O and flash-op amplification due to "
+                            "checkpointing (baseline, YCSB-WO)");
+    Table t({"distribution", "write-query MiB", "host I/O x",
+             "flash-op x"});
+    for (Distribution dist :
+         {Distribution::Uniform, Distribution::Zipfian}) {
+        const RunResult r = runExperiment(baseCfg(dist, 32));
+        const double payload = double(r.journalPayloadBytes);
+        // Total host I/O moved for writes: journal + checkpoint +
+        // metadata traffic, both directions.
+        const double host_io =
+            double(r.hostWriteSectors + r.hostReadSectors) * 512.0;
+        const double flash_io =
+            double(r.nandPrograms + r.nandReads) * 4096.0;
+        t.addRow({distributionName(dist),
+                  Table::num(payload / double(kMiB), 1),
+                  Table::num(host_io / payload, 2),
+                  Table::num(flash_io / payload, 2)});
+    }
+    std::printf("%s", t.render().c_str());
+    printPaperNote("I/O amplification 2.98x (uniform) / 1.91x "
+                   "(zipfian); flash ops 7.9x / 4.7x.");
+}
+
+void
+partB()
+{
+    printHeader("Fig 3(b)", "checkpointing time vs threads "
+                            "(baseline, normalized to 4 threads)");
+    Table t({"threads", "uniform ckpt ms", "uniform norm",
+             "zipfian ckpt ms", "zipfian norm", "uni/zipf latest"});
+    double norm_u = 0.0, norm_z = 0.0;
+    for (std::uint32_t threads : {4u, 8u, 16u, 32u, 64u, 128u}) {
+        ExperimentConfig cu = baseCfg(Distribution::Uniform, threads);
+        ExperimentConfig cz = baseCfg(Distribution::Zipfian, threads);
+        cu.engine.lockQueriesDuringCheckpoint = true;
+        cz.engine.lockQueriesDuringCheckpoint = true;
+        // Timer-driven checkpoints only, with journal halves large
+        // enough that space pressure never caps accumulation: more
+        // threads then mean more logs per checkpoint (Fig 3(b)).
+        cu.engine.checkpointJournalBytes = 1 * kGiB;
+        cz.engine.checkpointJournalBytes = 1 * kGiB;
+        cu.engine.journalHalfBytes = 24 * kMiB;
+        cz.engine.journalHalfBytes = 24 * kMiB;
+        // Scale the run with the thread count so every point spans
+        // several checkpoint intervals at its own throughput.
+        cu.workload.operationCount = std::uint64_t(threads) * 2'500;
+        cz.workload.operationCount = std::uint64_t(threads) * 2'500;
+        const RunResult ru = runExperiment(cu);
+        const RunResult rz = runExperiment(cz);
+        if (norm_u == 0.0) {
+            norm_u = ru.avgCheckpointMs;
+            norm_z = rz.avgCheckpointMs;
+        }
+        // Ratio of latest-version fractions: uniform keeps almost
+        // every log latest; zipfian saturates (paper: 5.02x at 128).
+        const double lat_u = ru.ckptLogsSeen
+                                 ? double(ru.ckptLatestEntries) /
+                                       double(ru.ckptLogsSeen)
+                                 : 0.0;
+        const double lat_z = rz.ckptLogsSeen
+                                 ? double(rz.ckptLatestEntries) /
+                                       double(rz.ckptLogsSeen)
+                                 : 0.0;
+        t.addRow({Table::num(std::uint64_t(threads)),
+                  Table::num(ru.avgCheckpointMs, 2),
+                  Table::num(ru.avgCheckpointMs / norm_u, 2),
+                  Table::num(rz.avgCheckpointMs, 2),
+                  Table::num(rz.avgCheckpointMs / norm_z, 2),
+                  Table::num(lat_z > 0 ? lat_u / lat_z : 0.0, 2)});
+    }
+    std::printf("%s", t.render().c_str());
+    printPaperNote("checkpoint time grows with threads, steeper for "
+                   "uniform; latest-version ratio uniform/zipfian "
+                   "~5.02x at 128 threads.");
+}
+
+void
+partC()
+{
+    printHeader("Fig 3(c)", "query latency during checkpointing vs "
+                            "average (baseline, YCSB-A zipfian)");
+    ExperimentConfig c = figureScale();
+    c.engine.mode = CheckpointMode::Baseline;
+    c.workload = WorkloadSpec::a();
+    c.threads = 32;
+    const RunResult r = runExperiment(c);
+    const auto &cl = r.client;
+    Table t({"class", "avg us", "during-ckpt avg us", "ratio"});
+    const double read_avg = cl.reads.mean() / 1e3;
+    const double read_ck = cl.readsDuringCheckpoint.mean() / 1e3;
+    const double write_avg = cl.writes.mean() / 1e3;
+    const double write_ck = cl.writesDuringCheckpoint.mean() / 1e3;
+    t.addRow({"read", Table::num(read_avg, 1), Table::num(read_ck, 1),
+              Table::num(read_avg > 0 ? read_ck / read_avg : 0, 2)});
+    t.addRow({"write", Table::num(write_avg, 1),
+              Table::num(write_ck, 1),
+              Table::num(write_avg > 0 ? write_ck / write_avg : 0,
+                         2)});
+    std::printf("%s", t.render().c_str());
+    printPaperNote("during checkpointing, reads ~4x and writes ~21x "
+                   "the average latency.");
+}
+
+} // namespace
+
+int
+main()
+{
+    printConfigOnce(figureScale());
+    partA();
+    partB();
+    partC();
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Figure 13 — mapping-unit sensitivity.
+ *
+ *  (a) query throughput of ISC-C and Check-In with 512 B to 4 KiB
+ *      mapping units.
+ *  (b) journal space overhead of Check-In vs ISC-C for the four
+ *      mixed record-size patterns.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace checkin;
+using namespace checkin::bench;
+
+namespace {
+
+void
+partA()
+{
+    printHeader("Fig 13(a)", "throughput (kops/s) vs mapping unit, "
+                             "YCSB-A zipfian, 64 threads");
+    Table t({"unit B", "ISC-C kops/s", "Check-In kops/s"});
+    for (std::uint32_t unit : {512u, 1024u, 2048u, 4096u}) {
+        double vals[2];
+        int i = 0;
+        for (CheckpointMode mode :
+             {CheckpointMode::IscC, CheckpointMode::CheckIn}) {
+            ExperimentConfig c = figureScale();
+            c.engine.mode = mode;
+            c.mappingUnitOverride = unit;
+            // Model the full-scale device's metadata-processing
+            // pressure as serialized per-unit CPU time. (The library
+            // also has a locality-aware map-cache model,
+            // FtlConfig::mapCacheBytes, but at this scale zipfian
+            // locality keeps its hit rate high and flash write
+            // amplification dominates instead — see EXPERIMENTS.md.)
+            c.ssd.perUnitCpuTime = 40 * kUsec;
+            c.workload = WorkloadSpec::a();
+            // Medium-to-large records (P3): large enough that coarse
+            // mapping does not explode write amplification, varied
+            // enough that alignment (Check-In) matters vs ISC-C.
+            c.workload.valueSizes = WorkloadSpec::sizePattern(3);
+            c.workload.operationCount = 25'000;
+            c.threads = 64;
+            vals[i++] = runExperiment(c).throughputOps / 1e3;
+        }
+        t.addRow({Table::num(std::uint64_t(unit)),
+                  Table::num(vals[0], 2), Table::num(vals[1], 2)});
+    }
+    std::printf("%s", t.render().c_str());
+    printPaperNote("throughput rises with the mapping unit (less "
+                   "metadata); Check-In gains most at 4096 B, ISC-C "
+                   "is limited by low reusability.");
+}
+
+void
+partB()
+{
+    printHeader("Fig 13(b)",
+                "device space overhead of Check-In vs ISC-C (flash "
+                "bytes consumed for the same workload), record-size "
+                "patterns P1..P4");
+    Table t({"pattern", "unit B", "ISC-C flash MiB",
+             "Check-In flash MiB", "journal pad %",
+             "overhead vs ISC-C"});
+    for (std::uint32_t pattern = 1; pattern <= 4; ++pattern) {
+        for (std::uint32_t unit : {512u, 4096u}) {
+            double flash_mib[2];
+            double pad = 0.0;
+            int i = 0;
+            for (CheckpointMode mode :
+                 {CheckpointMode::IscC, CheckpointMode::CheckIn}) {
+                ExperimentConfig c = figureScale();
+                c.engine.mode = mode;
+                c.mappingUnitOverride = unit;
+                c.workload = WorkloadSpec::wo();
+                c.workload.valueSizes =
+                    WorkloadSpec::sizePattern(pattern);
+                c.workload.operationCount = 15'000;
+                c.threads = 32;
+                const RunResult r = runExperiment(c);
+                // Space the device actually consumed: pages
+                // programmed for the same logical workload.
+                flash_mib[i] = double(r.nandPrograms) * 4096.0 /
+                               double(kMiB);
+                if (mode == CheckpointMode::CheckIn)
+                    pad = r.journalSpaceOverhead();
+                ++i;
+            }
+            t.addRow({"P" + std::to_string(pattern),
+                      Table::num(std::uint64_t(unit)),
+                      Table::num(flash_mib[0], 1),
+                      Table::num(flash_mib[1], 1),
+                      Table::percent(pad),
+                      Table::percent(flash_mib[1] / flash_mib[0] -
+                                     1.0)});
+        }
+    }
+    std::printf("%s", t.render().c_str());
+    printPaperNote("space overhead of Check-In grows with the "
+                   "mapping unit, ~3 % over ISC-C at 4096 B (the "
+                   "journal padding is offset by eliminated "
+                   "duplicate writes).");
+}
+
+} // namespace
+
+int
+main()
+{
+    printConfigOnce(figureScale());
+    partA();
+    partB();
+    return 0;
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * checkin_cli — run any experiment configuration from the command
+ * line and print a full metric report (optionally as CSV).
+ *
+ * Usage:
+ *   checkin_cli [--mode M] [--workload W] [--threads N] [--ops N]
+ *               [--record-count N] [--interval-ms N]
+ *               [--threshold-mib N] [--unit BYTES] [--pattern 1..4]
+ *               [--seed N] [--device-mib N] [--csv] [--help]
+ *
+ * Modes: baseline isc-a isc-b isc-c checkin
+ * Workloads: a b c d e f wo
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace {
+
+using namespace checkin;
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "checkin_cli — Check-In experiment runner\n\n"
+        "  --mode M          baseline|isc-a|isc-b|isc-c|checkin "
+        "(default checkin)\n"
+        "  --workload W      a|b|c|d|e|f|wo (default a)\n"
+        "  --threads N       client threads (default 32)\n"
+        "  --ops N           operations (default 20000)\n"
+        "  --record-count N  keys in the store (default 4000)\n"
+        "  --interval-ms N   checkpoint timer period (default 200)\n"
+        "  --threshold-mib N checkpoint journal threshold (default 6)\n"
+        "  --unit BYTES      override FTL mapping unit (512..4096)\n"
+        "  --pattern P       record-size pattern 1..4\n"
+        "  --seed N          workload seed (default 42)\n"
+        "  --device-mib N    raw flash capacity (default 128)\n"
+        "  --csv             one CSV line instead of the report\n");
+    std::exit(code);
+}
+
+CheckpointMode
+parseMode(const std::string &s)
+{
+    if (s == "baseline")
+        return CheckpointMode::Baseline;
+    if (s == "isc-a")
+        return CheckpointMode::IscA;
+    if (s == "isc-b")
+        return CheckpointMode::IscB;
+    if (s == "isc-c")
+        return CheckpointMode::IscC;
+    if (s == "checkin")
+        return CheckpointMode::CheckIn;
+    std::fprintf(stderr, "unknown mode '%s'\n", s.c_str());
+    usage(2);
+}
+
+WorkloadSpec
+parseWorkload(const std::string &s)
+{
+    if (s == "a")
+        return WorkloadSpec::a();
+    if (s == "b")
+        return WorkloadSpec::b();
+    if (s == "c")
+        return WorkloadSpec::c();
+    if (s == "d")
+        return WorkloadSpec::d();
+    if (s == "e")
+        return WorkloadSpec::e();
+    if (s == "f")
+        return WorkloadSpec::f();
+    if (s == "wo")
+        return WorkloadSpec::wo();
+    std::fprintf(stderr, "unknown workload '%s'\n", s.c_str());
+    usage(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace checkin;
+    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    cfg.workload = WorkloadSpec::a();
+    bool csv = false;
+    std::uint64_t device_mib = 128;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (arg == "--mode")
+            cfg.engine.mode = parseMode(next());
+        else if (arg == "--workload") {
+            const auto ops = cfg.workload.operationCount;
+            const auto seed = cfg.workload.seed;
+            cfg.workload = parseWorkload(next());
+            cfg.workload.operationCount = ops;
+            cfg.workload.seed = seed;
+        } else if (arg == "--threads")
+            cfg.threads = std::uint32_t(std::stoul(next()));
+        else if (arg == "--ops")
+            cfg.workload.operationCount = std::stoull(next());
+        else if (arg == "--record-count")
+            cfg.engine.recordCount = std::stoull(next());
+        else if (arg == "--interval-ms")
+            cfg.engine.checkpointInterval =
+                std::stoull(next()) * kMsec;
+        else if (arg == "--threshold-mib")
+            cfg.engine.checkpointJournalBytes =
+                std::stoull(next()) * kMiB;
+        else if (arg == "--unit")
+            cfg.mappingUnitOverride =
+                std::uint32_t(std::stoul(next()));
+        else if (arg == "--pattern")
+            cfg.workload.valueSizes = WorkloadSpec::sizePattern(
+                std::uint32_t(std::stoul(next())));
+        else if (arg == "--seed")
+            cfg.workload.seed = std::stoull(next());
+        else if (arg == "--device-mib")
+            device_mib = std::stoull(next());
+        else if (arg == "--csv")
+            csv = true;
+        else {
+            std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+            usage(2);
+        }
+    }
+
+    // Size the flash array: keep 4x2 dies, scale blocks per plane.
+    const std::uint64_t per_block =
+        std::uint64_t(cfg.nand.pagesPerBlock) * cfg.nand.pageBytes;
+    cfg.nand.blocksPerPlane = std::uint32_t(
+        device_mib * kMiB / (per_block * cfg.nand.dieCount()));
+    if (cfg.nand.blocksPerPlane < 16) {
+        std::fprintf(stderr, "device too small\n");
+        return 2;
+    }
+
+    const RunResult r = runExperiment(cfg);
+    const auto &c = r.client;
+    if (csv) {
+        std::printf(
+            "mode,workload,threads,ops,kops,avg_us,p99_us,p999_us,"
+            "p9999_us,checkpoints,ckpt_avg_ms,redundant_mib,remaps,"
+            "gc,erases,journal_pad\n");
+        std::printf(
+            "%s,%s,%u,%llu,%.2f,%.1f,%.1f,%.1f,%.1f,%llu,%.2f,%.2f,"
+            "%llu,%llu,%llu,%.4f\n",
+            checkpointModeName(cfg.engine.mode),
+            cfg.workload.name.c_str(), cfg.threads,
+            (unsigned long long)c.opsCompleted,
+            r.throughputOps / 1e3, r.avgLatencyUs,
+            double(c.all.quantile(0.99)) / 1e3,
+            double(c.all.quantile(0.999)) / 1e3,
+            double(c.all.quantile(0.9999)) / 1e3,
+            (unsigned long long)r.checkpoints, r.avgCheckpointMs,
+            double(r.redundantBytes) / double(kMiB),
+            (unsigned long long)r.remaps,
+            (unsigned long long)r.gcInvocations,
+            (unsigned long long)r.nandErases,
+            r.journalSpaceOverhead());
+        return 0;
+    }
+    std::printf("=== %s / %s / %u threads / %llu ops / %llu MiB "
+                "device ===\n",
+                checkpointModeName(cfg.engine.mode),
+                cfg.workload.name.c_str(), cfg.threads,
+                (unsigned long long)c.opsCompleted,
+                (unsigned long long)device_mib);
+    std::printf("throughput        %10.0f ops/s\n", r.throughputOps);
+    std::printf("avg latency       %10.1f us\n", r.avgLatencyUs);
+    std::printf("p99 / p99.9 / p99.99  %8.1f / %.1f / %.1f us\n",
+                double(c.all.quantile(0.99)) / 1e3,
+                double(c.all.quantile(0.999)) / 1e3,
+                double(c.all.quantile(0.9999)) / 1e3);
+    std::printf("checkpoints       %10llu (avg %.2f ms, max %.2f "
+                "ms)\n",
+                (unsigned long long)r.checkpoints, r.avgCheckpointMs,
+                r.maxCheckpointMs);
+    std::printf("redundant writes  %10.2f MiB\n",
+                double(r.redundantBytes) / double(kMiB));
+    std::printf("remaps            %10llu\n",
+                (unsigned long long)r.remaps);
+    std::printf("GC / erases       %10llu / %llu\n",
+                (unsigned long long)r.gcInvocations,
+                (unsigned long long)r.nandErases);
+    std::printf("NAND r/p          %10llu / %llu\n",
+                (unsigned long long)r.nandReads,
+                (unsigned long long)r.nandPrograms);
+    std::printf("journal overhead  %10.1f %%\n",
+                r.journalSpaceOverhead() * 100.0);
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Crash-recovery walkthrough: run a write burst, power-cut the host
+ * mid-flight (device state survives, host memory does not), rebuild
+ * the engine from the device, and show what was recovered.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "engine/kv_engine.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "ssd/ssd.h"
+
+int
+main()
+{
+    using namespace checkin;
+
+    EventQueue eq;
+    NandConfig nand_cfg;
+    nand_cfg.blocksPerPlane = 64;
+    nand_cfg.pagesPerBlock = 64;
+    FtlConfig ftl_cfg; // Check-In class device: 512 B mapping unit
+    Ssd ssd(eq, nand_cfg, ftl_cfg, SsdConfig{});
+
+    EngineConfig ecfg;
+    ecfg.mode = CheckpointMode::CheckIn;
+    ecfg.recordCount = 2000;
+    ecfg.journalHalfBytes = 4 * kMiB;
+    ecfg.checkpointJournalBytes = 2 * kMiB;
+    ecfg.checkpointInterval = 0; // manual checkpoints
+
+    auto engine = std::make_unique<KvEngine>(eq, ssd, ecfg);
+    engine->load([](std::uint64_t) { return 512u; });
+    eq.schedule(ssd.quiesceTick(), [] {});
+    eq.run();
+    std::printf("loaded %u keys at version 1\n", 2000);
+
+    // Phase 1: committed work, then a checkpoint.
+    Rng rng(7);
+    std::uint64_t committed = 0;
+    for (int i = 0; i < 1500; ++i) {
+        engine->update(rng.nextBounded(2000),
+                       std::uint32_t(128 * (1 + rng.nextBounded(4))),
+                       [&](const QueryResult &) { ++committed; });
+    }
+    eq.run();
+    engine->requestCheckpoint();
+    eq.run();
+    std::printf("phase 1: %llu updates committed, checkpoint done\n",
+                (unsigned long long)committed);
+
+    // Phase 2: more updates, but CRASH while they are in flight.
+    for (int i = 0; i < 1000; ++i) {
+        engine->update(rng.nextBounded(2000),
+                       std::uint32_t(128 * (1 + rng.nextBounded(4))),
+                       [&](const QueryResult &) { ++committed; });
+    }
+    int steps = 0;
+    while (steps++ < 400 && eq.step()) {
+    }
+    std::printf("phase 2: power cut at t=%.3f ms with %llu total "
+                "commits acknowledged\n",
+                double(eq.now()) / double(kMsec),
+                (unsigned long long)committed);
+
+    // Host memory is gone: drop all pending host work + the engine.
+    eq.clear();
+    engine.reset();
+
+    // Recovery: a fresh engine rebuilds from catalog + journal.
+    engine = std::make_unique<KvEngine>(eq, ssd, ecfg);
+    const RecoveryInfo info = engine->recover();
+    std::printf("recovered: %llu keys from catalog, %llu journal "
+                "logs replayed, %.3f ms simulated recovery time\n",
+                (unsigned long long)info.catalogKeys,
+                (unsigned long long)info.replayedLogs,
+                double(info.duration) / double(kMsec));
+
+    const std::uint64_t verified = engine->verifyAllKeys();
+    std::printf("verified %llu keys after recovery — store is "
+                "consistent\n",
+                (unsigned long long)verified);
+
+    // And it keeps serving.
+    bool ok = false;
+    engine->get(42, [&](const QueryResult &r) { ok = r.found; });
+    eq.run();
+    std::printf("post-recovery GET(42): %s\n",
+                ok ? "found" : "missing");
+    return ok ? 0 : 1;
+}

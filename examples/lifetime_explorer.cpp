@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Flash-lifetime explorer: runs the same write-heavy workload on all
+ * five configurations and reports the flash-wear picture (programs,
+ * erases, GC activity, Eq (1) relative lifetime).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace checkin;
+    const std::uint64_t ops =
+        argc > 1 ? std::uint64_t(std::atoll(argv[1])) : 60'000;
+
+    std::printf("flash lifetime explorer — YCSB-WO zipfian, %llu "
+                "write queries per configuration\n\n",
+                (unsigned long long)ops);
+
+    Table t({"mode", "programs", "erases", "GC", "redundant MiB",
+             "lifetime x"});
+    std::map<CheckpointMode, RunResult> results;
+    for (CheckpointMode mode :
+         {CheckpointMode::Baseline, CheckpointMode::IscA,
+          CheckpointMode::IscB, CheckpointMode::IscC,
+          CheckpointMode::CheckIn}) {
+        ExperimentConfig cfg = ExperimentConfig::smallScale();
+        cfg.engine.mode = mode;
+        cfg.workload = WorkloadSpec::wo();
+        cfg.workload.operationCount = ops;
+        results.emplace(mode, runExperiment(cfg));
+    }
+    const double base_erases = std::max<double>(
+        1.0, double(results.at(CheckpointMode::Baseline).nandErases));
+    for (const auto &[mode, r] : results) {
+        const double lifetime =
+            r.nandErases > 0 ? base_erases / double(r.nandErases)
+                             : 0.0;
+        t.addRow({checkpointModeName(mode), Table::num(r.nandPrograms),
+                  Table::num(r.nandErases),
+                  Table::num(r.gcInvocations),
+                  Table::num(double(r.redundantBytes) / double(kMiB),
+                             2),
+                  r.nandErases > 0 ? Table::num(lifetime, 2)
+                                   : std::string("inf")});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\nEq (1): lifetime_block = PEC_max * T_op / BEC — "
+                "with a fixed workload, relative lifetime is the\n"
+                "inverse ratio of block erase counts. Paper: x3.86 "
+                "vs baseline, x1.81 vs ISC-C.\n");
+    return 0;
+}

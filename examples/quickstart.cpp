@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Quickstart: build a Check-In system, run a small YCSB-A workload,
+ * and print the headline metrics.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+int
+main()
+{
+    using namespace checkin;
+    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    cfg.engine.mode = CheckpointMode::CheckIn;
+    cfg.workload = WorkloadSpec::a();
+    cfg.workload.operationCount = 10'000;
+    cfg.threads = 16;
+
+    const RunResult r = runExperiment(cfg);
+    std::printf("mode            : %s\n",
+                checkpointModeName(cfg.engine.mode));
+    std::printf("ops completed   : %llu\n",
+                (unsigned long long)r.client.opsCompleted);
+    std::printf("throughput      : %.0f ops/s\n", r.throughputOps);
+    std::printf("avg latency     : %.1f us\n", r.avgLatencyUs);
+    std::printf("p99.9 latency   : %.1f us\n",
+                double(r.client.all.quantile(0.999)) / 1000.0);
+    std::printf("checkpoints     : %llu (avg %.2f ms)\n",
+                (unsigned long long)r.checkpoints,
+                r.avgCheckpointMs);
+    std::printf("redundant bytes : %llu\n",
+                (unsigned long long)r.redundantBytes);
+    std::printf("remaps          : %llu\n",
+                (unsigned long long)r.remaps);
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Run a YCSB workload against any of the five checkpoint
+ * configurations and print a full metric report.
+ *
+ * Usage: ycsb_run [mode] [workload] [threads] [ops]
+ *   mode:     baseline | isc-a | isc-b | isc-c | checkin (default)
+ *   workload: a | b | c | f | wo (default a)
+ *   threads:  client thread count (default 32)
+ *   ops:      operation count (default 20000)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace {
+
+checkin::CheckpointMode
+parseMode(const std::string &s)
+{
+    using checkin::CheckpointMode;
+    if (s == "baseline")
+        return CheckpointMode::Baseline;
+    if (s == "isc-a")
+        return CheckpointMode::IscA;
+    if (s == "isc-b")
+        return CheckpointMode::IscB;
+    if (s == "isc-c")
+        return CheckpointMode::IscC;
+    if (s == "checkin")
+        return CheckpointMode::CheckIn;
+    std::fprintf(stderr, "unknown mode '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+checkin::WorkloadSpec
+parseWorkload(const std::string &s)
+{
+    using checkin::WorkloadSpec;
+    if (s == "a")
+        return WorkloadSpec::a();
+    if (s == "b")
+        return WorkloadSpec::b();
+    if (s == "c")
+        return WorkloadSpec::c();
+    if (s == "f")
+        return WorkloadSpec::f();
+    if (s == "wo")
+        return WorkloadSpec::wo();
+    std::fprintf(stderr, "unknown workload '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace checkin;
+    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    cfg.engine.mode = argc > 1 ? parseMode(argv[1])
+                               : CheckpointMode::CheckIn;
+    cfg.workload = argc > 2 ? parseWorkload(argv[2])
+                            : WorkloadSpec::a();
+    cfg.threads = argc > 3 ? std::uint32_t(std::atoi(argv[3])) : 32;
+    cfg.workload.operationCount =
+        argc > 4 ? std::uint64_t(std::atoll(argv[4])) : 20'000;
+
+    const RunResult r = runExperiment(cfg);
+    const auto &c = r.client;
+    std::printf("=== %s / %s / %u threads / %llu ops ===\n",
+                checkpointModeName(cfg.engine.mode),
+                cfg.workload.name.c_str(), cfg.threads,
+                (unsigned long long)c.opsCompleted);
+    std::printf("throughput        %10.0f ops/s\n", r.throughputOps);
+    std::printf("avg latency       %10.1f us\n", r.avgLatencyUs);
+    std::printf("p99 / p99.9       %10.1f / %.1f us\n",
+                double(c.all.quantile(0.99)) / 1e3,
+                double(c.all.quantile(0.999)) / 1e3);
+    std::printf("p99.99            %10.1f us\n",
+                double(c.all.quantile(0.9999)) / 1e3);
+    std::printf("checkpoints       %10llu (avg %.2f ms, max %.2f ms)\n",
+                (unsigned long long)r.checkpoints, r.avgCheckpointMs,
+                r.maxCheckpointMs);
+    std::printf("redundant writes  %10llu slots (%.2f MiB)\n",
+                (unsigned long long)r.redundantSlotWrites,
+                double(r.redundantBytes) / double(kMiB));
+    std::printf("remaps            %10llu\n",
+                (unsigned long long)r.remaps);
+    std::printf("GC invocations    %10llu (migrated %llu slots)\n",
+                (unsigned long long)r.gcInvocations,
+                (unsigned long long)r.gcMigratedSlots);
+    std::printf("NAND r/p/e        %10llu / %llu / %llu\n",
+                (unsigned long long)r.nandReads,
+                (unsigned long long)r.nandPrograms,
+                (unsigned long long)r.nandErases);
+    std::printf("journal overhead  %10.1f %%\n",
+                r.journalSpaceOverhead() * 100.0);
+    std::printf("journal stalls    %10llu\n",
+                (unsigned long long)r.journalStalls);
+    return 0;
+}

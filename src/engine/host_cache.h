@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Host-side value cache: the storage engine's in-memory data
+ * management (paper Fig 1). Entries are keyed by (key, version), so
+ * a hit is valid exactly when the cached version matches the
+ * keymap's committed version — no explicit invalidation needed.
+ */
+
+#ifndef CHECKIN_ENGINE_HOST_CACHE_H_
+#define CHECKIN_ENGINE_HOST_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace checkin {
+
+/** LRU cache of key -> (version, payload bytes). */
+class HostCache
+{
+  public:
+    /** @param capacity_bytes 0 disables the cache entirely. */
+    explicit HostCache(std::uint64_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    bool enabled() const { return capacity_ > 0; }
+
+    /**
+     * Look up @p key; a hit requires the cached version to equal
+     * @p version (the committed version from the keymap).
+     */
+    bool
+    lookup(std::uint64_t key, std::uint32_t version)
+    {
+        if (!enabled())
+            return false;
+        auto it = index_.find(key);
+        if (it == index_.end() || it->second->version != version) {
+            ++misses_;
+            return false;
+        }
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+        return true;
+    }
+
+    /** Insert/refresh @p key at @p version with @p bytes payload. */
+    void
+    insert(std::uint64_t key, std::uint32_t version,
+           std::uint32_t bytes)
+    {
+        if (!enabled() || bytes > capacity_)
+            return;
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            used_ -= it->second->bytes;
+            it->second->version = version;
+            it->second->bytes = bytes;
+            used_ += bytes;
+            lru_.splice(lru_.begin(), lru_, it->second);
+        } else {
+            lru_.push_front(Entry{key, version, bytes});
+            index_[key] = lru_.begin();
+            used_ += bytes;
+        }
+        while (used_ > capacity_ && !lru_.empty()) {
+            const Entry &victim = lru_.back();
+            used_ -= victim.bytes;
+            index_.erase(victim.key);
+            lru_.pop_back();
+        }
+    }
+
+    /** Drop @p key (e.g., on delete). */
+    void
+    erase(std::uint64_t key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end())
+            return;
+        used_ -= it->second->bytes;
+        lru_.erase(it->second);
+        index_.erase(it);
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t usedBytes() const { return used_; }
+    std::size_t entries() const { return index_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key;
+        std::uint32_t version;
+        std::uint32_t bytes;
+    };
+
+    std::uint64_t capacity_;
+    std::uint64_t used_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::list<Entry> lru_;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+        index_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_ENGINE_HOST_CACHE_H_

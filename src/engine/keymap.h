@@ -1,0 +1,59 @@
+/**
+ * @file
+ * In-memory key catalog: where each key's latest committed value
+ * lives (data area or a journal location) and at which version.
+ */
+
+#ifndef CHECKIN_ENGINE_KEYMAP_H_
+#define CHECKIN_ENGINE_KEYMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+/** Committed state of one key. */
+struct KeyState
+{
+    /** Latest committed version (0 = never written). */
+    std::uint32_t version = 0;
+    /** Stored length in 128 B chunks (post-formatting). */
+    std::uint32_t storedChunks = 0;
+    /** True when the latest copy lives in the journal area. */
+    bool inJournal = false;
+    /** Journal half holding the copy (when inJournal). */
+    std::uint8_t half = 0;
+    /** Absolute chunk offset inside that half (when inJournal). */
+    std::uint64_t journalChunk = 0;
+    /** Versions handed out but not yet committed (ordering only). */
+    std::uint32_t assignedVersion = 0;
+    /** Version the data area + catalog hold (last checkpointed). */
+    std::uint32_t catalogVersion = 0;
+    /** Stored chunks of the catalog/data-area copy. */
+    std::uint32_t catalogChunks = 0;
+};
+
+/** Dense key -> KeyState table (the engine's key-value mapping). */
+class Keymap
+{
+  public:
+    explicit Keymap(std::uint64_t key_count) : states_(key_count) {}
+
+    KeyState &operator[](std::uint64_t key) { return states_[key]; }
+    const KeyState &
+    operator[](std::uint64_t key) const
+    {
+        return states_[key];
+    }
+
+    std::uint64_t size() const { return states_.size(); }
+
+  private:
+    std::vector<KeyState> states_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_ENGINE_KEYMAP_H_

@@ -1,0 +1,859 @@
+#include "engine/kv_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/record.h"
+
+namespace checkin {
+
+KvEngine::KvEngine(EventQueue &eq, Ssd &ssd, const EngineConfig &cfg)
+    : eq_(eq),
+      ssd_(ssd),
+      cfg_(cfg),
+      layout_(DiskLayout::compute(cfg, ssd.capacitySectors(),
+                                  ssd.ftl().sectorsPerUnit())),
+      keymap_(cfg.recordCount),
+      hostCache_(cfg.hostCacheBytes),
+      journal_(eq, ssd, layout_, cfg_, stats_),
+      strategy_(CheckpointStrategy::create(ssd, layout_, cfg_, stats_))
+{
+    journal_.setPressureCallback([this] { requestCheckpoint(); });
+}
+
+void
+KvEngine::load(
+    const std::function<std::uint32_t(std::uint64_t)> &size_of)
+{
+    // Populate the data area with version-1 values.
+    for (std::uint64_t key = 0; key < cfg_.recordCount; ++key) {
+        const std::uint32_t bytes = size_of(key);
+        const auto chunks =
+            std::uint32_t(divCeil(bytes, kChunkBytes));
+        const auto nsect =
+            std::uint32_t(divCeil(chunks, kChunksPerSector));
+        std::vector<SectorData> payload(nsect);
+        for (std::uint32_t c = 0; c < chunks; ++c) {
+            payload[c / kChunksPerSector]
+                .chunks[c % kChunksPerSector] =
+                dataChunkToken(key, 1, c);
+        }
+        ssd_.submitSync(Command::write(layout_.targetLba(key),
+                                       std::move(payload),
+                                       IoCause::Query, 1));
+        KeyState &st = keymap_[key];
+        st.version = 1;
+        st.assignedVersion = 1;
+        st.storedChunks = chunks;
+        st.inJournal = false;
+        st.catalogVersion = 1;
+        st.catalogChunks = chunks;
+    }
+    // Persist the full catalog.
+    const auto g = std::uint32_t(
+        std::max<std::uint32_t>(1, ssd_.ftl().sectorsPerUnit()));
+    for (Lba base = layout_.catalogStart;
+         base < layout_.catalogStart + layout_.catalogSectors;
+         base += g) {
+        std::vector<SectorData> payload(g);
+        for (std::uint32_t s = 0; s < g; ++s) {
+            for (std::uint32_t c = 0; c < kChunksPerSector; ++c) {
+                const std::uint64_t k =
+                    (base - layout_.catalogStart + s) *
+                        kCatalogEntriesPerSector +
+                    c;
+                if (k < cfg_.recordCount) {
+                    payload[s].chunks[c] = catalogToken(
+                        k, keymap_[k].catalogVersion,
+                        keymap_[k].catalogChunks);
+                }
+            }
+        }
+        ssd_.submitSync(Command::write(base, std::move(payload),
+                                       IoCause::Metadata));
+    }
+    stats_.add("engine.loadedKeys", cfg_.recordCount);
+}
+
+void
+KvEngine::start()
+{
+    if (cfg_.checkpointInterval > 0)
+        eq_.scheduleAfter(cfg_.checkpointInterval,
+                          [this] { onCheckpointTimer(); });
+}
+
+void
+KvEngine::onCheckpointTimer()
+{
+    requestCheckpoint();
+    if (cfg_.checkpointInterval > 0)
+        eq_.scheduleAfter(cfg_.checkpointInterval,
+                          [this] { onCheckpointTimer(); });
+}
+
+bool
+KvEngine::maybeDefer(std::function<void()> fn)
+{
+    if (cfg_.lockQueriesDuringCheckpoint && ckptInProgress_) {
+        deferred_.push_back(std::move(fn));
+        return true;
+    }
+    return false;
+}
+
+void
+KvEngine::drainDeferred()
+{
+    while (!deferred_.empty()) {
+        eq_.scheduleAfter(0, std::move(deferred_.front()));
+        deferred_.pop_front();
+    }
+}
+
+void
+KvEngine::get(std::uint64_t key, QueryCb cb)
+{
+    auto task = [this, key, cb = std::move(cb)]() mutable {
+        doGet(key, std::move(cb));
+    };
+    if (maybeDefer(task))
+        return;
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+KvEngine::update(std::uint64_t key, std::uint32_t value_bytes,
+                 QueryCb cb)
+{
+    auto task = [this, key, value_bytes, cb = std::move(cb)]() mutable {
+        doUpdate(key, value_bytes, std::move(cb));
+    };
+    if (maybeDefer(task))
+        return;
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+KvEngine::readModifyWrite(std::uint64_t key,
+                          std::uint32_t value_bytes, QueryCb cb)
+{
+    get(key, [this, key, value_bytes,
+              cb = std::move(cb)](const QueryResult &r1) mutable {
+        const bool first_during = r1.duringCheckpoint;
+        update(key, value_bytes,
+               [cb = std::move(cb),
+                first_during](const QueryResult &r2) {
+                   QueryResult res = r2;
+                   res.duringCheckpoint |= first_during;
+                   cb(res);
+               });
+    });
+}
+
+void
+KvEngine::erase(std::uint64_t key, QueryCb cb)
+{
+    auto task = [this, key, cb = std::move(cb)]() mutable {
+        doErase(key, std::move(cb));
+    };
+    if (maybeDefer(task))
+        return;
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+KvEngine::scan(std::uint64_t start_key, std::uint32_t count,
+               QueryCb cb)
+{
+    auto task = [this, start_key, count,
+                 cb = std::move(cb)]() mutable {
+        doScan(start_key, count, std::move(cb));
+    };
+    if (maybeDefer(task))
+        return;
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+KvEngine::doGet(std::uint64_t key, QueryCb cb)
+{
+    assert(key < cfg_.recordCount);
+    stats_.add("engine.gets");
+    const KeyState st = keymap_[key];
+    const bool ckpt_at_submit = ckptInProgress_;
+    if (st.version == 0 || st.storedChunks == 0) {
+        // Never written, or deleted (tombstone / trimmed slot).
+        stats_.add("engine.getMisses");
+        eq_.scheduleAfter(0, [this, cb = std::move(cb),
+                              ckpt_at_submit] {
+            cb(QueryResult{eq_.now(), ckpt_at_submit, false});
+        });
+        return;
+    }
+    verifyKeyContent(key, st);
+    if (hostCache_.lookup(key, st.version)) {
+        // Served from the block management engine's memory.
+        stats_.add("engine.hostCacheHits");
+        eq_.scheduleAfter(0, [this, cb = std::move(cb),
+                              ckpt_at_submit] {
+            cb(QueryResult{eq_.now(),
+                           ckpt_at_submit || ckptInProgress_, true});
+        });
+        return;
+    }
+    Lba lba;
+    std::uint32_t shift = 0;
+    if (st.inJournal) {
+        lba = layout_.journalChunkLba(st.half, st.journalChunk);
+        shift = std::uint32_t(st.journalChunk % kChunksPerSector);
+        stats_.add("engine.getsFromJournal");
+    } else {
+        lba = layout_.targetLba(key);
+    }
+    const auto nsect = std::uint32_t(
+        divCeil(shift + st.storedChunks, kChunksPerSector));
+    hostCache_.insert(key, st.version,
+                      st.storedChunks * kChunkBytes);
+    ssd_.submit(Command::read(lba, nsect, IoCause::Query),
+                [this, cb = std::move(cb),
+                 ckpt_at_submit](Tick done) {
+                    cb(QueryResult{
+                        done, ckpt_at_submit || ckptInProgress_,
+                        true});
+                });
+}
+
+void
+KvEngine::doUpdate(std::uint64_t key, std::uint32_t value_bytes,
+                   QueryCb cb)
+{
+    assert(key < cfg_.recordCount);
+    assert(value_bytes > 0 && value_bytes <= cfg_.maxValueBytes);
+    const std::uint32_t version = ++keymap_[key].assignedVersion;
+    const bool ckpt_at_submit = ckptInProgress_;
+    journal_.append(
+        key, version, value_bytes,
+        [this, key, cb = std::move(cb),
+         ckpt_at_submit](const JmtEntry &e, Tick done) {
+            KeyState &st = keymap_[key];
+            if (e.version > st.version) {
+                st.version = e.version;
+                st.storedChunks = e.chunks;
+                st.inJournal = true;
+                st.half = e.half;
+                st.journalChunk = e.chunkOff;
+            }
+            stats_.add("engine.updates");
+            stats_.add("engine.updateBytes", e.payloadBytes);
+            hostCache_.insert(key, e.version, e.chunks * kChunkBytes);
+            if (!ckptInProgress_ &&
+                journal_.activeJournalBytes() >=
+                    cfg_.checkpointJournalBytes) {
+                requestCheckpoint();
+            }
+            cb(QueryResult{done,
+                           ckpt_at_submit || ckptInProgress_, true});
+        });
+}
+
+void
+KvEngine::updateBatch(std::vector<BatchOp> ops, QueryCb cb)
+{
+    auto task = [this, ops = std::move(ops),
+                 cb = std::move(cb)]() mutable {
+        assert(!ops.empty());
+        const bool ckpt_at_submit = ckptInProgress_;
+        struct TxnState
+        {
+            std::size_t outstanding;
+            Tick last = 0;
+            QueryCb cb;
+        };
+        auto txn = std::make_shared<TxnState>();
+        txn->outstanding = ops.size();
+        txn->cb = std::move(cb);
+        std::vector<JournalManager::BatchRecord> records;
+        records.reserve(ops.size());
+        for (const BatchOp &op : ops) {
+            assert(op.key < cfg_.recordCount);
+            const std::uint32_t version =
+                ++keymap_[op.key].assignedVersion;
+            records.push_back(JournalManager::BatchRecord{
+                op.key, version, op.valueBytes,
+                [this, txn, ckpt_at_submit](const JmtEntry &e,
+                                            Tick done) {
+                    KeyState &st = keymap_[e.key];
+                    if (e.version > st.version) {
+                        st.version = e.version;
+                        st.storedChunks =
+                            e.payloadBytes == 0 ? 0 : e.chunks;
+                        st.inJournal = true;
+                        st.half = e.half;
+                        st.journalChunk = e.chunkOff;
+                        if (e.payloadBytes == 0) {
+                            hostCache_.erase(e.key);
+                        } else {
+                            hostCache_.insert(e.key, e.version,
+                                              e.chunks * kChunkBytes);
+                        }
+                    }
+                    txn->last = std::max(txn->last, done);
+                    if (--txn->outstanding == 0) {
+                        stats_.add("engine.batchCommits");
+                        if (!ckptInProgress_ &&
+                            journal_.activeJournalBytes() >=
+                                cfg_.checkpointJournalBytes) {
+                            requestCheckpoint();
+                        }
+                        txn->cb(QueryResult{
+                            txn->last,
+                            ckpt_at_submit || ckptInProgress_,
+                            true});
+                    }
+                }});
+        }
+        journal_.appendBatch(std::move(records));
+    };
+    if (maybeDefer(task))
+        return;
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+KvEngine::doErase(std::uint64_t key, QueryCb cb)
+{
+    assert(key < cfg_.recordCount);
+    const std::uint32_t version = ++keymap_[key].assignedVersion;
+    const bool ckpt_at_submit = ckptInProgress_;
+    journal_.append(
+        key, version, /*value_bytes=*/0,
+        [this, key, cb = std::move(cb),
+         ckpt_at_submit](const JmtEntry &e, Tick done) {
+            KeyState &st = keymap_[key];
+            if (e.version > st.version) {
+                st.version = e.version;
+                st.storedChunks = 0;
+                st.inJournal = true;
+                st.half = e.half;
+                st.journalChunk = e.chunkOff;
+            }
+            stats_.add("engine.deletes");
+            hostCache_.erase(key);
+            if (!ckptInProgress_ &&
+                journal_.activeJournalBytes() >=
+                    cfg_.checkpointJournalBytes) {
+                requestCheckpoint();
+            }
+            cb(QueryResult{done,
+                           ckpt_at_submit || ckptInProgress_, true});
+        });
+}
+
+void
+KvEngine::doScan(std::uint64_t start_key, std::uint32_t count,
+                 QueryCb cb)
+{
+    assert(start_key < cfg_.recordCount);
+    stats_.add("engine.scans");
+    const std::uint64_t end = std::min<std::uint64_t>(
+        cfg_.recordCount, start_key + count);
+    const bool ckpt_at_submit = ckptInProgress_;
+
+    struct Job
+    {
+        std::size_t outstanding = 0;
+        Tick last = 0;
+        std::uint32_t scanned = 0;
+        bool launched = false;
+        QueryCb cb;
+    };
+    auto job = std::make_shared<Job>();
+    job->cb = std::move(cb);
+    auto complete = [this, job, ckpt_at_submit](Tick t) {
+        job->last = std::max(job->last, t);
+        if (--job->outstanding == 0 && job->launched) {
+            job->cb(QueryResult{job->last,
+                                ckpt_at_submit || ckptInProgress_,
+                                job->scanned > 0, job->scanned});
+        }
+    };
+
+    // Journal-resident keys are fetched individually; the data-area
+    // residents coalesce into one sequential slot-range read.
+    std::uint64_t data_first = kInvalidAddr;
+    std::uint64_t data_last = 0;
+    for (std::uint64_t key = start_key; key < end; ++key) {
+        const KeyState st = keymap_[key];
+        if (st.version == 0 || st.storedChunks == 0)
+            continue;
+        verifyKeyContent(key, st);
+        ++job->scanned;
+        if (st.inJournal) {
+            const Lba lba =
+                layout_.journalChunkLba(st.half, st.journalChunk);
+            const auto shift = std::uint32_t(st.journalChunk %
+                                             kChunksPerSector);
+            const auto nsect = std::uint32_t(divCeil(
+                shift + st.storedChunks, kChunksPerSector));
+            ++job->outstanding;
+            ssd_.submit(Command::read(lba, nsect, IoCause::Query),
+                        complete);
+        } else {
+            data_first = std::min(data_first, key);
+            data_last = std::max(data_last, key);
+        }
+    }
+    if (data_first != kInvalidAddr) {
+        const Lba lba = layout_.targetLba(data_first);
+        const std::uint64_t nsect =
+            (data_last - data_first + 1) * layout_.slotSectors;
+        ++job->outstanding;
+        stats_.add("engine.scanSequentialSectors", nsect);
+        ssd_.submit(Command::read(lba, nsect, IoCause::Query),
+                    complete);
+    }
+    job->launched = true;
+    if (job->outstanding == 0) {
+        // Nothing live in range: complete asynchronously.
+        eq_.scheduleAfter(0, [this, job, ckpt_at_submit] {
+            job->cb(QueryResult{eq_.now(),
+                                ckpt_at_submit || ckptInProgress_,
+                                false, 0});
+        });
+    }
+}
+
+void
+KvEngine::requestCheckpoint()
+{
+    if (ckptInProgress_) {
+        pendingCkptRequest_ = true;
+        return;
+    }
+    if (journal_.jmtSize() == 0)
+        return;
+    if (!journal_.otherHalfFree()) {
+        pendingCkptRequest_ = true;
+        return;
+    }
+    startCheckpoint();
+}
+
+void
+KvEngine::startCheckpoint()
+{
+    ckptInProgress_ = true;
+    ckptStart_ = eq_.now();
+    stats_.add("engine.checkpoints");
+    // Wait for any in-flight group commit: its records belong to the
+    // half being checkpointed and must be in the JMT snapshot.
+    journal_.quiesce([this] {
+        stats_.add("engine.ckptLogsSeen",
+                   journal_.logsInActiveHalf());
+        auto entries = std::make_shared<std::vector<JmtEntry>>(
+            journal_.beginCheckpoint());
+        stats_.add("engine.ckptLatestEntries", entries->size());
+        const std::uint8_t half = journal_.activeHalf() ^ 1;
+        // Tombstones do not move data; they trim their targets.
+        auto values = std::make_shared<std::vector<JmtEntry>>();
+        auto tombs = std::make_shared<std::vector<JmtEntry>>();
+        for (const JmtEntry &e : *entries) {
+            (e.payloadBytes == 0 ? *tombs : *values).push_back(e);
+        }
+        strategy_->run(*values,
+                       [this, entries, tombs, half](Tick t) {
+            trimTombstones(*tombs, [this, entries, half,
+                                    t](Tick t2) {
+                onStrategyDone(*entries, half, std::max(t, t2));
+            });
+        });
+    });
+}
+
+void
+KvEngine::trimTombstones(const std::vector<JmtEntry> &tombs,
+                         std::function<void(Tick)> cb)
+{
+    if (tombs.empty()) {
+        cb(eq_.now());
+        return;
+    }
+    struct Job
+    {
+        std::size_t outstanding;
+        Tick last = 0;
+        std::function<void(Tick)> cb;
+    };
+    auto job = std::make_shared<Job>();
+    job->outstanding = tombs.size();
+    job->cb = std::move(cb);
+    for (const JmtEntry &e : tombs) {
+        stats_.add("engine.ckptTombstoneTrims");
+        ssd_.submit(Command::trim(layout_.targetLba(e.key),
+                                  layout_.slotSectors),
+                    [job](Tick t) {
+                        job->last = std::max(job->last, t);
+                        if (--job->outstanding == 0)
+                            job->cb(job->last);
+                    });
+    }
+}
+
+void
+KvEngine::onStrategyDone(const std::vector<JmtEntry> &entries,
+                         std::uint8_t half, Tick t)
+{
+    (void)t;
+    for (const JmtEntry &e : entries) {
+        KeyState &st = keymap_[e.key];
+        // The data area now holds this version; reads of keys not
+        // updated since switch back to the data area.
+        if (st.inJournal && st.half == half &&
+            st.version == e.version) {
+            st.inJournal = false;
+        }
+        st.catalogVersion = e.version;
+        st.catalogChunks = e.payloadBytes == 0 ? 0 : e.chunks;
+    }
+    // Phase accounting (paper Fig 4): data movement vs metadata vs
+    // log deletion.
+    ckptDataDone_ = std::max(eq_.now(), ckptStart_);
+    stats_.add("engine.ckptDataTicks", ckptDataDone_ - ckptStart_);
+    writeCatalog(entries, [this, half](Tick t2) {
+        ckptMetaDone_ = std::max(t2, ckptDataDone_);
+        stats_.add("engine.ckptMetaTicks",
+                   ckptMetaDone_ - ckptDataDone_);
+        deleteLogs(half, [this, half](Tick t3) {
+            stats_.add("engine.ckptDeleteTicks",
+                       t3 > ckptMetaDone_ ? t3 - ckptMetaDone_ : 0);
+            finishCheckpoint(half, t3);
+        });
+    });
+}
+
+void
+KvEngine::writeCatalog(const std::vector<JmtEntry> &entries,
+                       std::function<void(Tick)> cb)
+{
+    if (entries.empty()) {
+        cb(eq_.now());
+        return;
+    }
+    const auto g = std::uint32_t(
+        std::max<std::uint32_t>(1, ssd_.ftl().sectorsPerUnit()));
+    std::set<Lba> bases;
+    for (const JmtEntry &e : entries) {
+        const Lba rel = layout_.catalogLba(e.key) -
+                        layout_.catalogStart;
+        bases.insert(layout_.catalogStart + alignDown(rel, g));
+    }
+    struct Job
+    {
+        std::size_t outstanding;
+        Tick last = 0;
+        std::function<void(Tick)> cb;
+    };
+    auto job = std::make_shared<Job>();
+    job->outstanding = bases.size();
+    job->cb = std::move(cb);
+    for (Lba base : bases) {
+        std::vector<SectorData> payload(g);
+        for (std::uint32_t s = 0; s < g; ++s) {
+            for (std::uint32_t c = 0; c < kChunksPerSector; ++c) {
+                const std::uint64_t k =
+                    (base - layout_.catalogStart + s) *
+                        kCatalogEntriesPerSector +
+                    c;
+                if (k < cfg_.recordCount &&
+                    keymap_[k].catalogVersion > 0) {
+                    payload[s].chunks[c] = catalogToken(
+                        k, keymap_[k].catalogVersion,
+                        keymap_[k].catalogChunks);
+                }
+            }
+        }
+        stats_.add("engine.catalogSectorsWritten", g);
+        ssd_.submit(Command::write(base, std::move(payload),
+                                   IoCause::Metadata),
+                    [job](Tick t) {
+                        job->last = std::max(job->last, t);
+                        if (--job->outstanding == 0)
+                            job->cb(job->last);
+                    });
+    }
+}
+
+void
+KvEngine::deleteLogs(std::uint8_t half, std::function<void(Tick)> cb)
+{
+    Command c;
+    c.type = cfg_.mode == CheckpointMode::Baseline
+                 ? CmdType::Trim
+                 : CmdType::DeleteLogs;
+    c.lba = layout_.journalStart[half];
+    c.nsect = layout_.journalSectors;
+    ssd_.submit(std::move(c), std::move(cb));
+}
+
+void
+KvEngine::finishCheckpoint(std::uint8_t half, Tick t)
+{
+    journal_.onHalfFreed(half);
+    ckptInProgress_ = false;
+    ckptDurations_.push_back(t - ckptStart_);
+    stats_.add("engine.ckptTicks", t - ckptStart_);
+    drainDeferred();
+    const bool threshold_hit =
+        journal_.activeJournalBytes() >= cfg_.checkpointJournalBytes;
+    if (pendingCkptRequest_ || threshold_hit) {
+        pendingCkptRequest_ = false;
+        requestCheckpoint();
+    }
+}
+
+void
+KvEngine::verifyKeyContent(std::uint64_t key,
+                           const KeyState &st) const
+{
+    if (st.version == 0)
+        return;
+    if (st.storedChunks == 0) {
+        // Deleted key: a journal-resident tombstone must read back;
+        // a checkpointed deletion has no on-disk footprint.
+        if (!st.inJournal)
+            return;
+        const Lba lba =
+            layout_.journalChunkLba(st.half, st.journalChunk);
+        const auto shift =
+            std::uint32_t(st.journalChunk % kChunksPerSector);
+        SectorData buf;
+        ssd_.peek(lba, 1, &buf);
+        if (buf.chunks[shift] != tombstoneToken(key, st.version)) {
+            std::ostringstream os;
+            os << "tombstone mismatch: key " << key << " version "
+               << st.version;
+            throw std::runtime_error(os.str());
+        }
+        return;
+    }
+    Lba lba;
+    std::uint32_t shift = 0;
+    if (st.inJournal) {
+        lba = layout_.journalChunkLba(st.half, st.journalChunk);
+        shift = std::uint32_t(st.journalChunk % kChunksPerSector);
+    } else {
+        lba = layout_.targetLba(key);
+    }
+    const auto nsect = std::uint32_t(
+        divCeil(shift + st.storedChunks, kChunksPerSector));
+    std::vector<SectorData> buf(nsect);
+    ssd_.peek(lba, nsect, buf.data());
+    for (std::uint32_t c = 0; c < st.storedChunks; ++c) {
+        const std::uint32_t pos = shift + c;
+        const std::uint64_t got =
+            buf[pos / kChunksPerSector]
+                .chunks[pos % kChunksPerSector];
+        const std::uint64_t want =
+            dataChunkToken(key, st.version, c);
+        if (got != want) {
+            const DecodedToken d = decodeToken(got);
+            std::ostringstream os;
+            os << "content mismatch: key " << key << " version "
+               << st.version << " chunk " << c << " at lba " << lba
+               << (st.inJournal ? " (journal" : " (data")
+               << " half=" << int(st.half)
+               << " chunkOff=" << st.journalChunk
+               << " storedChunks=" << st.storedChunks
+               << ") got tag=" << int(d.tag) << " key=" << d.key
+               << " ver=" << d.version << " aux=" << d.aux;
+            throw std::runtime_error(os.str());
+        }
+    }
+}
+
+std::uint64_t
+KvEngine::verifyAllKeys() const
+{
+    std::uint64_t verified = 0;
+    for (std::uint64_t key = 0; key < cfg_.recordCount; ++key) {
+        const KeyState &st = keymap_[key];
+        if (st.version == 0)
+            continue;
+        verifyKeyContent(key, st);
+        ++verified;
+    }
+    return verified;
+}
+
+std::vector<KvEngine::ParsedLog>
+KvEngine::parseJournalHalf(std::uint8_t half) const
+{
+    const std::uint64_t nchunks = layout_.journalChunks();
+    std::vector<std::uint64_t> toks(nchunks, 0);
+    const std::uint64_t nsect = layout_.journalSectors;
+    std::vector<SectorData> buf(nsect);
+    ssd_.peek(layout_.journalStart[half], std::uint32_t(nsect),
+              buf.data());
+    for (std::uint64_t s = 0; s < nsect; ++s) {
+        for (std::uint32_t c = 0; c < kChunksPerSector; ++c)
+            toks[s * kChunksPerSector + c] = buf[s].chunks[c];
+    }
+    std::vector<ParsedLog> logs;
+    std::uint64_t pos = 0;
+    while (pos < nchunks) {
+        const DecodedToken d = decodeToken(toks[pos]);
+        if (d.tag == TokenTag::Tombstone) {
+            // chunks == 0 marks a deletion record.
+            logs.push_back(ParsedLog{d.key,
+                                     std::uint32_t(d.version), half,
+                                     pos, 0});
+            ++pos;
+            continue;
+        }
+        if (d.tag != TokenTag::Data || d.aux != 0) {
+            ++pos;
+            continue;
+        }
+        std::uint64_t n = 1;
+        while (pos + n < nchunks) {
+            const DecodedToken dn = decodeToken(toks[pos + n]);
+            if (dn.tag == TokenTag::Data && dn.key == d.key &&
+                dn.version == d.version && dn.aux == n) {
+                ++n;
+            } else {
+                break;
+            }
+        }
+        logs.push_back(ParsedLog{d.key, std::uint32_t(d.version),
+                                 half, pos, std::uint32_t(n)});
+        pos += n;
+    }
+    return logs;
+}
+
+RecoveryInfo
+KvEngine::recover()
+{
+    RecoveryInfo info;
+    const Tick t0 = eq_.now();
+
+    // 1. Restore the keymap from the on-disk catalog.
+    ssd_.submitSync(Command::read(layout_.catalogStart,
+                                  layout_.catalogSectors,
+                                  IoCause::Metadata));
+    std::vector<SectorData> cat(layout_.catalogSectors);
+    ssd_.peek(layout_.catalogStart,
+              std::uint32_t(layout_.catalogSectors), cat.data());
+    for (std::uint64_t k = 0; k < cfg_.recordCount; ++k) {
+        const std::uint64_t tok =
+            cat[k / kCatalogEntriesPerSector]
+                .chunks[k % kCatalogEntriesPerSector];
+        const DecodedToken d = decodeToken(tok);
+        if (d.tag != TokenTag::Catalog || d.key != k)
+            continue;
+        KeyState &st = keymap_[k];
+        st.version = std::uint32_t(d.version);
+        st.assignedVersion = st.version;
+        st.storedChunks = std::uint32_t(d.aux);
+        st.inJournal = false;
+        st.catalogVersion = st.version;
+        st.catalogChunks = st.storedChunks;
+        ++info.catalogKeys;
+    }
+
+    // 2. Scan both journal halves (pre-read + parse, paper §III-G).
+    std::vector<ParsedLog> latest_logs;
+    {
+        std::unordered_map<std::uint64_t, ParsedLog> latest;
+        for (std::uint8_t half = 0; half < 2; ++half) {
+            ssd_.submitSync(Command::read(layout_.journalStart[half],
+                                          layout_.journalSectors,
+                                          IoCause::Journal));
+            for (const ParsedLog &log : parseJournalHalf(half)) {
+                if (log.version <= keymap_[log.key].catalogVersion)
+                    continue;
+                auto it = latest.find(log.key);
+                if (it == latest.end() ||
+                    it->second.version < log.version) {
+                    latest[log.key] = log;
+                }
+            }
+        }
+        latest_logs.reserve(latest.size());
+        for (auto &[k, log] : latest)
+            latest_logs.push_back(log);
+    }
+    info.replayedLogs = latest_logs.size();
+
+    // 3. Apply replayed logs to the keymap and re-checkpoint them so
+    //    the store restarts clean (data area authoritative).
+    std::vector<JmtEntry> entries;
+    entries.reserve(latest_logs.size());
+    const std::uint32_t uc =
+        ssd_.ftl().mappingUnitBytes() / kChunkBytes;
+    for (const ParsedLog &log : latest_logs) {
+        const bool tombstone = log.chunks == 0;
+        KeyState &st = keymap_[log.key];
+        st.version = log.version;
+        st.assignedVersion = log.version;
+        st.storedChunks = tombstone ? 0 : log.chunks;
+        st.inJournal = true;
+        st.half = log.half;
+        st.journalChunk = log.chunkOff;
+        JmtEntry e;
+        e.key = log.key;
+        e.version = log.version;
+        e.half = log.half;
+        e.chunkOff = log.chunkOff;
+        e.chunks = tombstone ? 1 : log.chunks;
+        e.payloadBytes = tombstone ? 0 : log.chunks * kChunkBytes;
+        e.type = (!tombstone && log.chunkOff % uc == 0 &&
+                  log.chunks % uc == 0)
+                     ? LogType::Full
+                     : LogType::Partial;
+        entries.push_back(e);
+    }
+
+    std::vector<JmtEntry> values;
+    std::vector<JmtEntry> tombs;
+    for (const JmtEntry &e : entries)
+        (e.payloadBytes == 0 ? tombs : values).push_back(e);
+
+    bool finished = false;
+    Tick end_tick = eq_.now();
+    strategy_->run(values, [&](Tick t_values) {
+        trimTombstones(tombs, [&, t_values](Tick t_tombs) {
+            const Tick t = std::max(t_values, t_tombs);
+            for (const JmtEntry &e : entries) {
+                KeyState &st = keymap_[e.key];
+                st.inJournal = false;
+                st.catalogVersion = e.version;
+                st.catalogChunks =
+                    e.payloadBytes == 0 ? 0 : e.chunks;
+            }
+            writeCatalog(entries, [&, t](Tick t2) {
+                deleteLogs(0, [&, t, t2](Tick t3) {
+                    deleteLogs(1, [&, t, t2, t3](Tick t4) {
+                        finished = true;
+                        end_tick = std::max({t, t2, t3, t4});
+                    });
+                });
+            });
+        });
+    });
+    while (!finished && eq_.step()) {
+    }
+    if (!finished)
+        throw std::logic_error("recovery did not converge");
+    info.duration = end_tick - t0;
+    stats_.add("engine.recoveries");
+    stats_.add("engine.recoveredLogs", info.replayedLogs);
+    return info;
+}
+
+} // namespace checkin

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * The storage engine (paper Fig 5 host side): query interface,
+ * key-value mapping, journaling + checkpointing orchestration, and
+ * crash recovery.
+ */
+
+#ifndef CHECKIN_ENGINE_KV_ENGINE_H_
+#define CHECKIN_ENGINE_KV_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "engine/checkpoint.h"
+#include "engine/engine_config.h"
+#include "engine/host_cache.h"
+#include "engine/journal.h"
+#include "engine/keymap.h"
+#include "engine/layout.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+#include "ssd/ssd.h"
+
+namespace checkin {
+
+/** Per-query completion info handed to the client. */
+struct QueryResult
+{
+    /** Completion tick. */
+    Tick done = 0;
+    /** True when a checkpoint was running while the query executed. */
+    bool duringCheckpoint = false;
+    /** True when the key had a value (GET paths). */
+    bool found = false;
+    /** Keys with live values returned by a SCAN. */
+    std::uint32_t scanned = 0;
+};
+
+/** Outcome of a crash recovery pass. */
+struct RecoveryInfo
+{
+    std::uint64_t catalogKeys = 0;   //!< keys restored from catalog
+    std::uint64_t replayedLogs = 0;  //!< journal records replayed
+    Tick duration = 0;               //!< simulated recovery time
+};
+
+/**
+ * The key-value storage engine.
+ *
+ * Construct, then call either load() (fresh store) or recover()
+ * (rebuild from an existing device after a crash), then start() to
+ * arm the checkpoint timer, then issue queries.
+ */
+class KvEngine
+{
+  public:
+    using QueryCb = std::function<void(const QueryResult &)>;
+
+    KvEngine(EventQueue &eq, Ssd &ssd, const EngineConfig &cfg);
+
+    /**
+     * Populate the data area and catalog with initial values
+     * (version 1). @p size_of gives each key's value size.
+     */
+    void load(const std::function<std::uint32_t(std::uint64_t)>
+                  &size_of);
+
+    /**
+     * Rebuild the engine state from the device: restore the keymap
+     * from the catalog, replay journal logs newer than the catalog,
+     * checkpoint them, and leave a clean store.
+     */
+    RecoveryInfo recover();
+
+    /** Arm the periodic checkpoint timer (if configured). */
+    void start();
+
+    // ------------------------------------------------------------------
+    // Query interface
+    // ------------------------------------------------------------------
+    void get(std::uint64_t key, QueryCb cb);
+    void update(std::uint64_t key, std::uint32_t value_bytes,
+                QueryCb cb);
+    void readModifyWrite(std::uint64_t key, std::uint32_t value_bytes,
+                         QueryCb cb);
+    /** Delete a key: journals a tombstone; the next checkpoint trims
+     *  the data-area slot and records the deletion in the catalog. */
+    void erase(std::uint64_t key, QueryCb cb);
+
+    /** One operation of a multi-key transaction. */
+    struct BatchOp
+    {
+        std::uint64_t key;
+        /** Value size; 0 deletes the key. */
+        std::uint32_t valueBytes;
+    };
+
+    /**
+     * Atomic multi-key transaction (paper Fig 7: the engine groups
+     * journal logs into a transaction): every operation journals in
+     * one group commit, so a crash persists all of them or none.
+     * @p cb fires once, after the whole transaction is durable.
+     */
+    void updateBatch(std::vector<BatchOp> ops, QueryCb cb);
+    /** Range scan over up to @p count consecutive keys. Data-area
+     *  resident keys are fetched as one sequential read; journal-
+     *  resident keys are fetched individually. */
+    void scan(std::uint64_t start_key, std::uint32_t count,
+              QueryCb cb);
+
+    // ------------------------------------------------------------------
+    // Checkpoint control
+    // ------------------------------------------------------------------
+    /** Start a checkpoint now if possible, else mark one pending. */
+    void requestCheckpoint();
+    bool checkpointInProgress() const { return ckptInProgress_; }
+    /** Completed checkpoint durations, in ticks. */
+    const std::vector<Tick> &
+    checkpointDurations() const
+    {
+        return ckptDurations_;
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+    const DiskLayout &layout() const { return layout_; }
+    const Keymap &keymap() const { return keymap_; }
+    JournalManager &journal() { return journal_; }
+    StatRegistry &stats() { return stats_; }
+    const StatRegistry &stats() const { return stats_; }
+    const EngineConfig &config() const { return cfg_; }
+
+    /**
+     * Functional full-store verification: read every key's committed
+     * value through peek and check its content tokens.
+     * @return number of keys verified.
+     * @throws std::runtime_error on any content mismatch.
+     */
+    std::uint64_t verifyAllKeys() const;
+
+  private:
+    struct ParsedLog
+    {
+        std::uint64_t key;
+        std::uint32_t version;
+        std::uint8_t half;
+        std::uint64_t chunkOff;
+        std::uint32_t chunks;
+    };
+
+    void doGet(std::uint64_t key, QueryCb cb);
+    void doUpdate(std::uint64_t key, std::uint32_t value_bytes,
+                  QueryCb cb);
+    void doErase(std::uint64_t key, QueryCb cb);
+    void doScan(std::uint64_t start_key, std::uint32_t count,
+                QueryCb cb);
+    /** Trim the data-area slots of deleted keys (fan-out). */
+    void trimTombstones(const std::vector<JmtEntry> &tombs,
+                        std::function<void(Tick)> cb);
+    /** Defer a query while checkpoint-locked; true when deferred. */
+    bool maybeDefer(std::function<void()> fn);
+    void drainDeferred();
+
+    void onCheckpointTimer();
+    void startCheckpoint();
+    void onStrategyDone(const std::vector<JmtEntry> &entries,
+                        std::uint8_t half, Tick t);
+    /**
+     * Persist catalog entries for @p entries (their data-area state
+     * changed) and fire @p cb when all metadata writes completed.
+     */
+    void writeCatalog(const std::vector<JmtEntry> &entries,
+                      std::function<void(Tick)> cb);
+    void deleteLogs(std::uint8_t half, std::function<void(Tick)> cb);
+    void finishCheckpoint(std::uint8_t half, Tick t);
+
+    /** Verify a committed key's bytes at its current location. */
+    void verifyKeyContent(std::uint64_t key, const KeyState &st) const;
+
+    /** Parse all journal records out of @p half (recovery). */
+    std::vector<ParsedLog> parseJournalHalf(std::uint8_t half) const;
+
+    EventQueue &eq_;
+    Ssd &ssd_;
+    EngineConfig cfg_;
+    DiskLayout layout_;
+    Keymap keymap_;
+    HostCache hostCache_;
+    StatRegistry stats_;
+    JournalManager journal_;
+    std::unique_ptr<CheckpointStrategy> strategy_;
+
+    bool ckptInProgress_ = false;
+    bool pendingCkptRequest_ = false;
+    Tick ckptStart_ = 0;
+    Tick ckptDataDone_ = 0; //!< data movement (strategy+trims) end
+    Tick ckptMetaDone_ = 0; //!< catalog persistence end
+    std::vector<Tick> ckptDurations_;
+    std::deque<std::function<void()>> deferred_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_ENGINE_KV_ENGINE_H_

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Logical disk layout of the key-value store (paper Fig 2):
+ * catalog (metadata) area, two ping-pong journal halves, data area.
+ */
+
+#ifndef CHECKIN_ENGINE_LAYOUT_H_
+#define CHECKIN_ENGINE_LAYOUT_H_
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "engine/engine_config.h"
+#include "ftl/ftl.h"
+#include "sim/types.h"
+
+namespace checkin {
+
+/** Catalog entries per 512 B sector (one 128 B chunk each). */
+inline constexpr std::uint64_t kCatalogEntriesPerSector =
+    kChunksPerSector;
+
+/** Sector-level map of the store's on-disk areas. */
+struct DiskLayout
+{
+    std::uint64_t recordCount = 0;
+    /** Per-key data-area slot in sectors. */
+    std::uint64_t slotSectors = 0;
+
+    Lba catalogStart = 0;
+    std::uint64_t catalogSectors = 0;
+    Lba journalStart[2] = {0, 0};
+    std::uint64_t journalSectors = 0; //!< per half
+    Lba dataStart = 0;
+    std::uint64_t dataSectors = 0;
+
+    /**
+     * Compute the layout. Areas are aligned to @p unit_sectors so
+     * every area starts on an FTL mapping-unit boundary.
+     * @throws std::invalid_argument when the device is too small.
+     */
+    static DiskLayout
+    compute(const EngineConfig &cfg, std::uint64_t capacity_sectors,
+            std::uint32_t unit_sectors)
+    {
+        DiskLayout l;
+        l.recordCount = cfg.recordCount;
+        l.slotSectors = alignUp(divCeil(cfg.maxValueBytes,
+                                        kSectorBytes),
+                                unit_sectors);
+        l.catalogStart = 0;
+        l.catalogSectors =
+            alignUp(divCeil(cfg.recordCount, kCatalogEntriesPerSector),
+                    unit_sectors);
+        l.journalSectors =
+            alignUp(divCeil(cfg.journalHalfBytes, kSectorBytes),
+                    unit_sectors);
+        l.journalStart[0] = l.catalogStart + l.catalogSectors;
+        l.journalStart[1] = l.journalStart[0] + l.journalSectors;
+        l.dataStart = l.journalStart[1] + l.journalSectors;
+        l.dataSectors = l.recordCount * l.slotSectors;
+        if (l.dataStart + l.dataSectors > capacity_sectors) {
+            throw std::invalid_argument(
+                "DiskLayout: store does not fit the device");
+        }
+        return l;
+    }
+
+    /** First sector of @p key's data-area slot. */
+    Lba
+    targetLba(std::uint64_t key) const
+    {
+        return dataStart + key * slotSectors;
+    }
+
+    /** Catalog sector holding @p key's entry. */
+    Lba
+    catalogLba(std::uint64_t key) const
+    {
+        return catalogStart + key / kCatalogEntriesPerSector;
+    }
+
+    /** Chunk capacity of one journal half. */
+    std::uint64_t
+    journalChunks() const
+    {
+        return journalSectors * kChunksPerSector;
+    }
+
+    /** Sector of absolute journal chunk @p chunk in @p half. */
+    Lba
+    journalChunkLba(std::uint8_t half, std::uint64_t chunk) const
+    {
+        return journalStart[half] + chunk / kChunksPerSector;
+    }
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_ENGINE_LAYOUT_H_

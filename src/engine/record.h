@@ -1,0 +1,121 @@
+/**
+ * @file
+ * On-disk content encoding for the simulated key-value store.
+ *
+ * Every 128 B chunk the engine writes carries a 64-bit token that
+ * *invertibly* encodes what a real engine would serialize as bytes:
+ * a tag (data chunk vs catalog entry), the key, the version, and an
+ * auxiliary field (chunk index within the record, or stored-chunk
+ * count for catalog entries). Tokens are bit-mixed so they look like
+ * opaque data, and unmixed on read — recovery literally parses the
+ * journal back out of the device.
+ */
+
+#ifndef CHECKIN_ENGINE_RECORD_H_
+#define CHECKIN_ENGINE_RECORD_H_
+
+#include <cstdint>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace checkin {
+
+/** What a chunk token represents. */
+enum class TokenTag : std::uint8_t
+{
+    Invalid = 0x0,
+    Data = 0xC,      //!< chunk @p aux of record (key, version)
+    Catalog = 0xD,   //!< catalog entry: key at version with aux chunks
+    Tombstone = 0xE, //!< deletion record for key at version
+};
+
+/** Inverse of mix64 (MurmurHash3 finalizer inverse). */
+constexpr std::uint64_t
+unmix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0x9cb4b2f8129337dbULL;
+    x ^= x >> 33;
+    x *= 0x4f74430c22a54005ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+/** Field widths of the packed token layout. */
+inline constexpr std::uint64_t kTokenKeyBits = 24;
+inline constexpr std::uint64_t kTokenVersionBits = 24;
+inline constexpr std::uint64_t kTokenAuxBits = 12;
+
+/** Decoded view of a chunk token. */
+struct DecodedToken
+{
+    TokenTag tag = TokenTag::Invalid;
+    std::uint64_t key = 0;
+    std::uint64_t version = 0;
+    std::uint64_t aux = 0;
+
+    bool valid() const { return tag != TokenTag::Invalid; }
+};
+
+/** Pack + mix a token. */
+constexpr std::uint64_t
+packToken(TokenTag tag, std::uint64_t key, std::uint64_t version,
+          std::uint64_t aux)
+{
+    const std::uint64_t raw =
+        (std::uint64_t(tag) << 60) |
+        ((key & ((1ULL << kTokenKeyBits) - 1)) << 36) |
+        ((version & ((1ULL << kTokenVersionBits) - 1)) << 12) |
+        (aux & ((1ULL << kTokenAuxBits) - 1));
+    return mix64(raw);
+}
+
+/** Unmix + unpack; zero tokens decode as Invalid (empty chunk). */
+constexpr DecodedToken
+decodeToken(std::uint64_t token)
+{
+    DecodedToken d;
+    if (token == 0)
+        return d;
+    const std::uint64_t raw = unmix64(token);
+    const auto tag = std::uint8_t(raw >> 60);
+    if (tag != std::uint8_t(TokenTag::Data) &&
+        tag != std::uint8_t(TokenTag::Catalog) &&
+        tag != std::uint8_t(TokenTag::Tombstone)) {
+        return d; // garbage / padding
+    }
+    d.tag = TokenTag(tag);
+    d.key = (raw >> 36) & ((1ULL << kTokenKeyBits) - 1);
+    d.version = (raw >> 12) & ((1ULL << kTokenVersionBits) - 1);
+    d.aux = raw & ((1ULL << kTokenAuxBits) - 1);
+    return d;
+}
+
+/** Token of chunk @p chunk_idx of record (key, version). */
+constexpr std::uint64_t
+dataChunkToken(std::uint64_t key, std::uint64_t version,
+               std::uint64_t chunk_idx)
+{
+    return packToken(TokenTag::Data, key, version, chunk_idx);
+}
+
+/** Catalog-entry token: key is at @p version with @p chunks chunks.
+ *  Zero chunks records a deletion. */
+constexpr std::uint64_t
+catalogToken(std::uint64_t key, std::uint64_t version,
+             std::uint64_t chunks)
+{
+    return packToken(TokenTag::Catalog, key, version, chunks);
+}
+
+/** Journal tombstone token: key deleted at @p version. */
+constexpr std::uint64_t
+tombstoneToken(std::uint64_t key, std::uint64_t version)
+{
+    return packToken(TokenTag::Tombstone, key, version, 0);
+}
+
+} // namespace checkin
+
+#endif // CHECKIN_ENGINE_RECORD_H_

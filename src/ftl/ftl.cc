@@ -1,0 +1,890 @@
+#include "ftl/ftl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "sim/rng.h"
+
+namespace checkin {
+
+const char *
+ioCauseName(IoCause cause)
+{
+    switch (cause) {
+      case IoCause::Query: return "query";
+      case IoCause::Journal: return "journal";
+      case IoCause::Checkpoint: return "checkpoint";
+      case IoCause::Metadata: return "metadata";
+      case IoCause::Gc: return "gc";
+      case IoCause::MapFlush: return "mapflush";
+    }
+    return "unknown";
+}
+
+namespace {
+
+Stream
+streamFor(IoCause cause)
+{
+    switch (cause) {
+      case IoCause::Journal: return Stream::Journal;
+      case IoCause::Gc: return Stream::Gc;
+      case IoCause::MapFlush: return Stream::Map;
+      default: return Stream::Data;
+    }
+}
+
+} // namespace
+
+Ftl::Ftl(NandFlash &nand, const FtlConfig &cfg)
+    : nand_(nand),
+      cfg_(cfg),
+      layout_(nand.config()),
+      bm_(nand.config().totalBlocks(),
+          nand.config().pagesPerBlock *
+              (nand.config().pageBytes / cfg.mappingUnitBytes),
+          nand.config().dieCount()),
+      pageSeq_(nand.config().totalPages(), 0)
+{
+    const NandConfig &nc = nand_.config();
+    if (cfg_.mappingUnitBytes % kSectorBytes != 0 ||
+        nc.pageBytes % cfg_.mappingUnitBytes != 0) {
+        throw std::invalid_argument(
+            "mapping unit must be a sector multiple dividing the page");
+    }
+    sectorsPerUnit_ =
+        std::uint32_t(cfg_.mappingUnitBytes / kSectorBytes);
+    slotsPerPage_ = nc.pageBytes / cfg_.mappingUnitBytes;
+    logicalUnits_ = std::uint64_t(double(nc.totalBytes()) *
+                                  cfg_.exportedRatio) /
+                    cfg_.mappingUnitBytes;
+    cacheCapacityPages_ =
+        std::size_t(cfg_.dataCacheBytes / nc.pageBytes);
+    if (cfg_.mapCacheBytes > 0) {
+        const std::uint64_t seg_bytes =
+            std::uint64_t(cfg_.mapEntriesPerFetch) *
+            cfg_.mapEntryBytes;
+        const std::uint64_t total_segs =
+            divCeil(logicalUnits_, cfg_.mapEntriesPerFetch);
+        const std::uint64_t cap = cfg_.mapCacheBytes / seg_bytes;
+        // Capacity >= table: everything resident, no miss modeling.
+        mapSegCapacity_ =
+            cap >= total_segs ? 0 : std::size_t(cap);
+    }
+    map_.assign(logicalUnits_, kInvalidAddr);
+    open_.assign(std::size_t(kStreamCount) * nc.dieCount(),
+                 OpenPage{});
+    const std::uint64_t total_slots = nc.totalPages() * slotsPerPage_;
+    slotInfo_.assign(total_slots, SlotInfo{});
+    sectors_.assign(total_slots * sectorsPerUnit_, SectorData{});
+    slotOob_.assign(total_slots, OobEntry{});
+}
+
+SlotId
+Ftl::slotOf(Ppn ppn, std::uint32_t idx) const
+{
+    return ppn * slotsPerPage_ + idx;
+}
+
+Pbn
+Ftl::blockOfSlot(SlotId slot) const
+{
+    return pageOfSlot(slot) / nand_.config().pagesPerBlock;
+}
+
+Ppn
+Ftl::pageOfSlot(SlotId slot) const
+{
+    return slot / slotsPerPage_;
+}
+
+Tick
+Ftl::mapAccess(Lpn lpn, Tick earliest)
+{
+    if (mapSegCapacity_ == 0)
+        return earliest;
+    const std::uint64_t seg = lpn / cfg_.mapEntriesPerFetch;
+    auto it = mapSegIndex_.find(seg);
+    if (it != mapSegIndex_.end()) {
+        mapSegLru_.splice(mapSegLru_.begin(), mapSegLru_,
+                          it->second);
+        stats_.add("ftl.mapCacheHits");
+        return earliest;
+    }
+    stats_.add("ftl.mapCacheMisses");
+    mapSegLru_.push_front(seg);
+    mapSegIndex_[seg] = mapSegLru_.begin();
+    if (mapSegLru_.size() > mapSegCapacity_) {
+        mapSegIndex_.erase(mapSegLru_.back());
+        mapSegLru_.pop_back();
+    }
+    // Fetch the segment's translation page from flash; the die is
+    // determined by where the map stream last persisted it — model
+    // as a hash spread over the array.
+    const auto die = std::uint32_t(mix64(seg) %
+                                   nand_.config().dieCount());
+    return nand_.chargeAuxRead(die, earliest);
+}
+
+Tick
+Ftl::mapAccessRange(Lpn first, Lpn last, Tick earliest)
+{
+    Tick done = earliest;
+    for (Lpn u = first; u <= last; ++u)
+        done = std::max(done, mapAccess(u, earliest));
+    return done;
+}
+
+bool
+Ftl::isCached(Ppn ppn) const
+{
+    return cacheIndex_.find(ppn) != cacheIndex_.end();
+}
+
+void
+Ftl::cacheInsert(Ppn ppn)
+{
+    if (cacheCapacityPages_ == 0)
+        return;
+    auto it = cacheIndex_.find(ppn);
+    if (it != cacheIndex_.end()) {
+        cacheLru_.splice(cacheLru_.begin(), cacheLru_, it->second);
+        return;
+    }
+    cacheLru_.push_front(ppn);
+    cacheIndex_[ppn] = cacheLru_.begin();
+    if (cacheLru_.size() > cacheCapacityPages_) {
+        cacheIndex_.erase(cacheLru_.back());
+        cacheLru_.pop_back();
+    }
+}
+
+void
+Ftl::cacheEvict(Ppn ppn)
+{
+    auto it = cacheIndex_.find(ppn);
+    if (it == cacheIndex_.end())
+        return;
+    cacheLru_.erase(it->second);
+    cacheIndex_.erase(it);
+}
+
+bool
+Ftl::isBuffered(SlotId slot) const
+{
+    const Ppn page = pageOfSlot(slot);
+    for (const OpenPage &op : open_) {
+        if (op.ppn == page)
+            return true;
+    }
+    return false;
+}
+
+void
+Ftl::programOpenPage(Stream stream, std::uint32_t die, Tick earliest)
+{
+    OpenPage &op = open_[std::size_t(std::uint32_t(stream)) *
+                             bm_.dieCount() +
+                         die];
+    assert(op.ppn != kInvalidAddr);
+    const Ppn ppn = op.ppn;
+
+    PageContent content;
+    content.slotTokens.reserve(slotsPerPage_ * sectorsPerUnit_ *
+                               kChunksPerSector);
+    content.oob.reserve(slotsPerPage_);
+    for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+        const SlotId slot = slotOf(ppn, s);
+        content.oob.push_back(slotOob_[slot]);
+        for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k) {
+            for (std::uint64_t c :
+                 sectors_[slot * sectorsPerUnit_ + k].chunks) {
+                content.slotTokens.push_back(c);
+            }
+        }
+    }
+    pageSeq_[ppn] = nextProgramSeq_++;
+    content.seq = pageSeq_[ppn];
+    const Tick done = nand_.program(ppn, std::move(content), earliest);
+    cacheInsert(ppn);
+    if (onProgram_)
+        onProgram_(done);
+    op.ppn = kInvalidAddr;
+    op.nextSlot = 0;
+
+    const NandConfig &nc = nand_.config();
+    if (ppn % nc.pagesPerBlock == nc.pagesPerBlock - 1)
+        bm_.closeActive(stream, die);
+}
+
+SlotId
+Ftl::allocateSlot(Stream stream, Tick earliest)
+{
+    const std::uint32_t dies = bm_.dieCount();
+    // Round-robin starting die (superblock-style write striping);
+    // fall over to the next die when one runs out of blocks.
+    const std::uint32_t start = rot_[std::uint32_t(stream)]++ % dies;
+    for (std::uint32_t probe = 0; probe < dies; ++probe) {
+        const std::uint32_t die = (start + probe) % dies;
+        OpenPage &op =
+            open_[std::size_t(std::uint32_t(stream)) * dies + die];
+        if (op.ppn != kInvalidAddr && op.nextSlot == slotsPerPage_)
+            programOpenPage(stream, die, earliest); // resets op
+        if (op.ppn == kInvalidAddr) {
+            Pbn active = bm_.activeBlock(stream, die);
+            if (active == kInvalidAddr) {
+                maybeGc(earliest);
+                active = bm_.allocate(stream, die);
+                if (active == kInvalidAddr)
+                    continue; // this die is out of free blocks
+            }
+            op.ppn = layout_.firstPpnOfBlock(active) +
+                     nand_.nextProgramPage(active);
+            op.nextSlot = 0;
+        }
+        const SlotId slot = slotOf(op.ppn, op.nextSlot);
+        ++op.nextSlot;
+        // Fresh slot: wipe stale shadow left from before the erase.
+        slotInfo_[slot] = SlotInfo{};
+        refOverflow_.erase(slot);
+        slotOob_[slot] = OobEntry{};
+        for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k)
+            sectors_[slot * sectorsPerUnit_ + k] = SectorData{};
+        return slot;
+    }
+    throw std::runtime_error("FTL: out of flash blocks");
+}
+
+void
+Ftl::addRef(SlotId slot, Lpn lpn)
+{
+    SlotInfo &info = slotInfo_[slot];
+    if (info.nrefs < kInlineRefs)
+        info.refs[info.nrefs] = lpn;
+    else
+        refOverflow_[slot].push_back(lpn);
+    ++info.nrefs;
+    if (info.nrefs == 1) {
+        bm_.addValid(blockOfSlot(slot));
+        info.everValid = true;
+    }
+}
+
+void
+Ftl::deref(SlotId slot, Lpn lpn)
+{
+    SlotInfo &info = slotInfo_[slot];
+    assert(info.nrefs > 0);
+    const std::uint16_t inline_n =
+        std::min<std::uint16_t>(info.nrefs, kInlineRefs);
+    std::uint16_t i = 0;
+    while (i < inline_n && info.refs[i] != lpn)
+        ++i;
+    if (i < inline_n) {
+        // Backfill the inline hole, preferring an overflow entry.
+        if (info.nrefs > kInlineRefs) {
+            auto it = refOverflow_.find(slot);
+            info.refs[i] = it->second.back();
+            it->second.pop_back();
+            if (it->second.empty())
+                refOverflow_.erase(it);
+        } else {
+            info.refs[i] = info.refs[inline_n - 1];
+            info.refs[inline_n - 1] = kInvalidAddr;
+        }
+    } else {
+        auto it = refOverflow_.find(slot);
+        assert(it != refOverflow_.end() &&
+               "deref of non-referencing LPN");
+        auto &v = it->second;
+        auto pos = std::find(v.begin(), v.end(), lpn);
+        assert(pos != v.end() && "deref of non-referencing LPN");
+        *pos = v.back();
+        v.pop_back();
+        if (v.empty())
+            refOverflow_.erase(it);
+    }
+    --info.nrefs;
+    if (info.nrefs == 0) {
+        bm_.invalidate(blockOfSlot(slot));
+        stats_.add("ftl.invalidatedSlots");
+    }
+}
+
+void
+Ftl::unmap(Lpn lpn)
+{
+    if (map_[lpn] == kInvalidAddr)
+        return;
+    deref(map_[lpn], lpn);
+    map_[lpn] = kInvalidAddr;
+}
+
+void
+Ftl::mapLpn(Lpn lpn, SlotId slot)
+{
+    unmap(lpn);
+    map_[lpn] = slot;
+    addRef(slot, lpn);
+}
+
+void
+Ftl::touchMapEntry(Tick earliest)
+{
+    dirtyMapBytes_ += cfg_.mapEntryBytes;
+    if (dirtyMapBytes_ < cfg_.mapFlushThresholdBytes)
+        return;
+    if (inMapFlush_)
+        return;
+    inMapFlush_ = true;
+    // Persist one table page: dead-on-arrival slots in the map stream
+    // (superseded table pages are garbage immediately).
+    dirtyMapBytes_ = 0;
+    for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+        allocateSlot(Stream::Map, earliest);
+        stats_.add("ftl.slotWrites");
+        stats_.add("ftl.slotWrites.mapflush");
+    }
+    stats_.add("ftl.mapFlushes");
+    inMapFlush_ = false;
+}
+
+Tick
+Ftl::readSlotPages(const std::vector<SlotId> &slots, IoCause cause,
+                   Tick earliest)
+{
+    Tick done = earliest;
+    std::vector<Ppn> pages;
+    pages.reserve(slots.size());
+    for (SlotId s : slots) {
+        if (isBuffered(s))
+            continue;
+        pages.push_back(pageOfSlot(s));
+    }
+    std::sort(pages.begin(), pages.end());
+    pages.erase(std::unique(pages.begin(), pages.end()), pages.end());
+    for (Ppn p : pages) {
+        if (isCached(p)) {
+            cacheInsert(p); // LRU touch
+            stats_.add("ftl.cacheHits");
+            continue;
+        }
+        done = std::max(done, nand_.read(p, earliest));
+        cacheInsert(p);
+        stats_.add(std::string("ftl.pageReads.") + ioCauseName(cause));
+        stats_.add("ftl.pageReads");
+    }
+    return done;
+}
+
+Tick
+Ftl::readSectors(Lba lba, std::uint32_t nsect, IoCause cause,
+                 Tick earliest)
+{
+    assert(lba + nsect <= logicalSectors());
+    stats_.add("ftl.hostReadSectors", nsect);
+    std::vector<SlotId> slots;
+    const Lpn first = lba / sectorsPerUnit_;
+    const Lpn last = (lba + nsect - 1) / sectorsPerUnit_;
+    earliest = mapAccessRange(first, last, earliest);
+    for (Lpn u = first; u <= last; ++u) {
+        if (map_[u] != kInvalidAddr)
+            slots.push_back(map_[u]);
+    }
+    return readSlotPages(slots, cause, earliest);
+}
+
+Tick
+Ftl::writeSectors(Lba lba, std::uint32_t nsect, const SectorData *data,
+                  IoCause cause, Tick earliest, std::uint64_t version,
+                  const OobEntry *unit_oob)
+{
+    assert(nsect > 0);
+    assert(lba + nsect <= logicalSectors());
+    stats_.add("ftl.hostWriteSectors", nsect);
+    const Stream stream = streamFor(cause);
+    const Lpn first = lba / sectorsPerUnit_;
+    const Lpn last = (lba + nsect - 1) / sectorsPerUnit_;
+    earliest = mapAccessRange(first, last, earliest);
+    Tick ack = earliest;
+    for (Lpn u = first; u <= last; ++u) {
+        const Lba unit_start = u * sectorsPerUnit_;
+        const std::uint32_t s0 = std::uint32_t(
+            std::max<Lba>(lba, unit_start) - unit_start);
+        const std::uint32_t s1 = std::uint32_t(
+            std::min<Lba>(lba + nsect, unit_start + sectorsPerUnit_) -
+            unit_start);
+        const bool partial = (s1 - s0) != sectorsPerUnit_;
+
+        // Read-modify-write: fetch the rest of the unit first.
+        std::vector<SectorData> merged(sectorsPerUnit_);
+        const SlotId old_slot = map_[u];
+        if (partial && old_slot != kInvalidAddr) {
+            ack = std::max(ack, readSlotPages({old_slot}, cause,
+                                              earliest));
+            stats_.add("ftl.rmwReads");
+            for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k)
+                merged[k] = sectors_[old_slot * sectorsPerUnit_ + k];
+        }
+        for (std::uint32_t k = s0; k < s1; ++k)
+            merged[k] = data[(unit_start + k) - lba];
+
+        const SlotId slot = allocateSlot(stream, earliest);
+        for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k)
+            sectors_[slot * sectorsPerUnit_ + k] = merged[k];
+        if (unit_oob != nullptr) {
+            slotOob_[slot] = unit_oob[u - first];
+            slotOob_[slot].lpn = u;
+        } else {
+            slotOob_[slot] = OobEntry{u, version, kInvalidAddr};
+        }
+        mapLpn(u, slot);
+        touchMapEntry(earliest);
+        stats_.add("ftl.slotWrites");
+        stats_.add(std::string("ftl.slotWrites.") + ioCauseName(cause));
+    }
+    return ack;
+}
+
+void
+Ftl::peekSectors(Lba lba, std::uint32_t nsect, SectorData *out) const
+{
+    assert(lba + nsect <= logicalSectors());
+    for (std::uint32_t i = 0; i < nsect; ++i) {
+        const Lba cur = lba + i;
+        const Lpn u = cur / sectorsPerUnit_;
+        const SlotId slot = map_[u];
+        if (slot == kInvalidAddr) {
+            out[i] = SectorData{};
+        } else {
+            out[i] = sectors_[slot * sectorsPerUnit_ +
+                              cur % sectorsPerUnit_];
+        }
+    }
+}
+
+void
+Ftl::trimSectors(Lba lba, std::uint64_t nsect)
+{
+    const Lpn first = divCeil(lba, sectorsPerUnit_);
+    const Lpn last_excl = (lba + nsect) / sectorsPerUnit_;
+    for (Lpn u = first; u < last_excl; ++u) {
+        if (map_[u] == kInvalidAddr)
+            continue;
+        unmap(u);
+        touchMapEntry(0);
+        stats_.add("ftl.trimmedUnits");
+    }
+}
+
+bool
+Ftl::isUnitAligned(Lba lba, std::uint32_t nsect) const
+{
+    return lba % sectorsPerUnit_ == 0 && nsect % sectorsPerUnit_ == 0;
+}
+
+bool
+Ftl::isMapped(Lpn lpn) const
+{
+    return lpn < map_.size() && map_[lpn] != kInvalidAddr;
+}
+
+Tick
+Ftl::remapUnit(Lpn src, Lpn dst, Tick earliest)
+{
+    assert(isMapped(src));
+    earliest = std::max(mapAccess(src, earliest),
+                        mapAccess(dst, earliest));
+    const SlotId slot = map_[src];
+    if (map_[dst] == slot)
+        return earliest;
+    unmap(dst);
+    map_[dst] = slot;
+    addRef(slot, dst);
+    touchMapEntry(earliest);
+    stats_.add("ftl.remaps");
+    return earliest;
+}
+
+Tick
+Ftl::copySectors(Lba src, Lba dst, std::uint32_t nsect, IoCause cause,
+                 Tick earliest)
+{
+    std::vector<SectorData> buf(nsect);
+    peekSectors(src, nsect, buf.data());
+
+    std::vector<SlotId> slots;
+    const Lpn first = src / sectorsPerUnit_;
+    const Lpn last = (src + nsect - 1) / sectorsPerUnit_;
+    for (Lpn u = first; u <= last; ++u) {
+        if (map_[u] != kInvalidAddr)
+            slots.push_back(map_[u]);
+    }
+    const Tick fetched = readSlotPages(slots, cause, earliest);
+    return writeSectors(dst, nsect, buf.data(), cause, fetched);
+}
+
+void
+Ftl::maybeGc(Tick earliest)
+{
+    if (inGc_ || bm_.freeBlocks() >= cfg_.gcLowWaterBlocks)
+        return;
+    inGc_ = true;
+    std::uint32_t guard = 0;
+    const auto limit = std::uint32_t(nand_.config().totalBlocks());
+    while (bm_.freeBlocks() < cfg_.gcHighWaterBlocks &&
+           guard++ < limit) {
+        if (!gcOnce(earliest, false))
+            break;
+    }
+    inGc_ = false;
+}
+
+std::uint32_t
+Ftl::runBackgroundGc(Tick now)
+{
+    if (inGc_)
+        return 0;
+    std::uint32_t reclaimed = 0;
+    inGc_ = true;
+    while (bm_.freeBlocks() < cfg_.gcBackgroundBlocks) {
+        if (!gcOnce(now, true))
+            break;
+        ++reclaimed;
+    }
+    inGc_ = false;
+    // Idle time is also when static wear leveling runs.
+    wearLevelOnce(now);
+    return reclaimed;
+}
+
+bool
+Ftl::gcOnce(Tick earliest, bool background)
+{
+    const Pbn victim = bm_.pickGcVictim();
+    if (victim == kInvalidAddr)
+        return false;
+    const std::uint32_t slots_per_block =
+        nand_.config().pagesPerBlock * slotsPerPage_;
+    // Refuse to "collect" a fully valid block: it frees nothing.
+    if (bm_.validCount(victim) >= slots_per_block)
+        return false;
+
+    stats_.add("gc.invocations");
+    stats_.add(background ? "gc.background" : "gc.inline");
+    reclaimBlock(victim, earliest);
+    return true;
+}
+
+void
+Ftl::reclaimBlock(Pbn victim, Tick earliest)
+{
+    const Ppn first = layout_.firstPpnOfBlock(victim);
+    Tick last_read = earliest;
+    for (std::uint32_t p = 0; p < nand_.config().pagesPerBlock; ++p) {
+        const Ppn ppn = first + p;
+        if (!nand_.isProgrammed(ppn))
+            continue;
+        bool any_valid = false;
+        for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+            if (slotInfo_[slotOf(ppn, s)].nrefs > 0) {
+                any_valid = true;
+                break;
+            }
+        }
+        if (!any_valid)
+            continue;
+        if (!isCached(ppn)) {
+            last_read =
+                std::max(last_read, nand_.read(ppn, earliest));
+            stats_.add("gc.pageReads");
+        }
+        for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+            const SlotId old_slot = slotOf(ppn, s);
+            if (slotInfo_[old_slot].nrefs == 0)
+                continue;
+            // Snapshot payload + references before allocateSlot can
+            // wipe shadows.
+            std::vector<SectorData> payload(sectorsPerUnit_);
+            for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k)
+                payload[k] = sectors_[old_slot * sectorsPerUnit_ + k];
+            const OobEntry oob = slotOob_[old_slot];
+            std::vector<Lpn> refs;
+            refs.reserve(slotInfo_[old_slot].nrefs);
+            forEachRef(old_slot,
+                       [&refs](Lpn lpn) { refs.push_back(lpn); });
+
+            const SlotId ns = allocateSlot(Stream::Gc, last_read);
+            for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k)
+                sectors_[ns * sectorsPerUnit_ + k] = payload[k];
+            slotOob_[ns] = oob;
+            for (Lpn lpn : refs) {
+                map_[lpn] = ns;
+                addRef(ns, lpn);
+                touchMapEntry(last_read);
+            }
+            // Retire the old copy.
+            slotInfo_[old_slot] = SlotInfo{};
+            refOverflow_.erase(old_slot);
+            bm_.invalidate(victim);
+            stats_.add("gc.migratedSlots");
+            stats_.add("ftl.slotWrites");
+            stats_.add("ftl.slotWrites.gc");
+        }
+    }
+    assert(bm_.validCount(victim) == 0);
+    // Valid data now sits in the SPOR-protected GC open page, so the
+    // erase may proceed as soon as the reads are done.
+    nand_.eraseBlock(victim, last_read);
+    for (std::uint32_t p = 0; p < nand_.config().pagesPerBlock; ++p)
+        cacheEvict(first + p);
+    stats_.add("gc.erases");
+    bm_.release(victim, nand_.eraseCount(victim));
+}
+
+bool
+Ftl::wearLevelOnce(Tick now)
+{
+    if (cfg_.wearLevelThreshold == 0 || inGc_)
+        return false;
+    // Find the coldest closed block and the overall wear spread.
+    Pbn coldest = kInvalidAddr;
+    std::uint32_t min_erase = ~std::uint32_t{0};
+    const std::uint64_t total = nand_.config().totalBlocks();
+    for (Pbn b = 0; b < total; ++b) {
+        if (bm_.state(b) != BlockManager::State::Closed)
+            continue;
+        const std::uint32_t ec = nand_.eraseCount(b);
+        if (ec < min_erase) {
+            min_erase = ec;
+            coldest = b;
+        }
+    }
+    if (coldest == kInvalidAddr)
+        return false;
+    if (nand_.maxEraseCount() - min_erase < cfg_.wearLevelThreshold)
+        return false;
+    // Relocating the cold data frees the least-worn block back into
+    // the (wear-ordered) pool, where it absorbs future writes.
+    inGc_ = true;
+    stats_.add("wl.migrations");
+    reclaimBlock(coldest, now);
+    inGc_ = false;
+    return true;
+}
+
+void
+Ftl::flushOpenPages(Tick now)
+{
+    const std::uint32_t dies = bm_.dieCount();
+    for (std::uint32_t s = 0; s < kStreamCount; ++s) {
+        for (std::uint32_t d = 0; d < dies; ++d) {
+            if (open_[std::size_t(s) * dies + d].ppn != kInvalidAddr)
+                programOpenPage(Stream(s), d, now);
+        }
+    }
+}
+
+Ftl::RebuildReport
+Ftl::rebuildFromPowerLoss()
+{
+    RebuildReport report;
+    const NandConfig &nc = nand_.config();
+
+    // 1. All RAM state is gone. Unprogrammed open pages are lost.
+    for (OpenPage &op : open_)
+        op = OpenPage{};
+    std::fill(map_.begin(), map_.end(), kInvalidAddr);
+    slotInfo_.assign(slotInfo_.size(), SlotInfo{});
+    refOverflow_.clear();
+    cacheLru_.clear();
+    cacheIndex_.clear();
+    dirtyMapBytes_ = 0;
+    // Suppress map-flush writes while replaying OOB.
+    inMapFlush_ = true;
+
+    // 2. Block states from the surviving flash facts.
+    std::vector<std::uint32_t> erase_counts(nc.totalBlocks());
+    std::vector<bool> closed(nc.totalBlocks());
+    for (Pbn b = 0; b < nc.totalBlocks(); ++b) {
+        erase_counts[b] = nand_.eraseCount(b);
+        closed[b] = nand_.nextProgramPage(b) > 0;
+    }
+    bm_.resetForRebuild(erase_counts, closed);
+
+    // 3. Restore the sector/OOB shadows from NAND and collect the
+    //    programmed pages in program order.
+    std::vector<std::pair<std::uint64_t, Ppn>> ordered;
+    for (Ppn p = 0; p < nc.totalPages(); ++p) {
+        if (!nand_.isProgrammed(p)) {
+            for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+                const SlotId slot = slotOf(p, s);
+                slotOob_[slot] = OobEntry{};
+                for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k)
+                    sectors_[slot * sectorsPerUnit_ + k] =
+                        SectorData{};
+            }
+            pageSeq_[p] = 0;
+            continue;
+        }
+        const PageContent &content = nand_.peek(p);
+        for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+            const SlotId slot = slotOf(p, s);
+            slotOob_[slot] = s < content.oob.size()
+                                 ? content.oob[s]
+                                 : OobEntry{};
+            for (std::uint32_t k = 0;
+                 k < sectorsPerUnit_ * kChunksPerSector; ++k) {
+                sectors_[slot * sectorsPerUnit_ +
+                         k / kChunksPerSector]
+                    .chunks[k % kChunksPerSector] =
+                    content.slotTokens[(s * sectorsPerUnit_ *
+                                        kChunksPerSector) +
+                                       k];
+            }
+        }
+        pageSeq_[p] = content.seq;
+        ordered.push_back({content.seq, p});
+    }
+    std::sort(ordered.begin(), ordered.end());
+
+    // 4. Replay write-origin mappings in program order (newest
+    //    version of an LPN wins) and collect checkpoint-target
+    //    candidates from journal-slot annotations.
+    struct Candidate
+    {
+        std::uint64_t version = 0;
+        SlotId slot = kInvalidAddr;
+    };
+    std::unordered_map<Lpn, Candidate> targets;
+    for (const auto &[seq, ppn] : ordered) {
+        for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+            const SlotId slot = slotOf(ppn, s);
+            const OobEntry &oob = slotOob_[slot];
+            if (oob.lpn == kInvalidAddr)
+                continue;
+            mapLpn(oob.lpn, slot);
+            ++report.slotsRecovered;
+            if (oob.targetLpn != kInvalidAddr &&
+                oob.targetLpn != oob.lpn) {
+                Candidate &c = targets[oob.targetLpn];
+                if (oob.version >= c.version) {
+                    c.version = oob.version;
+                    c.slot = slot;
+                }
+            }
+        }
+    }
+
+    // 5. Re-apply checkpoint remaps: a journal slot annotated with a
+    //    target beats whatever the data area holds if it is newer.
+    //    (A slot superseded at its *origin* LPN can still carry the
+    //    newest copy of its target, so zero-reference slots are
+    //    revived here.)
+    for (const auto &[target, cand] : targets) {
+        if (cand.slot == kInvalidAddr)
+            continue;
+        const SlotId current = map_[target];
+        const std::uint64_t current_version =
+            current == kInvalidAddr ? 0 : slotOob_[current].version;
+        if (cand.version < current_version)
+            continue;
+        unmap(target);
+        map_[target] = cand.slot;
+        addRef(cand.slot, target);
+        ++report.remapsRecovered;
+    }
+
+    inMapFlush_ = false;
+    stats_.add("ftl.powerLossRebuilds");
+    stats_.add("ftl.rebuiltSlots", report.slotsRecovered);
+    stats_.add("ftl.rebuiltRemaps", report.remapsRecovered);
+    return report;
+}
+
+void
+Ftl::checkInvariants() const
+{
+    auto fail = [](const std::string &what) {
+        throw std::logic_error("FTL invariant violated: " + what);
+    };
+    // Forward map -> slot references.
+    for (Lpn lpn = 0; lpn < map_.size(); ++lpn) {
+        const SlotId slot = map_[lpn];
+        if (slot == kInvalidAddr)
+            continue;
+        bool listed = false;
+        forEachRef(slot,
+                   [&](Lpn ref) { listed |= ref == lpn; });
+        if (!listed) {
+            fail("LPN " + std::to_string(lpn) +
+                 " maps to a slot that does not reference it");
+        }
+    }
+    // Slot references -> forward map, and per-block valid counts.
+    std::vector<std::uint32_t> live(
+        nand_.config().totalBlocks(), 0);
+    std::uint64_t total_live = 0;
+    for (SlotId slot = 0; slot < slotInfo_.size(); ++slot) {
+        const SlotInfo &info = slotInfo_[slot];
+        if (info.nrefs == 0)
+            continue;
+        std::uint16_t counted = 0;
+        forEachRef(slot, [&](Lpn lpn) {
+            ++counted;
+            if (lpn >= map_.size() || map_[lpn] != slot) {
+                fail("slot " + std::to_string(slot) +
+                     " references LPN " + std::to_string(lpn) +
+                     " which does not map back");
+            }
+        });
+        if (counted != info.nrefs)
+            fail("slot " + std::to_string(slot) +
+                 " reference count mismatch");
+        ++live[blockOfSlot(slot)];
+        ++total_live;
+    }
+    for (Pbn b = 0; b < live.size(); ++b) {
+        if (bm_.validCount(b) != live[b]) {
+            fail("block " + std::to_string(b) + " valid count " +
+                 std::to_string(bm_.validCount(b)) + " != live " +
+                 std::to_string(live[b]));
+        }
+        if (bm_.state(b) == BlockManager::State::Free && live[b] != 0)
+            fail("free block " + std::to_string(b) +
+                 " has live slots");
+    }
+    if (bm_.totalValid() != total_live)
+        fail("total valid mismatch");
+}
+
+std::vector<std::pair<Lpn, SlotId>>
+Ftl::scanOobMappings() const
+{
+    std::vector<std::pair<std::uint64_t, Ppn>> ordered;
+    for (Ppn p = 0; p < pageSeq_.size(); ++p) {
+        if (pageSeq_[p] != 0 && nand_.isProgrammed(p))
+            ordered.push_back({pageSeq_[p], p});
+    }
+    std::sort(ordered.begin(), ordered.end());
+    std::unordered_map<Lpn, SlotId> rebuilt;
+    for (const auto &[seq, ppn] : ordered) {
+        const PageContent &content = nand_.peek(ppn);
+        for (std::uint32_t s = 0;
+             s < content.oob.size() && s < slotsPerPage_; ++s) {
+            const OobEntry &e = content.oob[s];
+            if (e.lpn == kInvalidAddr)
+                continue;
+            rebuilt[e.lpn] = slotOf(ppn, s);
+        }
+    }
+    std::vector<std::pair<Lpn, SlotId>> out(rebuilt.begin(),
+                                            rebuilt.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace checkin

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FTL configuration parameters.
+ */
+
+#ifndef CHECKIN_FTL_FTL_CONFIG_H_
+#define CHECKIN_FTL_FTL_CONFIG_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+/**
+ * Sub-page-mapping FTL parameters.
+ *
+ * The mapping unit is the paper's central sensitivity knob
+ * (Fig 13): 512 B (default, matches the host sector) up to the full
+ * 4 KiB physical page.
+ */
+struct FtlConfig
+{
+    /** Mapping unit in bytes; must divide the physical page size. */
+    std::uint32_t mappingUnitBytes = 512;
+
+    /**
+     * Fraction of raw capacity exported as logical space; the rest is
+     * over-provisioning for GC headroom.
+     */
+    double exportedRatio = 0.88;
+
+    /** Start stealing blocks via GC below this many free blocks. */
+    std::uint32_t gcLowWaterBlocks = 6;
+    /** Inline GC stops once this many blocks are free. */
+    std::uint32_t gcHighWaterBlocks = 10;
+    /** Background (idle) GC aims for this many free blocks. */
+    std::uint32_t gcBackgroundBlocks = 16;
+
+    /**
+     * Static wear leveling: relocate the coldest closed block when
+     * the erase-count spread (max - min over closed blocks) exceeds
+     * this threshold. 0 disables static wear leveling.
+     */
+    std::uint32_t wearLevelThreshold = 40;
+
+    /**
+     * Device DRAM data cache (Table I: 64 MiB). Recently programmed
+     * or fetched pages are served from DRAM instead of flash; this is
+     * what makes checkpoint-time journal gathers cheap when the
+     * journal working set fits.
+     */
+    std::uint64_t dataCacheBytes = 64 * kMiB;
+
+    /** Bytes of one mapping-table entry when persisted. */
+    std::uint32_t mapEntryBytes = 8;
+
+    /**
+     * Map-cache capacity in bytes. When the mapping table exceeds
+     * this, LPN lookups can miss and pay a map-page fetch from flash
+     * (the metadata-processing pressure behind the paper's Fig 13a).
+     * 0 = the whole table is DRAM resident (no misses; default —
+     * accurate for this repo's scaled-down devices).
+     */
+    std::uint64_t mapCacheBytes = 0;
+    /** Mapping entries fetched per map-page miss (batch fill). */
+    std::uint32_t mapEntriesPerFetch = 512;
+    /**
+     * Dirty mapping bytes accumulated before the table is flushed to
+     * flash (paper §III-D: updates are batched, SPOR-protected).
+     */
+    std::uint64_t mapFlushThresholdBytes = 4096;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_FTL_FTL_CONFIG_H_

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared FTL-level types: I/O causes, streams, slot addressing.
+ */
+
+#ifndef CHECKIN_FTL_FTL_TYPES_H_
+#define CHECKIN_FTL_FTL_TYPES_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+/** Flat sub-page slot identifier: ppn * slotsPerPage + slotIndex. */
+using SlotId = std::uint64_t;
+
+/**
+ * Why an I/O happened. Used to attribute flash operations so the
+ * benches can separate checkpoint-induced (redundant) writes from
+ * query/journal traffic (paper Fig 8).
+ */
+enum class IoCause : std::uint8_t
+{
+    Query,      //!< data-area access on behalf of a client query
+    Journal,    //!< journal-area log write / read
+    Checkpoint, //!< checkpoint copy or remap traffic
+    Metadata,   //!< engine metadata (superblock, checkpoint record)
+    Gc,         //!< garbage-collection migration
+    MapFlush,   //!< FTL mapping-table persistence
+};
+
+/** Human-readable cause name for stats keys. */
+const char *ioCauseName(IoCause cause);
+
+/** Write streams: each keeps its own active block + open page. */
+enum class Stream : std::uint8_t
+{
+    Data = 0,   //!< host data-area writes
+    Journal,    //!< host journal-area writes
+    Gc,         //!< GC migration destination
+    Map,        //!< mapping-table flush pages
+    kCount,
+};
+
+inline constexpr std::uint32_t kStreamCount =
+    static_cast<std::uint32_t>(Stream::kCount);
+
+} // namespace checkin
+
+#endif // CHECKIN_FTL_FTL_TYPES_H_

@@ -1,0 +1,46 @@
+#include "harness/config_dump.h"
+
+#include <sstream>
+
+namespace checkin {
+
+std::string
+describeConfig(const ExperimentConfig &cfg)
+{
+    std::ostringstream os;
+    const NandConfig &n = cfg.nand;
+    os << "Simulated machine configuration (Table I equivalents)\n";
+    os << "  DBMS   mode " << checkpointModeName(cfg.engine.mode)
+       << ", " << cfg.engine.recordCount << " records, workload "
+       << cfg.workload.name << " ("
+       << distributionName(cfg.workload.distribution) << "), "
+       << cfg.threads << " threads\n";
+    os << "         checkpoint every "
+       << cfg.engine.checkpointInterval / kMsec << " ms or "
+       << cfg.engine.checkpointJournalBytes / kMiB
+       << " MiB of logs; journal halves "
+       << cfg.engine.journalHalfBytes / kMiB << " MiB\n";
+    os << "  Host   " << cfg.engine.hostCpuPerQuery / kUsec
+       << " us/query CPU, PCIe "
+       << double(cfg.ssd.busBytesPerSec) / 1e9 << " GB/s, "
+       << cfg.ssd.commandOverhead / kUsec << " us/cmd firmware, QD "
+       << cfg.ssd.queueDepth << "\n";
+    os << "  SSD    " << n.channels << " ch x " << n.diesPerChannel
+       << " die x " << n.planesPerDie << " plane, "
+       << n.blocksPerPlane << " blk/plane, " << n.pagesPerBlock
+       << " pg/blk, " << n.pageBytes << " B pages ("
+       << n.totalBytes() / kMiB << " MiB raw)\n";
+    os << "         tR " << n.readLatency / kUsec << " us, tPROG "
+       << n.programLatency / kUsec << " us, tBERS "
+       << n.eraseLatency / kMsec << " ms, channel "
+       << double(n.channelBytesPerSec) / 1e6 << " MB/s, P/E max "
+       << n.maxPeCycles << "\n";
+    os << "  FTL    mapping unit " << cfg.resolvedMappingUnit()
+       << " B, exported " << cfg.ftl.exportedRatio * 100
+       << " %, data cache " << cfg.ftl.dataCacheBytes / kMiB
+       << " MiB, small-copy buffer "
+       << cfg.ssd.smallBufferSectors << " sectors\n";
+    return os.str();
+}
+
+} // namespace checkin

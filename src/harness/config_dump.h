@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Table I reproduction: render an ExperimentConfig as the paper's
+ * "Simulated Machine Configuration" table.
+ */
+
+#ifndef CHECKIN_HARNESS_CONFIG_DUMP_H_
+#define CHECKIN_HARNESS_CONFIG_DUMP_H_
+
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace checkin {
+
+/** Multi-line human-readable configuration summary (Table I). */
+std::string describeConfig(const ExperimentConfig &cfg);
+
+} // namespace checkin
+
+#endif // CHECKIN_HARNESS_CONFIG_DUMP_H_

@@ -1,0 +1,181 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "engine/kv_engine.h"
+#include "sim/event_queue.h"
+#include "ssd/ssd.h"
+
+namespace checkin {
+
+std::uint32_t
+ExperimentConfig::resolvedMappingUnit() const
+{
+    if (mappingUnitOverride != 0)
+        return mappingUnitOverride;
+    switch (engine.mode) {
+      case CheckpointMode::Baseline:
+      case CheckpointMode::IscA:
+      case CheckpointMode::IscB:
+        // Conventional page-granularity mapping.
+        return nand.pageBytes;
+      case CheckpointMode::IscC:
+      case CheckpointMode::CheckIn:
+        // The paper's modified sub-page mapping (host sector size).
+        return 512;
+    }
+    return 512;
+}
+
+ExperimentConfig
+ExperimentConfig::smallScale()
+{
+    ExperimentConfig c;
+    c.nand.channels = 4;
+    c.nand.diesPerChannel = 2;
+    c.nand.blocksPerPlane = 64;
+    c.nand.pagesPerBlock = 64;
+    // 4 * 2 * 64 * 64 * 4 KiB = 128 MiB raw. The DRAM data cache is
+    // scaled with the device (Table I's 64 MiB : TB-class device).
+    c.ftl.dataCacheBytes = 4 * kMiB;
+    c.engine.recordCount = 4000;
+    c.engine.maxValueBytes = 4096;
+    c.engine.journalHalfBytes = 8 * kMiB;
+    c.engine.checkpointJournalBytes = 2 * kMiB;
+    c.engine.checkpointInterval = 25 * kMsec;
+    c.workload.operationCount = 20'000;
+    c.threads = 32;
+    return c;
+}
+
+namespace {
+
+/** Snapshot every stat registry into one prefixed map. */
+std::map<std::string, std::uint64_t>
+collectStats(const Ssd &ssd, const KvEngine &engine)
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[k, v] : ssd.nand().stats().all())
+        out[k] = v;
+    for (const auto &[k, v] : ssd.ftl().stats().all())
+        out[k] = v;
+    for (const auto &[k, v] : ssd.stats().all())
+        out[k] = v;
+    for (const auto &[k, v] : engine.stats().all())
+        out[k] = v;
+    return out;
+}
+
+std::uint64_t
+delta(const std::map<std::string, std::uint64_t> &after,
+      const std::map<std::string, std::uint64_t> &before,
+      const std::string &key)
+{
+    const auto a = after.find(key);
+    if (a == after.end())
+        return 0;
+    const auto b = before.find(key);
+    const std::uint64_t base = b == before.end() ? 0 : b->second;
+    return a->second - base;
+}
+
+} // namespace
+
+RunResult
+runExperiment(const ExperimentConfig &cfg)
+{
+    EventQueue eq;
+    FtlConfig ftl_cfg = cfg.ftl;
+    ftl_cfg.mappingUnitBytes = cfg.resolvedMappingUnit();
+    Ssd ssd(eq, cfg.nand, ftl_cfg, cfg.ssd);
+    KvEngine engine(eq, ssd, cfg.engine);
+
+    WorkloadGenerator sizer(cfg.workload, cfg.engine.recordCount);
+    engine.load([&sizer](std::uint64_t key) {
+        return sizer.initialSize(key);
+    });
+
+    // Let the load drain so run-time latencies start from an idle
+    // device, then snapshot stats so results exclude the load.
+    eq.schedule(ssd.quiesceTick(), [] {});
+    eq.run();
+    const auto before = collectStats(ssd, engine);
+    const std::uint64_t ckpt_before =
+        engine.checkpointDurations().size();
+
+    ClientPool pool(eq, engine, cfg.workload, cfg.threads);
+    engine.start();
+    pool.start();
+    while (!pool.done()) {
+        if (!eq.step())
+            throw std::logic_error(
+                "experiment deadlock: event queue drained before "
+                "the workload finished");
+    }
+    // Let an in-flight checkpoint finish so its cost is attributed.
+    while (engine.checkpointInProgress() && eq.step()) {
+    }
+
+    // Full-store content check: every committed key must read back
+    // its exact chunk tokens wherever it currently lives.
+    engine.verifyAllKeys();
+
+    RunResult r;
+    r.client = pool.stats();
+    r.simSpan = r.client.span();
+    r.throughputOps = r.client.opsPerSec();
+    r.avgLatencyUs = r.client.all.mean() / double(kUsec);
+
+    const auto &durations = engine.checkpointDurations();
+    r.checkpoints = durations.size() - ckpt_before;
+    Tick total = 0;
+    Tick worst = 0;
+    for (std::size_t i = ckpt_before; i < durations.size(); ++i) {
+        total += durations[i];
+        worst = std::max(worst, durations[i]);
+    }
+    if (r.checkpoints > 0) {
+        r.avgCheckpointMs =
+            double(total) / double(r.checkpoints) / double(kMsec);
+    }
+    r.maxCheckpointMs = double(worst) / double(kMsec);
+
+    const auto after = collectStats(ssd, engine);
+    r.raw = after;
+    r.nandReads = delta(after, before, "nand.reads");
+    r.nandPrograms = delta(after, before, "nand.programs");
+    r.nandErases = delta(after, before, "nand.erases");
+    r.gcInvocations = delta(after, before, "gc.invocations");
+    r.gcMigratedSlots = delta(after, before, "gc.migratedSlots");
+    r.remaps = delta(after, before, "ftl.remaps");
+    r.redundantSlotWrites =
+        delta(after, before, "ftl.slotWrites.checkpoint");
+    r.redundantBytes =
+        r.redundantSlotWrites * ftl_cfg.mappingUnitBytes;
+    r.invalidatedSlots =
+        delta(after, before, "ftl.invalidatedSlots");
+    r.journalPayloadBytes =
+        delta(after, before, "engine.journalPayloadBytes");
+    r.journalChunksStored =
+        delta(after, before, "engine.journalChunksStored");
+    r.journalStalls = delta(after, before, "engine.journalStalls");
+    r.mergedUnits = delta(after, before, "engine.mergedUnits");
+    r.ckptLogsSeen = delta(after, before, "engine.ckptLogsSeen");
+    r.ckptLatestEntries =
+        delta(after, before, "engine.ckptLatestEntries");
+    r.hostWriteSectors =
+        delta(after, before, "ftl.hostWriteSectors");
+    r.hostReadSectors = delta(after, before, "ftl.hostReadSectors");
+    r.ckptDataTicks = delta(after, before, "engine.ckptDataTicks");
+    r.ckptMetaTicks = delta(after, before, "engine.ckptMetaTicks");
+    r.ckptDeleteTicks =
+        delta(after, before, "engine.ckptDeleteTicks");
+    if (r.journalPayloadBytes > 0) {
+        r.waf = double(r.nandPrograms) * cfg.nand.pageBytes /
+                double(r.journalPayloadBytes);
+    }
+    return r;
+}
+
+} // namespace checkin

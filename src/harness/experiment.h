@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Experiment harness: builds the full simulated system (clients ->
+ * engine -> SSD -> FTL -> NAND), runs a workload, and collects the
+ * metrics the paper's figures report.
+ */
+
+#ifndef CHECKIN_HARNESS_EXPERIMENT_H_
+#define CHECKIN_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "engine/engine_config.h"
+#include "ftl/ftl_config.h"
+#include "nand/nand_config.h"
+#include "sim/histogram.h"
+#include "ssd/ssd_config.h"
+#include "workload/client.h"
+#include "workload/ycsb.h"
+
+namespace checkin {
+
+/** Everything needed to run one experiment point. */
+struct ExperimentConfig
+{
+    NandConfig nand;
+    FtlConfig ftl;
+    SsdConfig ssd;
+    EngineConfig engine;
+    WorkloadSpec workload;
+    std::uint32_t threads = 32;
+
+    /**
+     * When nonzero, overrides the mapping unit. Otherwise the paper's
+     * pairing applies: Baseline/ISC-A/ISC-B run on conventional
+     * page-granularity mapping (the physical page size); ISC-C and
+     * Check-In use the modified 512 B sub-page mapping.
+     */
+    std::uint32_t mappingUnitOverride = 0;
+
+    /** Resolve the mapping unit for the configured mode. */
+    std::uint32_t resolvedMappingUnit() const;
+
+    /** A small configuration preset sized for fast simulation. */
+    static ExperimentConfig smallScale();
+};
+
+/** Metrics of one experiment run (deltas exclude the initial load). */
+struct RunResult
+{
+    // Client-side metrics.
+    ClientStats client;
+    double throughputOps = 0.0; //!< ops per simulated second
+    double avgLatencyUs = 0.0;
+    Tick simSpan = 0;
+
+    // Checkpoint metrics.
+    std::uint64_t checkpoints = 0;
+    double avgCheckpointMs = 0.0;
+    double maxCheckpointMs = 0.0;
+    /** Phase breakdown totals (ticks, post-load deltas). */
+    std::uint64_t ckptDataTicks = 0;
+    std::uint64_t ckptMetaTicks = 0;
+    std::uint64_t ckptDeleteTicks = 0;
+
+    /** Flash write-amplification factor: flash bytes programmed per
+     *  host byte written (post-load). */
+    double waf = 0.0;
+
+    // Flash metrics (post-load deltas).
+    std::uint64_t nandReads = 0;
+    std::uint64_t nandPrograms = 0;
+    std::uint64_t nandErases = 0;
+    std::uint64_t gcInvocations = 0;
+    std::uint64_t gcMigratedSlots = 0;
+    std::uint64_t remaps = 0;
+    /** Checkpoint-caused slot writes (the paper's redundant writes). */
+    std::uint64_t redundantSlotWrites = 0;
+    /** Same, in bytes (slot writes x mapping unit). */
+    std::uint64_t redundantBytes = 0;
+    std::uint64_t invalidatedSlots = 0;
+
+    // Journal metrics.
+    std::uint64_t journalPayloadBytes = 0;
+    std::uint64_t journalChunksStored = 0;
+    std::uint64_t journalStalls = 0;
+    std::uint64_t mergedUnits = 0;
+    std::uint64_t ckptLogsSeen = 0;
+    std::uint64_t ckptLatestEntries = 0;
+
+    // Host I/O issued to the device (post-load deltas).
+    std::uint64_t hostWriteSectors = 0;
+    std::uint64_t hostReadSectors = 0;
+
+    /** Full merged stat dump for ad-hoc inspection. */
+    std::map<std::string, std::uint64_t> raw;
+
+    /** Space overhead: stored journal bytes / payload bytes - 1. */
+    double
+    journalSpaceOverhead() const
+    {
+        if (journalPayloadBytes == 0)
+            return 0.0;
+        return double(journalChunksStored) * 128.0 /
+                   double(journalPayloadBytes) -
+               1.0;
+    }
+};
+
+/** Run one experiment point to completion. */
+RunResult runExperiment(const ExperimentConfig &cfg);
+
+} // namespace checkin
+
+#endif // CHECKIN_HARNESS_EXPERIMENT_H_

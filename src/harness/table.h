@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table printer for bench output.
+ */
+
+#ifndef CHECKIN_HARNESS_TABLE_H_
+#define CHECKIN_HARNESS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace checkin {
+
+/** Collects rows of strings and renders them column-aligned. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a header underline. */
+    std::string render() const;
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string num(std::uint64_t v);
+    static std::string percent(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_HARNESS_TABLE_H_

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * NAND flash array geometry and timing parameters.
+ */
+
+#ifndef CHECKIN_NAND_NAND_CONFIG_H_
+#define CHECKIN_NAND_NAND_CONFIG_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+/**
+ * Geometry and timing of the simulated flash array.
+ *
+ * Defaults follow DESIGN.md §6 (Table I equivalents): a 4-channel,
+ * 2-die MLC device with datasheet-typical latencies.
+ */
+struct NandConfig
+{
+    /** Independent channels (buses) to flash packages. */
+    std::uint32_t channels = 4;
+    /** Dies per channel; each die is an independent timing unit. */
+    std::uint32_t diesPerChannel = 2;
+    /** Planes per die; adds capacity (plane pairing not modeled). */
+    std::uint32_t planesPerDie = 1;
+    /** Erase blocks per plane. */
+    std::uint32_t blocksPerPlane = 128;
+    /** Pages per erase block. */
+    std::uint32_t pagesPerBlock = 128;
+    /** Physical page size in bytes. */
+    std::uint32_t pageBytes = 4096;
+
+    /** Page read (tR). */
+    Tick readLatency = 50 * kUsec;
+    /** Page program (tPROG). */
+    Tick programLatency = 600 * kUsec;
+    /** Block erase (tBERS). */
+    Tick eraseLatency = 3 * kMsec;
+    /** Channel bandwidth in bytes per second (ONFI-class). */
+    std::uint64_t channelBytesPerSec = 400'000'000;
+
+    /** Rated program/erase cycles per block. */
+    std::uint32_t maxPeCycles = 3000;
+
+    std::uint32_t
+    dieCount() const
+    {
+        return channels * diesPerChannel;
+    }
+
+    std::uint32_t
+    blocksPerDie() const
+    {
+        return planesPerDie * blocksPerPlane;
+    }
+
+    std::uint64_t
+    totalBlocks() const
+    {
+        return std::uint64_t(dieCount()) * blocksPerDie();
+    }
+
+    std::uint64_t
+    totalPages() const
+    {
+        return totalBlocks() * pagesPerBlock;
+    }
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return totalPages() * pageBytes;
+    }
+
+    /** Time to move one page across a channel. */
+    Tick
+    pageTransferTime() const
+    {
+        return Tick(std::uint64_t(pageBytes) * kSec /
+                    channelBytesPerSec);
+    }
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_NAND_NAND_CONFIG_H_

@@ -1,0 +1,147 @@
+#include "nand/nand_flash.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace checkin {
+
+NandFlash::NandFlash(const NandConfig &cfg)
+    : cfg_(cfg),
+      layout_(cfg),
+      blocks_(cfg.totalBlocks()),
+      pages_(cfg.totalPages())
+{
+    dies_.reserve(cfg_.dieCount());
+    for (std::uint32_t d = 0; d < cfg_.dieCount(); ++d)
+        dies_.emplace_back("die" + std::to_string(d));
+    channels_.reserve(cfg_.channels);
+    for (std::uint32_t c = 0; c < cfg_.channels; ++c)
+        channels_.emplace_back("ch" + std::to_string(c));
+}
+
+Resource &
+NandFlash::dieOf(Ppn ppn)
+{
+    return dies_[layout_.dieIndexOf(ppn)];
+}
+
+Resource &
+NandFlash::channelOf(Ppn ppn)
+{
+    return channels_[layout_.channelIndexOf(ppn)];
+}
+
+Tick
+NandFlash::read(Ppn ppn, Tick earliest)
+{
+    assert(ppn < pages_.size());
+    stats_.add("nand.reads");
+    // Array sensing occupies the die, then the data crosses the
+    // channel. The channel reservation can only start once sensing is
+    // done.
+    const Tick sensed = dieOf(ppn).reserve(earliest, cfg_.readLatency);
+    return channelOf(ppn).reserve(sensed, cfg_.pageTransferTime());
+}
+
+Tick
+NandFlash::program(Ppn ppn, PageContent content, Tick earliest)
+{
+    assert(ppn < pages_.size());
+    const Pbn pbn = ppn / cfg_.pagesPerBlock;
+    const std::uint32_t page = std::uint32_t(ppn % cfg_.pagesPerBlock);
+    Block &blk = blocks_[pbn];
+    if (page != blk.nextPage) {
+        throw std::logic_error(
+            "NAND program order violation: block " +
+            std::to_string(pbn) + " expects page " +
+            std::to_string(blk.nextPage) + ", got " +
+            std::to_string(page));
+    }
+    blk.nextPage = page + 1;
+    pages_[ppn] = std::move(content);
+    stats_.add("nand.programs");
+    // Data crosses the channel first, then the cell program occupies
+    // the die.
+    const Tick loaded =
+        channelOf(ppn).reserve(earliest, cfg_.pageTransferTime());
+    return dieOf(ppn).reserve(loaded, cfg_.programLatency);
+}
+
+Tick
+NandFlash::chargeAuxRead(std::uint32_t die_index, Tick earliest)
+{
+    assert(die_index < dies_.size());
+    stats_.add("nand.auxReads");
+    const Tick sensed =
+        dies_[die_index].reserve(earliest, cfg_.readLatency);
+    return channels_[die_index / cfg_.diesPerChannel].reserve(
+        sensed, cfg_.pageTransferTime());
+}
+
+Tick
+NandFlash::eraseBlock(Pbn pbn, Tick earliest)
+{
+    assert(pbn < blocks_.size());
+    Block &blk = blocks_[pbn];
+    const Ppn first = layout_.firstPpnOfBlock(pbn);
+    for (std::uint32_t p = 0; p < blk.nextPage; ++p)
+        pages_[first + p] = PageContent{};
+    blk.nextPage = 0;
+    ++blk.eraseCount;
+    ++totalErases_;
+    stats_.add("nand.erases");
+    return dieOf(first).reserve(earliest, cfg_.eraseLatency);
+}
+
+bool
+NandFlash::isProgrammed(Ppn ppn) const
+{
+    const Pbn pbn = ppn / cfg_.pagesPerBlock;
+    const std::uint32_t page = std::uint32_t(ppn % cfg_.pagesPerBlock);
+    return page < blocks_[pbn].nextPage;
+}
+
+std::uint32_t
+NandFlash::nextProgramPage(Pbn pbn) const
+{
+    assert(pbn < blocks_.size());
+    return blocks_[pbn].nextPage;
+}
+
+const PageContent &
+NandFlash::peek(Ppn ppn) const
+{
+    assert(ppn < pages_.size());
+    return pages_[ppn];
+}
+
+std::uint32_t
+NandFlash::eraseCount(Pbn pbn) const
+{
+    assert(pbn < blocks_.size());
+    return blocks_[pbn].eraseCount;
+}
+
+std::uint32_t
+NandFlash::maxEraseCount() const
+{
+    std::uint32_t m = 0;
+    for (const Block &b : blocks_)
+        m = std::max(m, b.eraseCount);
+    return m;
+}
+
+Tick
+NandFlash::allIdleAt() const
+{
+    Tick t = 0;
+    for (const Resource &d : dies_)
+        t = std::max(t, d.freeAt());
+    for (const Resource &c : channels_)
+        t = std::max(t, c.freeAt());
+    return t;
+}
+
+} // namespace checkin

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Functional + timing model of a NAND flash array.
+ *
+ * The array stores per-slot content tokens and OOB metadata so the
+ * whole stack is end-to-end verifiable, enforces flash programming
+ * rules (erase-before-program, in-order page programming within a
+ * block), and charges die/channel time for every operation.
+ */
+
+#ifndef CHECKIN_NAND_NAND_FLASH_H_
+#define CHECKIN_NAND_NAND_FLASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nand/nand_config.h"
+#include "nand/nand_types.h"
+#include "sim/resource.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace checkin {
+
+/**
+ * The flash array. All addresses are flat PPNs/PBNs (see NandLayout).
+ *
+ * Timing contract: every operation takes the earliest tick the caller
+ * could issue it and returns the completion tick, reserving die and
+ * channel time in between. Contention therefore appears as later
+ * completion ticks, never as failures.
+ */
+class NandFlash
+{
+  public:
+    explicit NandFlash(const NandConfig &cfg);
+
+    const NandConfig &config() const { return cfg_; }
+    const NandLayout &layout() const { return layout_; }
+
+    /**
+     * Read a page.
+     * @param ppn page to read.
+     * @param earliest earliest issue tick.
+     * @return completion tick (data available at host side of channel).
+     */
+    Tick read(Ppn ppn, Tick earliest);
+
+    /**
+     * Program a page. The page must be erased and must be the next
+     * unprogrammed page of its block (NAND in-order rule).
+     * @param content slot tokens + OOB to persist.
+     * @return completion tick.
+     */
+    Tick program(Ppn ppn, PageContent content, Tick earliest);
+
+    /**
+     * Erase a block.
+     * @return completion tick.
+     */
+    Tick eraseBlock(Pbn pbn, Tick earliest);
+
+    /**
+     * Charge the timing of an auxiliary page read on @p die_index
+     * (e.g., a mapping-table page fetch) without touching any
+     * functional page state.
+     * @return completion tick.
+     */
+    Tick chargeAuxRead(std::uint32_t die_index, Tick earliest);
+
+    /** True if the page has been programmed since last erase. */
+    bool isProgrammed(Ppn ppn) const;
+
+    /** Next page index to program in @p pbn (== pagesPerBlock: full). */
+    std::uint32_t nextProgramPage(Pbn pbn) const;
+
+    /** Content of a programmed page (functional read, no timing). */
+    const PageContent &peek(Ppn ppn) const;
+
+    /** Erase count of a block. */
+    std::uint32_t eraseCount(Pbn pbn) const;
+
+    /** Sum of all block erase counts. */
+    std::uint64_t totalEraseCount() const { return totalErases_; }
+
+    /** Maximum erase count across blocks (wear skew metric). */
+    std::uint32_t maxEraseCount() const;
+
+    /** Operation counters: nand.reads / nand.programs / nand.erases. */
+    const StatRegistry &stats() const { return stats_; }
+
+    /** Earliest tick at which every die and channel is idle. */
+    Tick allIdleAt() const;
+
+  private:
+    struct Block
+    {
+        std::uint32_t nextPage = 0;
+        std::uint32_t eraseCount = 0;
+    };
+
+    Resource &dieOf(Ppn ppn);
+    Resource &channelOf(Ppn ppn);
+
+    NandConfig cfg_;
+    NandLayout layout_;
+    std::vector<Block> blocks_;
+    std::vector<PageContent> pages_;
+    std::vector<Resource> dies_;
+    std::vector<Resource> channels_;
+    StatRegistry stats_;
+    std::uint64_t totalErases_ = 0;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_NAND_NAND_FLASH_H_

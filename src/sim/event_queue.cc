@@ -1,0 +1,63 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace checkin {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    assert(cb && "null event callback");
+    if (when < now_)
+        when = now_;
+    events_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    if (events_.empty())
+        return kInvalidAddr;
+    return events_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top() returns const&; move via const_cast is the
+    // standard idiom for pop-with-move and is safe because the element
+    // is removed immediately afterwards.
+    Event ev = std::move(const_cast<Event &>(events_.top()));
+    events_.pop();
+    now_ = ev.when;
+    ++dispatched_;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run()
+{
+    std::uint64_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t n = 0;
+    while (!events_.empty() && events_.top().when <= limit) {
+        step();
+        ++n;
+    }
+    if (now_ < limit && events_.empty())
+        now_ = limit;
+    return n;
+}
+
+} // namespace checkin

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel.
+ *
+ * Events are arbitrary callbacks scheduled at absolute ticks. Ties are
+ * broken by insertion order so the simulation is fully deterministic.
+ */
+
+#ifndef CHECKIN_SIM_EVENT_QUEUE_H_
+#define CHECKIN_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * The queue owns the simulation clock: now() advances only when an
+ * event is dispatched. Scheduling in the past is a programming error
+ * and is clamped to now() with an assertion in debug builds.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p cb to run at absolute tick @p when (>= now()). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Tick of the next pending event; kInvalidAddr when empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Dispatch the next event, advancing the clock.
+     * @retval true an event ran; false when the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. Returns dispatched event count. */
+    std::uint64_t run();
+
+    /**
+     * Run until the queue drains or the clock passes @p limit.
+     * Events scheduled at exactly @p limit still run.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Total events dispatched since construction. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+    /**
+     * Drop every pending event without running it ("power cut").
+     * The clock keeps its current value; crash-recovery tests use
+     * this to abandon all in-flight host work.
+     */
+    void
+    clear()
+    {
+        while (!events_.empty())
+            events_.pop();
+    }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dispatched_ = 0;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,109 @@
+#include "sim/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace checkin {
+
+namespace {
+
+// 64 magnitudes x kSubBuckets sub-buckets covers the full uint64 range.
+constexpr std::size_t kMaxBuckets =
+    64 * LatencyHistogram::kSubBuckets;
+
+} // namespace
+
+LatencyHistogram::LatencyHistogram() : buckets_(kMaxBuckets, 0) {}
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return std::size_t(value);
+    const int magnitude = 63 - std::countl_zero(value);
+    const int shift = magnitude - kSubBucketBits;
+    const std::uint64_t sub = (value >> shift) - kSubBuckets;
+    return std::size_t((magnitude - kSubBucketBits + 1) * kSubBuckets +
+                       sub);
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperBound(std::size_t index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const std::size_t magnitude =
+        index / kSubBuckets + kSubBucketBits - 1;
+    const std::size_t sub = index % kSubBuckets + kSubBuckets;
+    const int shift = int(magnitude) - kSubBucketBits;
+    // Upper edge of the bucket: next bucket's lower bound minus one.
+    return ((std::uint64_t(sub) + 1) << shift) - 1;
+}
+
+void
+LatencyHistogram::record(std::uint64_t value)
+{
+    record(value, 1);
+}
+
+void
+LatencyHistogram::record(std::uint64_t value, std::uint64_t n)
+{
+    assert(n > 0);
+    buckets_[bucketIndex(value)] += n;
+    count_ += n;
+    sum_ += value * n;
+    max_ = std::max(max_, value);
+    min_ = std::min(min_, value);
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return count_ ? double(sum_) / double(count_) : 0.0;
+}
+
+std::uint64_t
+LatencyHistogram::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the sample at quantile q (1-based, ceil convention).
+    std::uint64_t rank = std::uint64_t(q * double(count_) + 0.5);
+    if (rank < 1)
+        rank = 1;
+    if (rank > count_)
+        rank = count_;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return std::min(bucketUpperBound(i), max_);
+    }
+    return max_;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+    min_ = ~std::uint64_t{0};
+}
+
+} // namespace checkin

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Busy-timeline resource model.
+ *
+ * A Resource represents a serially-occupied hardware unit (a flash
+ * die, a channel, a bus). Callers reserve the resource for a duration
+ * starting no earlier than a given tick; the reservation begins at
+ * max(earliest, resource free time) and the resource is busy until the
+ * reservation ends. This models queueing delay without explicit queue
+ * events, which is sufficient because all requesters learn their
+ * completion tick at submission time.
+ */
+
+#ifndef CHECKIN_SIM_RESOURCE_H_
+#define CHECKIN_SIM_RESOURCE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+/** One serially-shared hardware unit with a busy-until timeline. */
+class Resource
+{
+  public:
+    explicit Resource(std::string name = "resource")
+        : name_(std::move(name))
+    {
+    }
+
+    /** Earliest tick a new reservation could start. */
+    Tick freeAt() const { return freeAt_; }
+
+    /**
+     * Reserve the resource for @p duration, starting no earlier than
+     * @p earliest.
+     * @return the tick at which the reservation completes.
+     */
+    Tick
+    reserve(Tick earliest, Tick duration)
+    {
+        const Tick start = earliest > freeAt_ ? earliest : freeAt_;
+        freeAt_ = start + duration;
+        busyTicks_ += duration;
+        ++reservations_;
+        return freeAt_;
+    }
+
+    /** Total busy time accumulated. */
+    Tick busyTicks() const { return busyTicks_; }
+
+    /** Number of reservations made. */
+    std::uint64_t reservations() const { return reservations_; }
+
+    const std::string &name() const { return name_; }
+
+    /** True when the resource is idle at @p now. */
+    bool idleAt(Tick now) const { return freeAt_ <= now; }
+
+  private:
+    std::string name_;
+    Tick freeAt_ = 0;
+    Tick busyTicks_ = 0;
+    std::uint64_t reservations_ = 0;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_SIM_RESOURCE_H_

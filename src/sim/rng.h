@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Small deterministic PRNG (xoshiro256**) used across the simulator.
+ *
+ * std::mt19937_64 is avoided deliberately: its state is large and its
+ * distributions are not bit-reproducible across standard libraries,
+ * which would make golden-value tests fragile.
+ */
+
+#ifndef CHECKIN_SIM_RNG_H_
+#define CHECKIN_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace checkin {
+
+/** xoshiro256** by Blackman & Vigna; public-domain reference algorithm. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation would need
+        // 128-bit ops; modulo bias is < 2^-40 for our bounds (< 2^24)
+        // so a plain modulo is fine and simpler to reason about.
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/** Stateless 64-bit mix; used to derive content tokens. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace checkin
+
+#endif // CHECKIN_SIM_RNG_H_

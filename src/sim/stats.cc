@@ -1,0 +1,19 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace checkin {
+
+std::string
+StatRegistry::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_) {
+        if (!prefix.empty() && name.rfind(prefix, 0) != 0)
+            continue;
+        os << name << " = " << value << "\n";
+    }
+    return os.str();
+}
+
+} // namespace checkin

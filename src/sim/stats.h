@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Lightweight named-counter registry for simulation statistics.
+ *
+ * Modules register counters against a StatRegistry; the harness dumps
+ * them after a run. Counters are plain uint64s addressed by name so
+ * tests can assert on exact operation counts.
+ */
+
+#ifndef CHECKIN_SIM_STATS_H_
+#define CHECKIN_SIM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace checkin {
+
+/** Ordered map of named uint64 counters. */
+class StatRegistry
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero. */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Set counter @p name to @p value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Read counter @p name; zero when absent. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::uint64_t> &
+    all() const
+    {
+        return counters_;
+    }
+
+    /** Reset every counter to zero (names are kept). */
+    void
+    reset()
+    {
+        for (auto &kv : counters_)
+            kv.second = 0;
+    }
+
+    /** Render as "name = value" lines. */
+    std::string dump(const std::string &prefix = "") const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_SIM_STATS_H_

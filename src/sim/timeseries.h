@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fixed-interval time-series aggregator: bucketed means, maxima and
+ * counts of a sampled value over simulated time. Used to render
+ * latency timelines (e.g., query latency around checkpoints).
+ */
+
+#ifndef CHECKIN_SIM_TIMESERIES_H_
+#define CHECKIN_SIM_TIMESERIES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+/** Aggregates (tick, value) samples into fixed-width time buckets. */
+class TimeSeries
+{
+  public:
+    struct Bucket
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t max = 0;
+
+        double
+        mean() const
+        {
+            return count ? double(sum) / double(count) : 0.0;
+        }
+    };
+
+    /** @param interval bucket width in ticks (> 0). */
+    explicit TimeSeries(Tick interval) : interval_(interval) {}
+
+    /** Record @p value at time @p when. */
+    void
+    record(Tick when, std::uint64_t value)
+    {
+        const std::size_t idx = std::size_t(when / interval_);
+        if (idx >= buckets_.size())
+            buckets_.resize(idx + 1);
+        Bucket &b = buckets_[idx];
+        ++b.count;
+        b.sum += value;
+        b.max = std::max(b.max, value);
+    }
+
+    Tick interval() const { return interval_; }
+    const std::vector<Bucket> &buckets() const { return buckets_; }
+
+    /** First/last bucket indices holding samples (0,0 when empty). */
+    std::pair<std::size_t, std::size_t>
+    activeRange() const
+    {
+        std::size_t first = buckets_.size();
+        std::size_t last = 0;
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            if (buckets_[i].count == 0)
+                continue;
+            first = std::min(first, i);
+            last = i;
+        }
+        if (first == buckets_.size())
+            return {0, 0};
+        return {first, last};
+    }
+
+  private:
+    Tick interval_;
+    std::vector<Bucket> buckets_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_SIM_TIMESERIES_H_

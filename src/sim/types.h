@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental simulation-wide types and byte-size helpers.
+ */
+
+#ifndef CHECKIN_SIM_TYPES_H_
+#define CHECKIN_SIM_TYPES_H_
+
+#include <cstdint>
+
+namespace checkin {
+
+/** Simulated time in nanoseconds since simulation start. */
+using Tick = std::uint64_t;
+
+/** Logical block address in host-sector (512 B) units. */
+using Lba = std::uint64_t;
+
+/** Logical page number in FTL mapping units. */
+using Lpn = std::uint64_t;
+
+/** Physical page number (flattened flash geometry index). */
+using Ppn = std::uint64_t;
+
+/** Sentinel for "no address". */
+inline constexpr std::uint64_t kInvalidAddr = ~std::uint64_t{0};
+
+/** One host sector in bytes; the classic 512 B block-device unit. */
+inline constexpr std::uint64_t kSectorBytes = 512;
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** Ticks per common wall-clock units (1 tick == 1 ns). */
+inline constexpr Tick kNsec = 1;
+inline constexpr Tick kUsec = 1000 * kNsec;
+inline constexpr Tick kMsec = 1000 * kUsec;
+inline constexpr Tick kSec = 1000 * kMsec;
+
+/** Round @p value up to the next multiple of @p align (align > 0). */
+constexpr std::uint64_t
+alignUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) / align * align;
+}
+
+/** Round @p value down to a multiple of @p align (align > 0). */
+constexpr std::uint64_t
+alignDown(std::uint64_t value, std::uint64_t align)
+{
+    return value / align * align;
+}
+
+/** Ceiling division for unsigned integers. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace checkin
+
+#endif // CHECKIN_SIM_TYPES_H_

@@ -1,0 +1,229 @@
+#include "ssd/isce.h"
+
+#include <algorithm>
+
+namespace checkin {
+
+bool
+Isce::canRemap(const CowPair &pair) const
+{
+    if (pair.forceCopy || pair.srcChunkShift != 0)
+        return false;
+    const std::uint32_t spu = ftl_.sectorsPerUnit();
+    const std::uint32_t chunks_per_unit = spu * kChunksPerSector;
+    if (pair.src % spu != 0 || pair.dst % spu != 0 ||
+        pair.chunks % chunks_per_unit != 0) {
+        return false;
+    }
+    const Lpn first = pair.src / spu;
+    const Lpn units = pair.chunks / chunks_per_unit;
+    for (Lpn u = 0; u < units; ++u) {
+        if (!ftl_.isMapped(first + u))
+            return false;
+    }
+    return true;
+}
+
+Tick
+Isce::copyRecord(const CowPair &pair, Tick start)
+{
+    // Chunk-exact gather: read the source pages, extract the record's
+    // chunk run, and rewrite it at the destination (chunk 0 aligned).
+    const std::uint32_t src_sectors = pair.srcSectors();
+    const std::uint32_t dst_sectors = pair.dstSectors();
+    std::vector<SectorData> src_buf(src_sectors);
+    ftl_.peekSectors(pair.src, src_sectors, src_buf.data());
+    const Tick fetched =
+        ftl_.readSectors(pair.src, src_sectors, IoCause::Checkpoint,
+                         start);
+    std::vector<SectorData> dst_buf(dst_sectors);
+    for (std::uint32_t c = 0; c < pair.chunks; ++c) {
+        const std::uint32_t s = pair.srcChunkShift + c;
+        dst_buf[c / kChunksPerSector].chunks[c % kChunksPerSector] =
+            src_buf[s / kChunksPerSector].chunks[s % kChunksPerSector];
+    }
+    return ftl_.writeSectors(pair.dst, dst_sectors, dst_buf.data(),
+                             IoCause::Checkpoint, fetched,
+                             pair.version);
+}
+
+Tick
+Isce::bufferSmallRecord(const CowPair &pair, Tick start)
+{
+    // Gather the record's chunks from the journal into device DRAM.
+    const std::uint32_t src_sectors = pair.srcSectors();
+    std::vector<SectorData> src_buf(src_sectors);
+    ftl_.peekSectors(pair.src, src_sectors, src_buf.data());
+    // Sources may themselves sit in the buffer of a previous round
+    // (they do not: sources are journal LBAs, never buffered).
+    const Tick fetched = ftl_.readSectors(
+        pair.src, src_sectors, IoCause::Checkpoint, start);
+    const std::uint32_t dst_sectors = pair.dstSectors();
+    for (std::uint32_t s = 0; s < dst_sectors; ++s) {
+        SectorData out;
+        for (std::uint32_t c = 0; c < kChunksPerSector; ++c) {
+            const std::uint32_t idx = s * kChunksPerSector + c;
+            if (idx >= pair.chunks)
+                break;
+            const std::uint32_t pos = pair.srcChunkShift + idx;
+            out.chunks[c] = src_buf[pos / kChunksPerSector]
+                                .chunks[pos % kChunksPerSector];
+        }
+        // Replacing an existing entry elides the previous version's
+        // flash write entirely.
+        auto it = smallBuf_.find(pair.dst + s);
+        if (it != smallBuf_.end()) {
+            it->second = BufferedSector{out, pair.version};
+            stats_.add("isce.elidedSmallWrites");
+        } else {
+            smallBuf_.emplace(pair.dst + s,
+                              BufferedSector{out, pair.version});
+        }
+    }
+    stats_.add("isce.bufferedSmallRecords");
+    return fetched;
+}
+
+Tick
+Isce::flushSmallBuffer(Tick start)
+{
+    // Aggregate: coalesce contiguous sectors into single writes so a
+    // multi-sector record (or adjacent records) costs one pass
+    // through the FTL instead of per-sector read-modify-writes.
+    std::vector<Lba> lbas;
+    lbas.reserve(smallBuf_.size());
+    for (const auto &[lba, data] : smallBuf_)
+        lbas.push_back(lba);
+    std::sort(lbas.begin(), lbas.end());
+
+    Tick done = start;
+    std::size_t i = 0;
+    const std::uint32_t spu = ftl_.sectorsPerUnit();
+    while (i < lbas.size()) {
+        std::size_t j = i + 1;
+        while (j < lbas.size() && lbas[j] == lbas[j - 1] + 1)
+            ++j;
+        std::vector<SectorData> run;
+        run.reserve(j - i);
+        std::uint64_t run_version = 0;
+        for (std::size_t k = i; k < j; ++k) {
+            const BufferedSector &b = smallBuf_.at(lbas[k]);
+            run.push_back(b.data);
+            run_version = std::max(run_version, b.version);
+        }
+        // Per-unit OOB carries the buffered versions so a power-loss
+        // rebuild ranks these writes correctly against journal
+        // annotations.
+        const Lpn first_unit = lbas[i] / spu;
+        const std::uint64_t units =
+            (lbas[i] + run.size() - 1) / spu - first_unit + 1;
+        std::vector<OobEntry> unit_oob(units);
+        for (std::size_t k = i; k < j; ++k) {
+            const std::uint64_t u = lbas[k] / spu - first_unit;
+            unit_oob[u].version = std::max(
+                unit_oob[u].version, smallBuf_.at(lbas[k]).version);
+        }
+        done = std::max(
+            done, ftl_.writeSectors(lbas[i],
+                                    std::uint32_t(run.size()),
+                                    run.data(), IoCause::Checkpoint,
+                                    start, run_version,
+                                    unit_oob.data()));
+        i = j;
+    }
+    stats_.add("isce.smallBufferFlushes");
+    stats_.add("isce.flushedSmallSectors", smallBuf_.size());
+    smallBuf_.clear();
+    return done;
+}
+
+bool
+Isce::overlay(Lba lba, SectorData *out) const
+{
+    const auto it = smallBuf_.find(lba);
+    if (it == smallBuf_.end())
+        return false;
+    *out = it->second.data;
+    return true;
+}
+
+void
+Isce::invalidateRange(Lba lba, std::uint64_t nsect)
+{
+    if (smallBuf_.empty())
+        return;
+    // For large ranges (trims) iterating the buffer is cheaper.
+    if (nsect > smallBuf_.size() * 4) {
+        for (auto it = smallBuf_.begin(); it != smallBuf_.end();) {
+            if (it->first >= lba && it->first < lba + nsect)
+                it = smallBuf_.erase(it);
+            else
+                ++it;
+        }
+        return;
+    }
+    for (std::uint64_t s = 0; s < nsect; ++s)
+        smallBuf_.erase(lba + s);
+}
+
+Tick
+Isce::checkpoint(const std::vector<CowPair> &pairs, Tick start,
+                 bool remap_allowed)
+{
+    Tick done = start;
+    const std::uint32_t spu = ftl_.sectorsPerUnit();
+    const std::uint32_t chunks_per_unit = spu * kChunksPerSector;
+    for (const CowPair &pair : pairs) {
+        // Per-entry embedded-CPU decode/lookup time (Algorithm 1's
+        // JMT walk), serialized on the controller core.
+        const Tick t = cpu_.reserve(start, cfg_.remapEntryTime);
+        if (remap_allowed && canRemap(pair)) {
+            // Newer than anything buffered for this destination.
+            invalidateRange(pair.dst, pair.dstSectors());
+            const Lpn src0 = pair.src / spu;
+            const Lpn dst0 = pair.dst / spu;
+            const Lpn units = pair.chunks / chunks_per_unit;
+            Tick t_pair = t;
+            for (Lpn u = 0; u < units; ++u) {
+                t_pair = std::max(
+                    t_pair, ftl_.remapUnit(src0 + u, dst0 + u, t));
+            }
+            stats_.add("isce.remappedPairs");
+            stats_.add("isce.remappedUnits", units);
+            done = std::max(done, t_pair);
+        } else if (remap_allowed && pair.forceCopy &&
+                   cfg_.smallBufferSectors > 0 &&
+                   pair.chunks < chunks_per_unit) {
+            // PARTIAL/MERGED record flagged by a sector-aligning
+            // engine: defer through the small-copy buffer
+            // (paper §III-E). Unaligned raw records (ISC-C) take
+            // the immediate copy path below.
+            done = std::max(done, bufferSmallRecord(pair, t));
+        } else {
+            invalidateRange(pair.dst, pair.dstSectors());
+            done = std::max(done, copyRecord(pair, t));
+            stats_.add("isce.copiedPairs");
+            stats_.add("isce.copiedChunks", pair.chunks);
+        }
+    }
+    if (smallBuf_.size() >= cfg_.smallBufferSectors &&
+        cfg_.smallBufferSectors > 0) {
+        done = std::max(done, flushSmallBuffer(done));
+    }
+    return done;
+}
+
+std::uint32_t
+Isce::onLogsDeleted(Tick now)
+{
+    stats_.add("isce.logDeletions");
+    // The deallocator only steals the flash array for GC when it is
+    // idle (paper §III-F): under load the reclaim is deferred.
+    if (ftl_.nand().allIdleAt() > now)
+        return 0;
+    const std::uint32_t reclaimed = ftl_.runBackgroundGc(now);
+    stats_.add("isce.idleGcBlocks", reclaimed);
+    return reclaimed;
+}
+
+} // namespace checkin

@@ -1,0 +1,191 @@
+#include "ssd/ssd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace checkin {
+
+const char *
+cmdTypeName(CmdType type)
+{
+    switch (type) {
+      case CmdType::Read: return "read";
+      case CmdType::Write: return "write";
+      case CmdType::Trim: return "trim";
+      case CmdType::Flush: return "flush";
+      case CmdType::CowSingle: return "cowSingle";
+      case CmdType::CowMulti: return "cowMulti";
+      case CmdType::CheckpointRemap: return "checkpointRemap";
+      case CmdType::DeleteLogs: return "deleteLogs";
+    }
+    return "unknown";
+}
+
+Ssd::Ssd(EventQueue &eq, const NandConfig &nand_cfg,
+         const FtlConfig &ftl_cfg, const SsdConfig &ssd_cfg)
+    : eq_(eq),
+      cfg_(ssd_cfg),
+      nand_(nand_cfg),
+      ftl_(nand_, ftl_cfg),
+      isce_(ftl_, cpu_, cfg_, stats_)
+{
+    ftl_.setProgramObserver([this](Tick done) {
+        inflightPrograms_.insert(done);
+        // Bound the set: fully drained entries are useless.
+        while (inflightPrograms_.size() > 4 * cfg_.writeBufferPages)
+            inflightPrograms_.erase(inflightPrograms_.begin());
+    });
+}
+
+Tick
+Ssd::busTransfer(Tick earliest, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return earliest;
+    const Tick duration =
+        std::max<Tick>(1, bytes * kSec / cfg_.busBytesPerSec);
+    return bus_.reserve(earliest, duration);
+}
+
+Tick
+Ssd::applyWriteBackpressure(Tick ack)
+{
+    // Drop programs that have drained by the ack time.
+    while (!inflightPrograms_.empty() &&
+           *inflightPrograms_.begin() <= ack) {
+        inflightPrograms_.erase(inflightPrograms_.begin());
+    }
+    // If the buffer is over capacity, the ack waits for drains.
+    while (inflightPrograms_.size() >= cfg_.writeBufferPages) {
+        const Tick drain = *inflightPrograms_.begin();
+        inflightPrograms_.erase(inflightPrograms_.begin());
+        if (drain > ack) {
+            ack = drain;
+            stats_.add("ssd.writeStalls");
+        }
+    }
+    return ack;
+}
+
+Tick
+Ssd::admitCommand(Tick now)
+{
+    // Retire completions that have drained by now.
+    while (!inflightCommands_.empty() &&
+           *inflightCommands_.begin() <= now) {
+        inflightCommands_.erase(inflightCommands_.begin());
+    }
+    Tick admission = now;
+    while (inflightCommands_.size() >= cfg_.queueDepth) {
+        admission = std::max(admission, *inflightCommands_.begin());
+        inflightCommands_.erase(inflightCommands_.begin());
+        stats_.add("ssd.queueFullStalls");
+    }
+    return admission;
+}
+
+Tick
+Ssd::processCommand(const Command &cmd)
+{
+    stats_.add(std::string("ssd.cmd.") + cmdTypeName(cmd.type));
+    const Tick now = eq_.now();
+    Tick t = cpu_.reserve(admitCommand(now), cfg_.commandOverhead);
+    if (cmd.type == CmdType::Read || cmd.type == CmdType::Write) {
+        // Address translation cost scales with the mapping units the
+        // request spans (finer mapping -> more metadata processing).
+        const std::uint64_t units =
+            divCeil(cmd.nsect, ftl_.sectorsPerUnit());
+        t = cpu_.reserve(t, units * cfg_.perUnitCpuTime);
+    }
+
+    switch (cmd.type) {
+      case CmdType::Read: {
+        const Tick data_ready = ftl_.readSectors(
+            cmd.lba, std::uint32_t(cmd.nsect), cmd.cause, t);
+        // DRAM-buffered data still pays a small device-side access.
+        const Tick served =
+            data_ready == t ? t + cfg_.dramAccessTime : data_ready;
+        return busTransfer(served, cmd.nsect * kSectorBytes);
+      }
+      case CmdType::Write: {
+        assert(cmd.payload.size() == cmd.nsect);
+        // Host data supersedes any buffered checkpoint copies.
+        isce_.invalidateRange(cmd.lba, cmd.nsect);
+        const Tick landed =
+            busTransfer(t, cmd.nsect * kSectorBytes);
+        const Tick ack = ftl_.writeSectors(
+            cmd.lba, std::uint32_t(cmd.nsect), cmd.payload.data(),
+            cmd.cause, landed, cmd.version,
+            cmd.unitOob.empty() ? nullptr : cmd.unitOob.data());
+        return applyWriteBackpressure(ack);
+      }
+      case CmdType::Trim: {
+        isce_.invalidateRange(cmd.lba, cmd.nsect);
+        ftl_.trimSectors(cmd.lba, cmd.nsect);
+        return t;
+      }
+      case CmdType::Flush: {
+        // Writes are durable at ack (capacitor-backed buffer), so
+        // flush only costs the firmware round trip.
+        return t;
+      }
+      case CmdType::CowSingle:
+      case CmdType::CowMulti: {
+        const Tick decoded = busTransfer(
+            t, cmd.pairs.size() * cfg_.cowDescriptorBytes);
+        // Copy-only in-storage checkpointing (no remapping).
+        return isce_.checkpoint(cmd.pairs, decoded, false);
+      }
+      case CmdType::CheckpointRemap: {
+        const Tick decoded = busTransfer(
+            t, cmd.pairs.size() * cfg_.cowDescriptorBytes);
+        return isce_.checkpoint(cmd.pairs, decoded, true);
+      }
+      case CmdType::DeleteLogs: {
+        ftl_.trimSectors(cmd.lba, cmd.nsect);
+        isce_.onLogsDeleted(t);
+        return t;
+      }
+    }
+    return t;
+}
+
+void
+Ssd::submit(Command cmd, Completion cb)
+{
+    const Tick done = processCommand(cmd);
+    assert(done >= eq_.now());
+    inflightCommands_.insert(done);
+    eq_.schedule(done, [cb = std::move(cb), done] { cb(done); });
+}
+
+Tick
+Ssd::submitSync(const Command &cmd)
+{
+    const Tick done = processCommand(cmd);
+    inflightCommands_.insert(done);
+    return done;
+}
+
+void
+Ssd::idleTick()
+{
+    isce_.onLogsDeleted(eq_.now());
+}
+
+Ftl::RebuildReport
+Ssd::suddenPowerLoss()
+{
+    stats_.add("ssd.powerLosses");
+    // Capacitor-backed flush of volatile device state (SPOR).
+    isce_.flushSmallBuffer(eq_.now());
+    ftl_.flushOpenPages(eq_.now());
+    // Firmware RAM (map tables, queues, cache) is gone.
+    inflightPrograms_.clear();
+    inflightCommands_.clear();
+    return ftl_.rebuildFromPowerLoss();
+}
+
+} // namespace checkin

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The simulated SSD: host interface + controller + FTL + NAND.
+ *
+ * Commands are processed with timeline semantics — the device
+ * computes each command's completion tick from firmware, bus, and
+ * flash resource reservations — and the completion callback is
+ * delivered through the event queue at that tick, so hosts observe
+ * realistic queueing under contention.
+ */
+
+#ifndef CHECKIN_SSD_SSD_H_
+#define CHECKIN_SSD_SSD_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <set>
+
+#include "ftl/ftl.h"
+#include "ftl/ftl_config.h"
+#include "nand/nand_config.h"
+#include "nand/nand_flash.h"
+#include "sim/event_queue.h"
+#include "sim/resource.h"
+#include "sim/stats.h"
+#include "ssd/command.h"
+#include "ssd/isce.h"
+#include "ssd/ssd_config.h"
+
+namespace checkin {
+
+/** A complete Check-In-capable SSD. */
+class Ssd
+{
+  public:
+    /** Completion callback; receives the completion tick. */
+    using Completion = std::function<void(Tick)>;
+
+    Ssd(EventQueue &eq, const NandConfig &nand_cfg,
+        const FtlConfig &ftl_cfg, const SsdConfig &ssd_cfg);
+
+    /**
+     * Submit a command; @p cb fires through the event queue at the
+     * command's completion tick.
+     */
+    void submit(Command cmd, Completion cb);
+
+    /**
+     * Synchronous variant for tests and recovery paths: process the
+     * command immediately and return the completion tick.
+     */
+    Tick submitSync(const Command &cmd);
+
+    /**
+     * Functional sector read with no timing (verification and
+     * host-side read modeling). Content buffered in the ISCE's
+     * small-copy buffer overlays the flash state, exactly as a
+     * device read would serve it.
+     */
+    void
+    peek(Lba lba, std::uint32_t nsect, SectorData *out) const
+    {
+        ftl_.peekSectors(lba, nsect, out);
+        for (std::uint32_t i = 0; i < nsect; ++i)
+            isce_.overlay(lba + i, &out[i]);
+    }
+
+    Ftl &ftl() { return ftl_; }
+    const Ftl &ftl() const { return ftl_; }
+    NandFlash &nand() { return nand_; }
+    const NandFlash &nand() const { return nand_; }
+    Isce &isce() { return isce_; }
+    EventQueue &eventQueue() { return eq_; }
+    const SsdConfig &config() const { return cfg_; }
+
+    /** Front-end stats (commands, bus, backpressure stalls). */
+    const StatRegistry &stats() const { return stats_; }
+
+    /** Logical capacity in 512 B sectors. */
+    std::uint64_t capacitySectors() const
+    {
+        return ftl_.logicalSectors();
+    }
+
+    /** Give the deallocator an idle-time GC opportunity. */
+    void idleTick();
+
+    /**
+     * Sudden power loss with SPOR (paper §III-D, §III-G): the
+     * capacitors flush the device-side volatile state (small-copy
+     * buffer, open flash pages), then the firmware rebuilds its RAM
+     * mapping structures from the OOB area. After this returns, the
+     * device serves the exact pre-loss state without any host help.
+     */
+    Ftl::RebuildReport suddenPowerLoss();
+
+    /** Earliest tick at which every device resource is idle. */
+    Tick
+    quiesceTick() const
+    {
+        Tick t = nand_.allIdleAt();
+        t = std::max(t, bus_.freeAt());
+        return std::max(t, cpu_.freeAt());
+    }
+
+  private:
+    Tick processCommand(const Command &cmd);
+    Tick busTransfer(Tick earliest, std::uint64_t bytes);
+    Tick applyWriteBackpressure(Tick ack);
+    /** Queue-depth admission: tick at which the command may start. */
+    Tick admitCommand(Tick now);
+
+    EventQueue &eq_;
+    SsdConfig cfg_;
+    NandFlash nand_;
+    Ftl ftl_;
+    Resource bus_{"pcie"};
+    Resource cpu_{"ssd-cpu"};
+    StatRegistry stats_;
+    Isce isce_;
+    std::multiset<Tick> inflightPrograms_;
+    std::multiset<Tick> inflightCommands_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_SSD_SSD_H_

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SSD front-end configuration: interface, firmware, and buffering.
+ */
+
+#ifndef CHECKIN_SSD_SSD_CONFIG_H_
+#define CHECKIN_SSD_SSD_CONFIG_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+struct SsdConfig
+{
+    /** Host interface bandwidth (PCIe 3.0 x4 class). */
+    std::uint64_t busBytesPerSec = 3'200'000'000;
+
+    /** Firmware time to decode/complete one command. */
+    Tick commandOverhead = 2 * kUsec;
+
+    /**
+     * NVMe submission-queue depth: commands beyond this many
+     * outstanding wait for a completion before being admitted.
+     */
+    std::uint32_t queueDepth = 256;
+
+    /** Embedded-CPU time to process one checkpoint/CoW entry. */
+    Tick remapEntryTime = 500 * kNsec;
+
+    /**
+     * Embedded-CPU time per mapping unit touched by a host command
+     * (address translation + map-cache handling). Smaller mapping
+     * units mean more entries per request — the metadata-processing
+     * overhead behind the paper's Fig 13(a).
+     */
+    Tick perUnitCpuTime = 250 * kNsec;
+
+    /** Service time for a DRAM-buffered read hit. */
+    Tick dramAccessTime = 1 * kUsec;
+
+    /**
+     * Capacitor-backed write buffer capacity in flash pages. Writes
+     * ack from the buffer; when this many programs are in flight the
+     * ack stalls until one drains (backpressure).
+     */
+    std::uint32_t writeBufferPages = 32;
+
+    /** Bytes of one CoW descriptor on the wire. */
+    std::uint32_t cowDescriptorBytes = 16;
+
+    /**
+     * Capacity (in sectors) of the ISCE's capacitor-backed small-copy
+     * buffer for PARTIAL/MERGED checkpoint records (paper §III-E).
+     * Entries are elided when superseded and flushed aggregated once
+     * the buffer fills. 0 disables deferral (immediate copies).
+     */
+    std::uint32_t smallBufferSectors = 512;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_SSD_SSD_CONFIG_H_

@@ -1,0 +1,89 @@
+#include "workload/client.h"
+
+#include <algorithm>
+
+namespace checkin {
+
+ClientPool::ClientPool(EventQueue &eq, KvEngine &engine,
+                       const WorkloadSpec &spec,
+                       std::uint32_t threads)
+    : eq_(eq),
+      engine_(engine),
+      gen_(spec, engine.config().recordCount),
+      opTarget_(spec.operationCount),
+      threads_(threads)
+{
+}
+
+void
+ClientPool::start()
+{
+    started_ = true;
+    stats_.firstIssue = eq_.now();
+    for (std::uint32_t t = 0; t < threads_ && opsIssued_ < opTarget_;
+         ++t) {
+        issueNext();
+    }
+}
+
+void
+ClientPool::issueNext()
+{
+    if (opsIssued_ >= opTarget_)
+        return;
+    ++opsIssued_;
+    const WorkloadGenerator::Op op = gen_.next();
+    const Tick issued = eq_.now();
+    auto cb = [this, type = op.type,
+               issued](const QueryResult &res) {
+        record(type, issued, res);
+        issueNext();
+    };
+    switch (op.type) {
+      case WorkloadGenerator::OpType::Read:
+        engine_.get(op.key, std::move(cb));
+        break;
+      case WorkloadGenerator::OpType::Update:
+        engine_.update(op.key, op.valueBytes, std::move(cb));
+        break;
+      case WorkloadGenerator::OpType::Rmw:
+        engine_.readModifyWrite(op.key, op.valueBytes,
+                                std::move(cb));
+        break;
+      case WorkloadGenerator::OpType::Scan:
+        engine_.scan(op.key, op.scanLength, std::move(cb));
+        break;
+      case WorkloadGenerator::OpType::Delete:
+        engine_.erase(op.key, std::move(cb));
+        break;
+    }
+}
+
+void
+ClientPool::record(WorkloadGenerator::OpType type, Tick issued,
+                   const QueryResult &res)
+{
+    const Tick latency = res.done > issued ? res.done - issued : 0;
+    stats_.all.record(latency);
+    const bool is_read = type == WorkloadGenerator::OpType::Read ||
+                         type == WorkloadGenerator::OpType::Scan;
+    if (sampler_)
+        sampler_(issued, res.done, res.duringCheckpoint, is_read);
+    if (is_read)
+        stats_.reads.record(latency);
+    else
+        stats_.writes.record(latency);
+    if (res.duringCheckpoint) {
+        stats_.duringCheckpoint.record(latency);
+        if (is_read)
+            stats_.readsDuringCheckpoint.record(latency);
+        else
+            stats_.writesDuringCheckpoint.record(latency);
+    } else {
+        stats_.outsideCheckpoint.record(latency);
+    }
+    ++stats_.opsCompleted;
+    stats_.lastCompletion = std::max(stats_.lastCompletion, res.done);
+}
+
+} // namespace checkin

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Closed-loop client pool: N logical application threads, each
+ * keeping exactly one query outstanding against the engine (the
+ * paper's "number of threads" axis), with latency capture split by
+ * operation class and checkpoint overlap.
+ */
+
+#ifndef CHECKIN_WORKLOAD_CLIENT_H_
+#define CHECKIN_WORKLOAD_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "engine/kv_engine.h"
+#include "sim/event_queue.h"
+#include "sim/histogram.h"
+#include "workload/ycsb.h"
+
+namespace checkin {
+
+/** Latency and progress metrics of a client pool run. */
+struct ClientStats
+{
+    LatencyHistogram all;
+    LatencyHistogram reads;
+    LatencyHistogram writes; //!< updates + RMWs
+    LatencyHistogram duringCheckpoint;
+    LatencyHistogram readsDuringCheckpoint;
+    LatencyHistogram writesDuringCheckpoint;
+    LatencyHistogram outsideCheckpoint;
+    std::uint64_t opsCompleted = 0;
+    Tick firstIssue = 0;
+    Tick lastCompletion = 0;
+
+    /** Wall-clock span of the run in ticks. */
+    Tick
+    span() const
+    {
+        return lastCompletion > firstIssue
+                   ? lastCompletion - firstIssue
+                   : 0;
+    }
+
+    /** Throughput in operations per simulated second. */
+    double
+    opsPerSec() const
+    {
+        return span() == 0
+                   ? 0.0
+                   : double(opsCompleted) * double(kSec) /
+                         double(span());
+    }
+};
+
+/** Drives a WorkloadSpec against a KvEngine with closed-loop threads. */
+class ClientPool
+{
+  public:
+    ClientPool(EventQueue &eq, KvEngine &engine,
+               const WorkloadSpec &spec, std::uint32_t threads);
+
+    /** Launch all threads' first operations. */
+    void start();
+
+    /** True once every operation completed. */
+    bool done() const { return stats_.opsCompleted >= opTarget_; }
+
+    const ClientStats &stats() const { return stats_; }
+
+    /** Per-operation sample hook (timelines, custom collectors). */
+    using Sampler = std::function<void(Tick issued, Tick done,
+                                       bool during_checkpoint,
+                                       bool is_read)>;
+    void setSampler(Sampler s) { sampler_ = std::move(s); }
+
+  private:
+    void issueNext();
+    void record(WorkloadGenerator::OpType type, Tick issued,
+                const QueryResult &res);
+
+    EventQueue &eq_;
+    KvEngine &engine_;
+    WorkloadGenerator gen_;
+    std::uint64_t opTarget_;
+    std::uint64_t opsIssued_ = 0;
+    std::uint32_t threads_;
+    ClientStats stats_;
+    Sampler sampler_;
+    bool started_ = false;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_WORKLOAD_CLIENT_H_

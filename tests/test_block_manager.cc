@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for per-die block allocation, wear-aware free pools, and GC
+ * victim selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ftl/block_manager.h"
+
+namespace checkin {
+namespace {
+
+TEST(BlockManager, AllocatesAllBlocksOfADie)
+{
+    BlockManager bm(8, 16, 2); // 4 blocks per die
+    EXPECT_EQ(bm.freeBlocks(), 8u);
+    EXPECT_EQ(bm.freeBlocksOnDie(0), 4u);
+    for (int i = 0; i < 4; ++i) {
+        const Pbn b = bm.allocate(Stream::Data, 0);
+        ASSERT_NE(b, kInvalidAddr);
+        EXPECT_LT(b, 4u); // die 0 blocks are pbn 0..3
+        bm.closeActive(Stream::Data, 0);
+    }
+    EXPECT_EQ(bm.freeBlocksOnDie(0), 0u);
+    EXPECT_EQ(bm.allocate(Stream::Data, 0), kInvalidAddr);
+    // Die 1 still has blocks.
+    EXPECT_NE(bm.allocate(Stream::Data, 1), kInvalidAddr);
+}
+
+TEST(BlockManager, StreamsAndDiesAreIndependent)
+{
+    BlockManager bm(8, 16, 2);
+    const Pbn d0 = bm.allocate(Stream::Data, 0);
+    const Pbn d1 = bm.allocate(Stream::Data, 1);
+    const Pbn j0 = bm.allocate(Stream::Journal, 0);
+    EXPECT_NE(d0, d1);
+    EXPECT_NE(d0, j0);
+    EXPECT_EQ(bm.activeBlock(Stream::Data, 0), d0);
+    EXPECT_EQ(bm.activeBlock(Stream::Data, 1), d1);
+    EXPECT_EQ(bm.activeBlock(Stream::Journal, 0), j0);
+    EXPECT_EQ(bm.activeBlock(Stream::Gc, 0), kInvalidAddr);
+}
+
+TEST(BlockManager, WearLevelingPicksLeastWornPerDie)
+{
+    BlockManager bm(3, 16, 1);
+    Pbn blocks[3];
+    for (auto &block : blocks) {
+        block = bm.allocate(Stream::Data, 0);
+        bm.closeActive(Stream::Data, 0);
+    }
+    bm.release(blocks[0], 10);
+    bm.release(blocks[1], 2);
+    bm.release(blocks[2], 5);
+    EXPECT_EQ(bm.allocate(Stream::Data, 0), blocks[1]);
+    bm.closeActive(Stream::Data, 0);
+    EXPECT_EQ(bm.allocate(Stream::Journal, 0), blocks[2]);
+}
+
+TEST(BlockManager, ValidCountsAndGcVictim)
+{
+    BlockManager bm(3, 16, 1);
+    const Pbn a = bm.allocate(Stream::Data, 0);
+    bm.addValid(a, 10);
+    bm.closeActive(Stream::Data, 0);
+    const Pbn b = bm.allocate(Stream::Data, 0);
+    bm.addValid(b, 3);
+    bm.closeActive(Stream::Data, 0);
+    // The third block stays free; victims only come from CLOSED.
+    EXPECT_EQ(bm.pickGcVictim(), b);
+    bm.invalidate(a);
+    EXPECT_EQ(bm.validCount(a), 9u);
+    EXPECT_EQ(bm.totalValid(), 12u);
+}
+
+TEST(BlockManager, ActiveBlocksAreNotVictims)
+{
+    BlockManager bm(2, 16, 1);
+    const Pbn a = bm.allocate(Stream::Data, 0);
+    bm.addValid(a, 1);
+    EXPECT_EQ(bm.pickGcVictim(), kInvalidAddr);
+    bm.closeActive(Stream::Data, 0);
+    EXPECT_EQ(bm.pickGcVictim(), a);
+}
+
+TEST(BlockManager, ReleaseReturnsBlockToItsDie)
+{
+    BlockManager bm(4, 16, 2);
+    const Pbn a = bm.allocate(Stream::Data, 1);
+    EXPECT_GE(a, 2u); // die 1 blocks are pbn 2..3
+    bm.addValid(a, 2);
+    bm.closeActive(Stream::Data, 1);
+    bm.invalidate(a);
+    bm.invalidate(a);
+    bm.release(a, 1);
+    EXPECT_EQ(bm.freeBlocksOnDie(1), 2u);
+    EXPECT_EQ(bm.state(a), BlockManager::State::Free);
+}
+
+} // namespace
+} // namespace checkin

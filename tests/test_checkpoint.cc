@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Cross-strategy checkpoint tests: all five configurations must end
+ * with identical logical store contents; their flash-cost ordering
+ * must match the paper's (Baseline/ISC-A/ISC-B >> ISC-C > Check-In).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "engine/kv_engine.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "ssd/ssd.h"
+
+namespace checkin {
+namespace {
+
+NandConfig
+smallNand()
+{
+    NandConfig c;
+    c.channels = 2;
+    c.diesPerChannel = 2;
+    c.blocksPerPlane = 32;
+    c.pagesPerBlock = 32;
+    return c;
+}
+
+std::uint32_t
+unitFor(CheckpointMode mode)
+{
+    switch (mode) {
+      case CheckpointMode::Baseline:
+      case CheckpointMode::IscA:
+      case CheckpointMode::IscB:
+        return 4096;
+      default:
+        return 512;
+    }
+}
+
+struct Stack
+{
+    EventQueue eq;
+    std::unique_ptr<Ssd> ssd;
+    std::unique_ptr<KvEngine> engine;
+
+    explicit Stack(CheckpointMode mode)
+    {
+        FtlConfig ftl_cfg;
+        ftl_cfg.mappingUnitBytes = unitFor(mode);
+        ssd = std::make_unique<Ssd>(eq, smallNand(), ftl_cfg,
+                                    SsdConfig{});
+        EngineConfig ecfg;
+        ecfg.mode = mode;
+        ecfg.recordCount = 400;
+        ecfg.journalHalfBytes = 2 * kMiB;
+        ecfg.checkpointJournalBytes = kMiB;
+        ecfg.checkpointInterval = 0;
+        engine = std::make_unique<KvEngine>(eq, *ssd, ecfg);
+        engine->load([](std::uint64_t k) {
+            return std::uint32_t(128 * (1 + k % 4));
+        });
+        eq.schedule(ssd->quiesceTick(), [] {});
+        eq.run();
+    }
+
+    /** Apply a deterministic update mix and checkpoint twice. */
+    void
+    exercise()
+    {
+        Rng rng(99);
+        for (int round = 0; round < 2; ++round) {
+            for (int i = 0; i < 600; ++i) {
+                const std::uint64_t key = rng.nextBounded(400);
+                const auto bytes = std::uint32_t(
+                    128 * (1 + rng.nextBounded(8))); // 128..1024
+                engine->update(key, bytes,
+                               [](const QueryResult &) {});
+            }
+            eq.run();
+            engine->requestCheckpoint();
+            eq.run();
+        }
+    }
+
+    /** Logical contents: key -> (version, chunks). */
+    std::map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+    contents() const
+    {
+        std::map<std::uint64_t,
+                 std::pair<std::uint32_t, std::uint32_t>> m;
+        for (std::uint64_t k = 0; k < 400; ++k) {
+            const KeyState &st = engine->keymap()[k];
+            m[k] = {st.version, 0};
+        }
+        return m;
+    }
+};
+
+class AllModes : public ::testing::TestWithParam<CheckpointMode>
+{
+};
+
+TEST_P(AllModes, CheckpointPreservesEveryKey)
+{
+    Stack s(GetParam());
+    s.exercise();
+    EXPECT_FALSE(s.engine->checkpointInProgress());
+    EXPECT_GE(s.engine->checkpointDurations().size(), 2u);
+    EXPECT_EQ(s.engine->verifyAllKeys(), 400u);
+}
+
+TEST_P(AllModes, CheckpointMovesKeysToDataArea)
+{
+    Stack s(GetParam());
+    for (int i = 0; i < 50; ++i)
+        s.engine->update(std::uint64_t(i), 512,
+                         [](const QueryResult &) {});
+    s.eq.run();
+    s.engine->requestCheckpoint();
+    s.eq.run();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(s.engine->keymap()[i].inJournal) << i;
+    s.engine->verifyAllKeys();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, AllModes,
+    ::testing::Values(CheckpointMode::Baseline, CheckpointMode::IscA,
+                      CheckpointMode::IscB, CheckpointMode::IscC,
+                      CheckpointMode::CheckIn),
+    [](const ::testing::TestParamInfo<CheckpointMode> &info) {
+        switch (info.param) {
+          case CheckpointMode::Baseline: return "Baseline";
+          case CheckpointMode::IscA: return "IscA";
+          case CheckpointMode::IscB: return "IscB";
+          case CheckpointMode::IscC: return "IscC";
+          case CheckpointMode::CheckIn: return "CheckIn";
+        }
+        return "Unknown";
+    });
+
+TEST(StrategyEquivalence, AllModesConvergeToSameVersions)
+{
+    std::map<std::uint64_t, std::pair<std::uint32_t, std::uint32_t>>
+        reference;
+    bool first = true;
+    for (CheckpointMode mode :
+         {CheckpointMode::Baseline, CheckpointMode::IscA,
+          CheckpointMode::IscB, CheckpointMode::IscC,
+          CheckpointMode::CheckIn}) {
+        Stack s(mode);
+        s.exercise();
+        const auto got = s.contents();
+        if (first) {
+            reference = got;
+            first = false;
+        } else {
+            EXPECT_EQ(got, reference)
+                << "mode " << int(mode)
+                << " diverged from baseline contents";
+        }
+    }
+}
+
+TEST(StrategyCost, RemappingBeatsCopyingBeatsHost)
+{
+    std::map<CheckpointMode, std::uint64_t> redundant;
+    std::map<CheckpointMode, std::uint64_t> remaps;
+    for (CheckpointMode mode :
+         {CheckpointMode::Baseline, CheckpointMode::IscC,
+          CheckpointMode::CheckIn}) {
+        Stack s(mode);
+        s.exercise();
+        redundant[mode] =
+            s.ssd->ftl().stats().get("ftl.slotWrites.checkpoint") *
+            s.ssd->ftl().mappingUnitBytes();
+        remaps[mode] = s.ssd->ftl().stats().get("ftl.remaps");
+    }
+    // Redundant checkpoint bytes: Baseline >> ISC-C > Check-In.
+    EXPECT_GT(redundant[CheckpointMode::Baseline],
+              2 * redundant[CheckpointMode::IscC]);
+    EXPECT_GT(redundant[CheckpointMode::IscC],
+              redundant[CheckpointMode::CheckIn]);
+    // Only the remapping configurations remap; Check-In remaps more.
+    EXPECT_EQ(remaps[CheckpointMode::Baseline], 0u);
+    EXPECT_GT(remaps[CheckpointMode::CheckIn],
+              remaps[CheckpointMode::IscC]);
+}
+
+} // namespace
+} // namespace checkin

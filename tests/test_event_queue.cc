@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace checkin {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(eq.nextEventTick(), kInvalidAddr);
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_EQ(eq.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickPreservesInsertionOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(42, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, ClockAdvancesOnlyOnDispatch)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.schedule(200, [] {});
+    EXPECT_EQ(eq.now(), 0u);
+    eq.step();
+    EXPECT_EQ(eq.now(), 100u);
+    eq.step();
+    EXPECT_EQ(eq.now(), 200u);
+}
+
+TEST(EventQueue, SchedulingInThePastClampsToNow)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.step();
+    Tick seen = 0;
+    eq.schedule(50, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 100u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    EventQueue eq;
+    eq.schedule(1000, [] {});
+    eq.step();
+    Tick seen = 0;
+    eq.scheduleAfter(25, [&] { seen = eq.now(); });
+    eq.run();
+    EXPECT_EQ(seen, 1025u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            eq.scheduleAfter(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (Tick t = 10; t <= 100; t += 10)
+        eq.schedule(t, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(50), 5u);
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.pending(), 5u);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenDrained)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runUntil(1000);
+    EXPECT_EQ(eq.now(), 1000u);
+}
+
+TEST(EventQueue, ClearDropsPendingEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.clear();
+    EXPECT_TRUE(eq.empty());
+    eq.run();
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, CountsDispatched)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(Tick(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.dispatched(), 7u);
+}
+
+} // namespace
+} // namespace checkin

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the experiment harness and the table printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/table.h"
+
+namespace checkin {
+namespace {
+
+TEST(TablePrinter, AlignsColumnsAndUnderlinesHeader)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "123456"});
+    const std::string out = t.render();
+    // Header, underline, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TablePrinter, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(std::uint64_t(42)), "42");
+    EXPECT_EQ(Table::percent(0.123, 1), "12.3 %");
+    EXPECT_EQ(Table::percent(-0.05, 1), "-5.0 %");
+}
+
+TEST(Harness, SmallScalePresetIsRunnable)
+{
+    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    cfg.workload.operationCount = 1000;
+    cfg.threads = 8;
+    const RunResult r = runExperiment(cfg);
+    EXPECT_EQ(r.client.opsCompleted, 1000u);
+    EXPECT_GT(r.throughputOps, 0.0);
+    EXPECT_GT(r.simSpan, 0u);
+    // The merged raw stats include every layer.
+    EXPECT_GT(r.raw.count("nand.programs"), 0u);
+    EXPECT_GT(r.raw.count("engine.updates"), 0u);
+    EXPECT_GT(r.raw.count("ssd.cmd.write"), 0u);
+}
+
+TEST(Harness, JournalSpaceOverheadMath)
+{
+    RunResult r;
+    r.journalPayloadBytes = 1000;
+    r.journalChunksStored = 10; // 1280 bytes
+    EXPECT_NEAR(r.journalSpaceOverhead(), 0.28, 1e-9);
+    r.journalPayloadBytes = 0;
+    EXPECT_EQ(r.journalSpaceOverhead(), 0.0);
+}
+
+TEST(Harness, DeterministicForSameConfig)
+{
+    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    cfg.workload.operationCount = 2000;
+    cfg.threads = 8;
+    const RunResult a = runExperiment(cfg);
+    const RunResult b = runExperiment(cfg);
+    EXPECT_EQ(a.client.opsCompleted, b.client.opsCompleted);
+    EXPECT_EQ(a.simSpan, b.simSpan);
+    EXPECT_EQ(a.nandPrograms, b.nandPrograms);
+    EXPECT_EQ(a.redundantSlotWrites, b.redundantSlotWrites);
+    EXPECT_EQ(a.client.all.quantile(0.999),
+              b.client.all.quantile(0.999));
+}
+
+TEST(Harness, SeedChangesTheRun)
+{
+    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    cfg.workload.operationCount = 2000;
+    cfg.threads = 8;
+    const RunResult a = runExperiment(cfg);
+    cfg.workload.seed = 777;
+    const RunResult b = runExperiment(cfg);
+    EXPECT_NE(a.simSpan, b.simSpan);
+}
+
+} // namespace
+} // namespace checkin

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the log-linear latency histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/histogram.h"
+#include "sim/rng.h"
+
+namespace checkin {
+namespace {
+
+TEST(Histogram, EmptyState)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, ExactForSmallValues)
+{
+    // Values below kSubBuckets are bucketed exactly.
+    LatencyHistogram h;
+    for (std::uint64_t v = 0; v < 50; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 50u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 49u);
+    EXPECT_EQ(h.quantile(1.0), 49u);
+    EXPECT_EQ(h.quantile(0.02), 0u);
+}
+
+TEST(Histogram, MeanAndSumExact)
+{
+    LatencyHistogram h;
+    h.record(10);
+    h.record(20);
+    h.record(30);
+    EXPECT_EQ(h.sum(), 60u);
+    EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(Histogram, RecordWithCount)
+{
+    LatencyHistogram h;
+    h.record(5, 100);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 500u);
+}
+
+TEST(Histogram, BoundedRelativeError)
+{
+    LatencyHistogram h;
+    Rng r(1);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 20'000; ++i) {
+        const std::uint64_t v = 1 + r.nextBounded(100'000'000);
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const std::uint64_t exact =
+            values[std::size_t(q * (values.size() - 1))];
+        const std::uint64_t approx = h.quantile(q);
+        // Relative error bound from 64 sub-buckets: < ~3 %.
+        EXPECT_NEAR(double(approx), double(exact),
+                    double(exact) * 0.04 + 2.0)
+            << "q=" << q;
+    }
+}
+
+TEST(Histogram, QuantileMonotone)
+{
+    LatencyHistogram h;
+    Rng r(2);
+    for (int i = 0; i < 5'000; ++i)
+        h.record(r.nextBounded(1'000'000));
+    std::uint64_t prev = 0;
+    for (double q = 0.0; q <= 1.0; q += 0.05) {
+        const std::uint64_t v = h.quantile(q);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Histogram, QuantileNeverExceedsMax)
+{
+    LatencyHistogram h;
+    h.record(1'000'003);
+    EXPECT_EQ(h.quantile(0.999), 1'000'003u);
+    EXPECT_EQ(h.quantile(1.0), 1'000'003u);
+}
+
+TEST(Histogram, MergeCombines)
+{
+    LatencyHistogram a, b;
+    a.record(10, 5);
+    b.record(1'000'000, 5);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 10u);
+    EXPECT_EQ(a.max(), 1'000'000u);
+    EXPECT_EQ(a.min(), 10u);
+    EXPECT_LE(a.quantile(0.4), 10u);
+    EXPECT_GT(a.quantile(0.9), 900'000u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    LatencyHistogram h;
+    h.record(123, 7);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, HugeValues)
+{
+    LatencyHistogram h;
+    const std::uint64_t big = ~std::uint64_t{0} - 3;
+    h.record(big);
+    EXPECT_EQ(h.max(), big);
+    EXPECT_EQ(h.quantile(1.0), big);
+}
+
+} // namespace
+} // namespace checkin

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the on-disk layout computation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "engine/layout.h"
+
+namespace checkin {
+namespace {
+
+EngineConfig
+cfgFor(std::uint64_t records, std::uint64_t half_bytes)
+{
+    EngineConfig c;
+    c.recordCount = records;
+    c.maxValueBytes = 4096;
+    c.journalHalfBytes = half_bytes;
+    return c;
+}
+
+TEST(Layout, AreasAreDisjointAndOrdered)
+{
+    const DiskLayout l =
+        DiskLayout::compute(cfgFor(1000, kMiB), 1 << 20, 8);
+    EXPECT_EQ(l.catalogStart, 0u);
+    EXPECT_EQ(l.journalStart[0], l.catalogStart + l.catalogSectors);
+    EXPECT_EQ(l.journalStart[1],
+              l.journalStart[0] + l.journalSectors);
+    EXPECT_EQ(l.dataStart, l.journalStart[1] + l.journalSectors);
+    EXPECT_LE(l.dataStart + l.dataSectors, std::uint64_t(1) << 20);
+}
+
+TEST(Layout, AreasAlignedToUnit)
+{
+    for (std::uint32_t unit_sectors : {1u, 2u, 4u, 8u}) {
+        const DiskLayout l = DiskLayout::compute(
+            cfgFor(777, kMiB + 3), 1 << 20, unit_sectors);
+        EXPECT_EQ(l.catalogSectors % unit_sectors, 0u);
+        EXPECT_EQ(l.journalStart[0] % unit_sectors, 0u);
+        EXPECT_EQ(l.journalStart[1] % unit_sectors, 0u);
+        EXPECT_EQ(l.dataStart % unit_sectors, 0u);
+        EXPECT_EQ(l.slotSectors % unit_sectors, 0u);
+    }
+}
+
+TEST(Layout, TargetLbasDoNotOverlap)
+{
+    const DiskLayout l =
+        DiskLayout::compute(cfgFor(100, kMiB), 1 << 20, 8);
+    for (std::uint64_t k = 1; k < 100; ++k)
+        EXPECT_EQ(l.targetLba(k), l.targetLba(k - 1) + l.slotSectors);
+}
+
+TEST(Layout, CatalogHoldsFourEntriesPerSector)
+{
+    const DiskLayout l =
+        DiskLayout::compute(cfgFor(100, kMiB), 1 << 20, 1);
+    EXPECT_EQ(l.catalogLba(0), l.catalogLba(3));
+    EXPECT_EQ(l.catalogLba(4), l.catalogLba(0) + 1);
+    EXPECT_GE(l.catalogSectors, divCeil(100, 4));
+}
+
+TEST(Layout, JournalChunkLba)
+{
+    const DiskLayout l =
+        DiskLayout::compute(cfgFor(100, kMiB), 1 << 20, 1);
+    EXPECT_EQ(l.journalChunkLba(0, 0), l.journalStart[0]);
+    EXPECT_EQ(l.journalChunkLba(0, 7), l.journalStart[0] + 1);
+    EXPECT_EQ(l.journalChunkLba(1, 4), l.journalStart[1] + 1);
+}
+
+TEST(Layout, ThrowsWhenStoreDoesNotFit)
+{
+    EXPECT_THROW(
+        DiskLayout::compute(cfgFor(1'000'000, kMiB), 1 << 20, 8),
+        std::invalid_argument);
+}
+
+} // namespace
+} // namespace checkin

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the invertible chunk-token encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "engine/record.h"
+#include "sim/rng.h"
+
+namespace checkin {
+namespace {
+
+TEST(Token, ZeroDecodesInvalid)
+{
+    const DecodedToken d = decodeToken(0);
+    EXPECT_FALSE(d.valid());
+    EXPECT_EQ(d.tag, TokenTag::Invalid);
+}
+
+TEST(Token, DataRoundTrip)
+{
+    const std::uint64_t t = dataChunkToken(12345, 678, 9);
+    const DecodedToken d = decodeToken(t);
+    EXPECT_EQ(d.tag, TokenTag::Data);
+    EXPECT_EQ(d.key, 12345u);
+    EXPECT_EQ(d.version, 678u);
+    EXPECT_EQ(d.aux, 9u);
+}
+
+TEST(Token, CatalogRoundTrip)
+{
+    const std::uint64_t t = catalogToken(999, 12, 32);
+    const DecodedToken d = decodeToken(t);
+    EXPECT_EQ(d.tag, TokenTag::Catalog);
+    EXPECT_EQ(d.key, 999u);
+    EXPECT_EQ(d.version, 12u);
+    EXPECT_EQ(d.aux, 32u);
+}
+
+TEST(Token, DistinctInputsDistinctTokens)
+{
+    EXPECT_NE(dataChunkToken(1, 1, 0), dataChunkToken(1, 1, 1));
+    EXPECT_NE(dataChunkToken(1, 1, 0), dataChunkToken(1, 2, 0));
+    EXPECT_NE(dataChunkToken(1, 1, 0), dataChunkToken(2, 1, 0));
+    EXPECT_NE(dataChunkToken(1, 1, 0), catalogToken(1, 1, 0));
+}
+
+struct TokenCase
+{
+    std::uint64_t key;
+    std::uint64_t version;
+    std::uint64_t aux;
+};
+
+class TokenRoundTrip : public ::testing::TestWithParam<TokenCase>
+{
+};
+
+TEST_P(TokenRoundTrip, FieldLimits)
+{
+    const TokenCase c = GetParam();
+    const DecodedToken d = decodeToken(
+        dataChunkToken(c.key, c.version, c.aux));
+    EXPECT_EQ(d.key, c.key);
+    EXPECT_EQ(d.version, c.version);
+    EXPECT_EQ(d.aux, c.aux);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, TokenRoundTrip,
+    ::testing::Values(TokenCase{0, 0, 0}, TokenCase{1, 1, 1},
+                      TokenCase{(1ULL << 24) - 1, 0, 0},
+                      TokenCase{0, (1ULL << 24) - 1, 0},
+                      TokenCase{0, 0, (1ULL << 12) - 1},
+                      TokenCase{(1ULL << 24) - 1, (1ULL << 24) - 1,
+                                (1ULL << 12) - 1},
+                      TokenCase{123456, 99999, 31}));
+
+TEST(Token, RandomSweepRoundTrips)
+{
+    Rng r(77);
+    for (int i = 0; i < 20'000; ++i) {
+        const std::uint64_t key = r.nextBounded(1ULL << 24);
+        const std::uint64_t ver = r.nextBounded(1ULL << 24);
+        const std::uint64_t aux = r.nextBounded(1ULL << 12);
+        const DecodedToken d =
+            decodeToken(dataChunkToken(key, ver, aux));
+        ASSERT_EQ(d.tag, TokenTag::Data);
+        ASSERT_EQ(d.key, key);
+        ASSERT_EQ(d.version, ver);
+        ASSERT_EQ(d.aux, aux);
+    }
+}
+
+TEST(Token, GarbageDecodesInvalidMostly)
+{
+    // Random 64-bit values decode as Invalid unless their unmixed tag
+    // nibble happens to be 0xC/0xD/0xE (3/16 chance) — the decoder
+    // must never crash on them.
+    Rng r(78);
+    int valid = 0;
+    const int n = 10'000;
+    for (int i = 0; i < n; ++i)
+        valid += decodeToken(r.next()).valid();
+    EXPECT_NEAR(double(valid) / n, 3.0 / 16.0, 0.02);
+}
+
+TEST(Token, TombstoneRoundTrip)
+{
+    const DecodedToken d = decodeToken(tombstoneToken(777, 42));
+    EXPECT_EQ(d.tag, TokenTag::Tombstone);
+    EXPECT_EQ(d.key, 777u);
+    EXPECT_EQ(d.version, 42u);
+    EXPECT_NE(tombstoneToken(777, 42), dataChunkToken(777, 42, 0));
+}
+
+} // namespace
+} // namespace checkin

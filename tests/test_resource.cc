@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Tests for the busy-timeline resource model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/resource.h"
+
+namespace checkin {
+namespace {
+
+TEST(Resource, StartsIdle)
+{
+    Resource r("die");
+    EXPECT_EQ(r.freeAt(), 0u);
+    EXPECT_TRUE(r.idleAt(0));
+    EXPECT_EQ(r.busyTicks(), 0u);
+}
+
+TEST(Resource, ReservationFromIdleStartsImmediately)
+{
+    Resource r;
+    EXPECT_EQ(r.reserve(100, 50), 150u);
+    EXPECT_EQ(r.freeAt(), 150u);
+}
+
+TEST(Resource, BackToBackReservationsQueue)
+{
+    Resource r;
+    EXPECT_EQ(r.reserve(0, 10), 10u);
+    EXPECT_EQ(r.reserve(0, 10), 20u);
+    EXPECT_EQ(r.reserve(0, 10), 30u);
+    EXPECT_EQ(r.reservations(), 3u);
+    EXPECT_EQ(r.busyTicks(), 30u);
+}
+
+TEST(Resource, LaterEarliestLeavesGap)
+{
+    Resource r;
+    r.reserve(0, 10);
+    EXPECT_EQ(r.reserve(100, 10), 110u);
+    // The gap [10, 100) is idle, not busy.
+    EXPECT_EQ(r.busyTicks(), 20u);
+}
+
+TEST(Resource, IdleAtRespectsTimeline)
+{
+    Resource r;
+    r.reserve(0, 100);
+    EXPECT_FALSE(r.idleAt(50));
+    EXPECT_TRUE(r.idleAt(100));
+    EXPECT_TRUE(r.idleAt(200));
+}
+
+TEST(Resource, ZeroDurationReservation)
+{
+    Resource r;
+    EXPECT_EQ(r.reserve(5, 0), 5u);
+    EXPECT_EQ(r.busyTicks(), 0u);
+}
+
+} // namespace
+} // namespace checkin

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the SSD front end: command processing, timing, write
+ * backpressure, vendor CoW/checkpoint commands, and the ISCE.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "ssd/ssd.h"
+
+namespace checkin {
+namespace {
+
+NandConfig
+smallNand()
+{
+    NandConfig c;
+    c.channels = 2;
+    c.diesPerChannel = 1;
+    c.blocksPerPlane = 16;
+    c.pagesPerBlock = 16;
+    return c;
+}
+
+SectorData
+sector(std::uint64_t base)
+{
+    SectorData d;
+    for (std::uint32_t c = 0; c < kChunksPerSector; ++c)
+        d.chunks[c] = base * 10 + c + 1;
+    return d;
+}
+
+std::vector<SectorData>
+sectors(std::uint64_t base, std::uint32_t n)
+{
+    std::vector<SectorData> v;
+    for (std::uint32_t i = 0; i < n; ++i)
+        v.push_back(sector(base + i));
+    return v;
+}
+
+class SsdTest : public ::testing::Test
+{
+  protected:
+    SsdTest()
+    {
+        FtlConfig ftl_cfg;
+        ftl_cfg.mappingUnitBytes = 512;
+        ssd_ = std::make_unique<Ssd>(eq_, smallNand(), ftl_cfg,
+                                     SsdConfig{});
+    }
+
+    EventQueue eq_;
+    std::unique_ptr<Ssd> ssd_;
+};
+
+TEST_F(SsdTest, WriteThenReadCompletesViaEventQueue)
+{
+    bool write_done = false;
+    ssd_->submit(Command::write(0, sectors(1, 8), IoCause::Query),
+                 [&](Tick) { write_done = true; });
+    eq_.run();
+    ASSERT_TRUE(write_done);
+
+    bool read_done = false;
+    Tick read_tick = 0;
+    ssd_->submit(Command::read(0, 8),
+                 [&](Tick t) { read_done = true; read_tick = t; });
+    eq_.run();
+    ASSERT_TRUE(read_done);
+    EXPECT_GT(read_tick, 0u);
+
+    std::vector<SectorData> out(8);
+    ssd_->peek(0, 8, out.data());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i], sector(1 + i));
+}
+
+TEST_F(SsdTest, CompletionsAreOrderedPerResource)
+{
+    std::vector<int> order;
+    ssd_->submit(Command::write(0, sectors(1, 4), IoCause::Query),
+                 [&](Tick) { order.push_back(1); });
+    ssd_->submit(Command::write(8, sectors(2, 4), IoCause::Query),
+                 [&](Tick) { order.push_back(2); });
+    eq_.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SsdTest, TrimDiscardsData)
+{
+    ssd_->submit(Command::write(0, sectors(5, 4), IoCause::Query),
+                 [](Tick) {});
+    ssd_->submit(Command::trim(0, 4), [](Tick) {});
+    eq_.run();
+    std::vector<SectorData> out(4);
+    ssd_->peek(0, 4, out.data());
+    for (const SectorData &d : out)
+        EXPECT_EQ(d, SectorData{});
+}
+
+TEST_F(SsdTest, CowSingleCopiesRecord)
+{
+    ssd_->submit(Command::write(0, sectors(3, 2), IoCause::Journal),
+                 [](Tick) {});
+    Command cow;
+    cow.type = CmdType::CowSingle;
+    CowPair p;
+    p.src = 0;
+    p.srcChunkShift = 0;
+    p.dst = 100;
+    p.chunks = 8; // two full sectors
+    cow.pairs = {p};
+    ssd_->submit(std::move(cow), [](Tick) {});
+    eq_.run();
+    std::vector<SectorData> out(2);
+    ssd_->peek(100, 2, out.data());
+    EXPECT_EQ(out[0], sector(3));
+    EXPECT_EQ(out[1], sector(4));
+    // Copy-only checkpoint: no remaps.
+    EXPECT_EQ(ssd_->ftl().stats().get("ftl.remaps"), 0u);
+    EXPECT_GT(ssd_->ftl().stats().get("ftl.slotWrites.checkpoint"),
+              0u);
+}
+
+TEST_F(SsdTest, CowChunkShiftExtractsSubSectorRecord)
+{
+    // Record of 2 chunks starting at chunk 1 of sector 0.
+    auto payload = sectors(9, 1);
+    ssd_->submit(Command::write(0, {payload[0]}, IoCause::Journal),
+                 [](Tick) {});
+    Command cow;
+    cow.type = CmdType::CowSingle;
+    CowPair p;
+    p.src = 0;
+    p.srcChunkShift = 1;
+    p.dst = 100;
+    p.chunks = 2;
+    cow.pairs = {p};
+    ssd_->submit(std::move(cow), [](Tick) {});
+    eq_.run();
+    std::vector<SectorData> out(1);
+    ssd_->peek(100, 1, out.data());
+    // Chunks 1..2 of the source land at chunks 0..1 of the target.
+    EXPECT_EQ(out[0].chunks[0], payload[0].chunks[1]);
+    EXPECT_EQ(out[0].chunks[1], payload[0].chunks[2]);
+    EXPECT_EQ(out[0].chunks[2], 0u);
+}
+
+TEST_F(SsdTest, CheckpointRemapUsesMappingNotCopies)
+{
+    ssd_->submit(Command::write(0, sectors(4, 1), IoCause::Journal),
+                 [](Tick) {});
+    eq_.run();
+    const std::uint64_t writes_before =
+        ssd_->ftl().stats().get("ftl.slotWrites");
+    Command ckpt;
+    ckpt.type = CmdType::CheckpointRemap;
+    CowPair p;
+    p.src = 0;
+    p.srcChunkShift = 0;
+    p.dst = 100;
+    p.chunks = 4; // exactly one 512 B unit
+    ckpt.pairs = {p};
+    ssd_->submit(std::move(ckpt), [](Tick) {});
+    eq_.run();
+    EXPECT_EQ(ssd_->ftl().stats().get("ftl.remaps"), 1u);
+    EXPECT_EQ(ssd_->ftl().stats().get("ftl.slotWrites"),
+              writes_before);
+    std::vector<SectorData> out(1);
+    ssd_->peek(100, 1, out.data());
+    EXPECT_EQ(out[0], sector(4));
+}
+
+TEST_F(SsdTest, CheckpointRemapFallsBackToCopyWhenUnaligned)
+{
+    ssd_->submit(Command::write(0, sectors(4, 2), IoCause::Journal),
+                 [](Tick) {});
+    eq_.run();
+    Command ckpt;
+    ckpt.type = CmdType::CheckpointRemap;
+    CowPair p;
+    p.src = 0;
+    p.srcChunkShift = 2; // sub-sector start: cannot remap
+    p.dst = 100;
+    p.chunks = 4;
+    ckpt.pairs = {p};
+    ssd_->submit(std::move(ckpt), [](Tick) {});
+    eq_.run();
+    EXPECT_EQ(ssd_->ftl().stats().get("ftl.remaps"), 0u);
+    EXPECT_GT(ssd_->ftl().stats().get("ftl.slotWrites.checkpoint"),
+              0u);
+}
+
+TEST_F(SsdTest, ForceCopyOverridesRemapEligibility)
+{
+    ssd_->submit(Command::write(0, sectors(4, 1), IoCause::Journal),
+                 [](Tick) {});
+    eq_.run();
+    Command ckpt;
+    ckpt.type = CmdType::CheckpointRemap;
+    CowPair p;
+    p.src = 0;
+    p.dst = 100;
+    p.chunks = 4;
+    p.forceCopy = true; // merged-record flag
+    ckpt.pairs = {p};
+    ssd_->submit(std::move(ckpt), [](Tick) {});
+    eq_.run();
+    EXPECT_EQ(ssd_->ftl().stats().get("ftl.remaps"), 0u);
+}
+
+TEST_F(SsdTest, DeleteLogsTrimsAndCountsDeallocation)
+{
+    ssd_->submit(Command::write(0, sectors(1, 8), IoCause::Journal),
+                 [](Tick) {});
+    Command del;
+    del.type = CmdType::DeleteLogs;
+    del.lba = 0;
+    del.nsect = 8;
+    ssd_->submit(std::move(del), [](Tick) {});
+    eq_.run();
+    std::vector<SectorData> out(8);
+    ssd_->peek(0, 8, out.data());
+    for (const SectorData &d : out)
+        EXPECT_EQ(d, SectorData{});
+    EXPECT_GE(ssd_->stats().get("isce.logDeletions"), 1u);
+}
+
+TEST_F(SsdTest, ReadLatencyExceedsFlashRead)
+{
+    // Disable the DRAM data cache so the read must touch flash.
+    FtlConfig ftl_cfg;
+    ftl_cfg.dataCacheBytes = 0;
+    EventQueue eq;
+    Ssd ssd(eq, smallNand(), ftl_cfg, SsdConfig{});
+    ssd.submit(Command::write(0, sectors(1, 1), IoCause::Query),
+               [](Tick) {});
+    eq.run();
+    // Force the open page out so the read touches flash.
+    ssd.ftl().flushOpenPages(eq.now());
+    eq.schedule(ssd.quiesceTick(), [] {});
+    eq.run();
+    const Tick start = eq.now();
+    Tick done = 0;
+    ssd.submit(Command::read(0, 1), [&](Tick t) { done = t; });
+    eq.run();
+    EXPECT_GE(done - start, smallNand().readLatency);
+}
+
+TEST_F(SsdTest, DataCacheServesRecentWrites)
+{
+    ssd_->submit(Command::write(0, sectors(1, 8), IoCause::Query),
+                 [](Tick) {});
+    eq_.run();
+    ssd_->ftl().flushOpenPages(eq_.now());
+    const std::uint64_t flash_reads =
+        ssd_->nand().stats().get("nand.reads");
+    ssd_->submit(Command::read(0, 8), [](Tick) {});
+    eq_.run();
+    // Served from the device DRAM cache: no flash read happened.
+    EXPECT_EQ(ssd_->nand().stats().get("nand.reads"), flash_reads);
+    EXPECT_GT(ssd_->ftl().stats().get("ftl.cacheHits"), 0u);
+}
+
+TEST_F(SsdTest, WriteBackpressureKicksInUnderBurst)
+{
+    // Saturate far beyond the write buffer: many full-page writes.
+    SsdConfig cfg;
+    cfg.writeBufferPages = 4;
+    FtlConfig ftl_cfg;
+    EventQueue eq;
+    Ssd ssd(eq, smallNand(), ftl_cfg, cfg);
+    Tick last = 0;
+    for (int i = 0; i < 64; ++i) {
+        ssd.submit(Command::write(Lba(i) * 8, sectors(i, 8),
+                                  IoCause::Query),
+                   [&](Tick t) { last = std::max(last, t); });
+    }
+    eq.run();
+    // With only 4 buffer pages, the later acks must wait for program
+    // drains: total time approaches the flash program rate.
+    EXPECT_GT(ssd.stats().get("ssd.writeStalls"), 0u);
+    EXPECT_GT(last, smallNand().programLatency);
+}
+
+TEST_F(SsdTest, CommandStatsTracked)
+{
+    ssd_->submit(Command::read(0, 1), [](Tick) {});
+    ssd_->submit(Command::write(0, sectors(1, 1), IoCause::Query),
+                 [](Tick) {});
+    ssd_->submit(Command::trim(0, 1), [](Tick) {});
+    eq_.run();
+    EXPECT_EQ(ssd_->stats().get("ssd.cmd.read"), 1u);
+    EXPECT_EQ(ssd_->stats().get("ssd.cmd.write"), 1u);
+    EXPECT_EQ(ssd_->stats().get("ssd.cmd.trim"), 1u);
+}
+
+} // namespace
+} // namespace checkin

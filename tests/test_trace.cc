@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for trace record/replay: round-trip serialization, error
+ * handling, deterministic replay, and cross-mode equivalence on an
+ * identical request stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "engine/kv_engine.h"
+#include "sim/event_queue.h"
+#include "ssd/ssd.h"
+#include "workload/trace.h"
+
+namespace checkin {
+namespace {
+
+NandConfig
+smallNand()
+{
+    NandConfig c;
+    c.channels = 2;
+    c.diesPerChannel = 2;
+    c.blocksPerPlane = 32;
+    c.pagesPerBlock = 32;
+    return c;
+}
+
+TEST(Trace, SaveLoadRoundTrip)
+{
+    WorkloadSpec spec = WorkloadSpec::a();
+    spec.seed = 5;
+    const Trace t = Trace::generate(spec, 1000, 500);
+    std::stringstream ss;
+    t.save(ss);
+    const Trace back = Trace::load(ss);
+    EXPECT_TRUE(t == back);
+    EXPECT_EQ(back.size(), 500u);
+}
+
+TEST(Trace, AllOpKindsRoundTrip)
+{
+    using OpType = WorkloadGenerator::OpType;
+    Trace t;
+    t.add({OpType::Read, 1, 0, 0});
+    t.add({OpType::Update, 2, 384, 0});
+    t.add({OpType::Rmw, 3, 512, 0});
+    t.add({OpType::Scan, 4, 0, 17});
+    t.add({OpType::Delete, 5, 0, 0});
+    std::stringstream ss;
+    t.save(ss);
+    EXPECT_TRUE(Trace::load(ss) == t);
+}
+
+TEST(Trace, LoadSkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# header\n\nR 7\n# tail\nU 8 256\n");
+    const Trace t = Trace::load(ss);
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.ops()[0].key, 7u);
+    EXPECT_EQ(t.ops()[1].valueBytes, 256u);
+}
+
+TEST(Trace, LoadRejectsGarbage)
+{
+    std::stringstream bad1("X 1\n");
+    EXPECT_THROW(Trace::load(bad1), std::invalid_argument);
+    std::stringstream bad2("U 5\n"); // missing bytes
+    EXPECT_THROW(Trace::load(bad2), std::invalid_argument);
+}
+
+TEST(Trace, GenerateIsDeterministic)
+{
+    WorkloadSpec spec = WorkloadSpec::f();
+    spec.seed = 11;
+    EXPECT_TRUE(Trace::generate(spec, 300, 200) ==
+                Trace::generate(spec, 300, 200));
+}
+
+struct Stack
+{
+    EventQueue eq;
+    std::unique_ptr<Ssd> ssd;
+    std::unique_ptr<KvEngine> engine;
+
+    explicit Stack(CheckpointMode mode)
+    {
+        FtlConfig ftl_cfg;
+        ftl_cfg.mappingUnitBytes =
+            mode == CheckpointMode::Baseline ? 4096 : 512;
+        ssd = std::make_unique<Ssd>(eq, smallNand(), ftl_cfg,
+                                    SsdConfig{});
+        EngineConfig ecfg;
+        ecfg.mode = mode;
+        ecfg.recordCount = 300;
+        ecfg.journalHalfBytes = 2 * kMiB;
+        ecfg.checkpointJournalBytes = kMiB;
+        ecfg.checkpointInterval = 0;
+        engine = std::make_unique<KvEngine>(eq, *ssd, ecfg);
+        engine->load([](std::uint64_t) { return 256u; });
+        eq.schedule(ssd->quiesceTick(), [] {});
+        eq.run();
+    }
+
+    /** Final committed version per key. */
+    std::vector<std::uint32_t>
+    versions() const
+    {
+        std::vector<std::uint32_t> v(300);
+        for (std::uint64_t k = 0; k < 300; ++k)
+            v[k] = engine->keymap()[k].version;
+        return v;
+    }
+};
+
+TEST(TraceReplay, CompletesEveryOperation)
+{
+    Stack s(CheckpointMode::CheckIn);
+    WorkloadSpec spec = WorkloadSpec::a();
+    const Trace t = Trace::generate(spec, 300, 800);
+    TraceReplayer replay(s.eq, *s.engine, t, 16);
+    replay.start();
+    while (!replay.done()) {
+        ASSERT_TRUE(s.eq.step()) << "deadlock during replay";
+    }
+    EXPECT_EQ(replay.completed(), 800u);
+    s.engine->verifyAllKeys();
+}
+
+TEST(TraceReplay, SameTraceSameFinalStateAcrossModes)
+{
+    WorkloadSpec spec = WorkloadSpec::a();
+    spec.seed = 23;
+    const Trace t = Trace::generate(spec, 300, 600);
+    std::vector<std::uint32_t> reference;
+    for (CheckpointMode mode :
+         {CheckpointMode::Baseline, CheckpointMode::IscC,
+          CheckpointMode::CheckIn}) {
+        Stack s(mode);
+        TraceReplayer replay(s.eq, *s.engine, t, 8);
+        replay.start();
+        while (!replay.done())
+            ASSERT_TRUE(s.eq.step());
+        s.engine->requestCheckpoint();
+        s.eq.run();
+        const auto versions = s.versions();
+        if (reference.empty())
+            reference = versions;
+        else
+            EXPECT_EQ(versions, reference)
+                << "mode " << int(mode) << " diverged";
+        s.engine->verifyAllKeys();
+    }
+}
+
+TEST(TraceReplay, HandlesDeletesInTrace)
+{
+    Stack s(CheckpointMode::CheckIn);
+    using OpType = WorkloadGenerator::OpType;
+    Trace t;
+    t.add({OpType::Update, 10, 256, 0});
+    t.add({OpType::Delete, 10, 0, 0});
+    t.add({OpType::Read, 10, 0, 0});
+    t.add({OpType::Scan, 5, 0, 10});
+    TraceReplayer replay(s.eq, *s.engine, t, 1);
+    replay.start();
+    while (!replay.done())
+        ASSERT_TRUE(s.eq.step());
+    EXPECT_EQ(s.engine->keymap()[10].storedChunks, 0u);
+    s.engine->verifyAllKeys();
+}
+
+} // namespace
+} // namespace checkin

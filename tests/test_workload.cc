@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the YCSB workload generator and client pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/ycsb.h"
+
+namespace checkin {
+namespace {
+
+TEST(WorkloadSpec, PresetMixesSumToOne)
+{
+    for (const WorkloadSpec &s :
+         {WorkloadSpec::a(), WorkloadSpec::b(), WorkloadSpec::c(),
+          WorkloadSpec::f(), WorkloadSpec::wo()}) {
+        EXPECT_NEAR(s.mix.read + s.mix.update +
+                        s.mix.readModifyWrite,
+                    1.0, 1e-9)
+            << s.name;
+    }
+}
+
+TEST(WorkloadSpec, PresetShapes)
+{
+    EXPECT_DOUBLE_EQ(WorkloadSpec::a().mix.read, 0.5);
+    EXPECT_DOUBLE_EQ(WorkloadSpec::a().mix.update, 0.5);
+    EXPECT_DOUBLE_EQ(WorkloadSpec::f().mix.readModifyWrite, 0.5);
+    EXPECT_DOUBLE_EQ(WorkloadSpec::wo().mix.update, 1.0);
+    EXPECT_DOUBLE_EQ(WorkloadSpec::c().mix.read, 1.0);
+}
+
+TEST(WorkloadSpec, SizePatternsAreValid)
+{
+    for (std::uint32_t p = 1; p <= 4; ++p) {
+        const auto sizes = WorkloadSpec::sizePattern(p);
+        EXPECT_FALSE(sizes.empty());
+        for (std::uint32_t s : sizes) {
+            EXPECT_GE(s, 128u);
+            EXPECT_LE(s, 4096u);
+        }
+    }
+    EXPECT_THROW(WorkloadSpec::sizePattern(0), std::invalid_argument);
+    EXPECT_THROW(WorkloadSpec::sizePattern(5), std::invalid_argument);
+}
+
+TEST(WorkloadGenerator, MixProportionsRespected)
+{
+    WorkloadSpec spec = WorkloadSpec::a();
+    WorkloadGenerator gen(spec, 1000);
+    std::map<WorkloadGenerator::OpType, int> counts;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[gen.next().type];
+    EXPECT_NEAR(double(counts[WorkloadGenerator::OpType::Read]) / n,
+                0.5, 0.02);
+    EXPECT_NEAR(double(counts[WorkloadGenerator::OpType::Update]) / n,
+                0.5, 0.02);
+    EXPECT_EQ(counts[WorkloadGenerator::OpType::Rmw], 0);
+}
+
+TEST(WorkloadGenerator, WorkloadFEmitsRmw)
+{
+    WorkloadGenerator gen(WorkloadSpec::f(), 1000);
+    int rmw = 0;
+    const int n = 20'000;
+    for (int i = 0; i < n; ++i)
+        rmw += gen.next().type == WorkloadGenerator::OpType::Rmw;
+    EXPECT_NEAR(double(rmw) / n, 0.5, 0.02);
+}
+
+TEST(WorkloadGenerator, KeysInRange)
+{
+    WorkloadGenerator gen(WorkloadSpec::wo(), 123);
+    for (int i = 0; i < 10'000; ++i)
+        ASSERT_LT(gen.next().key, 123u);
+}
+
+TEST(WorkloadGenerator, UpdateSizesComeFromSpec)
+{
+    WorkloadSpec spec = WorkloadSpec::wo();
+    spec.valueSizes = {256, 1024};
+    WorkloadGenerator gen(spec, 100);
+    for (int i = 0; i < 1000; ++i) {
+        const auto op = gen.next();
+        EXPECT_TRUE(op.valueBytes == 256 || op.valueBytes == 1024);
+    }
+}
+
+TEST(WorkloadGenerator, DeterministicForSeed)
+{
+    WorkloadSpec spec = WorkloadSpec::a();
+    spec.seed = 777;
+    WorkloadGenerator g1(spec, 500), g2(spec, 500);
+    for (int i = 0; i < 1000; ++i) {
+        const auto a = g1.next();
+        const auto b = g2.next();
+        EXPECT_EQ(a.key, b.key);
+        EXPECT_EQ(int(a.type), int(b.type));
+        EXPECT_EQ(a.valueBytes, b.valueBytes);
+    }
+}
+
+TEST(WorkloadGenerator, ZipfianConcentratesTraffic)
+{
+    WorkloadSpec spec = WorkloadSpec::wo();
+    spec.distribution = Distribution::Zipfian;
+    WorkloadGenerator gen(spec, 10'000);
+    std::map<std::uint64_t, int> hist;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i)
+        ++hist[gen.next().key];
+    // Distinct keys touched under zipf should be far fewer than n
+    // and far fewer than under uniform.
+    EXPECT_LT(hist.size(), 9'000u);
+    int hottest = 0;
+    for (const auto &[k, c] : hist)
+        hottest = std::max(hottest, c);
+    EXPECT_GT(hottest, n / 200);
+}
+
+TEST(WorkloadGenerator, UniformSpreadsTraffic)
+{
+    WorkloadSpec spec = WorkloadSpec::wo();
+    spec.distribution = Distribution::Uniform;
+    WorkloadGenerator gen(spec, 1000);
+    std::map<std::uint64_t, int> hist;
+    for (int i = 0; i < 50'000; ++i)
+        ++hist[gen.next().key];
+    EXPECT_GT(hist.size(), 990u);
+}
+
+TEST(WorkloadGenerator, InitialSizeDeterministic)
+{
+    WorkloadSpec spec = WorkloadSpec::a();
+    WorkloadGenerator g1(spec, 100), g2(spec, 100);
+    for (std::uint64_t k = 0; k < 100; ++k)
+        EXPECT_EQ(g1.initialSize(k), g2.initialSize(k));
+}
+
+} // namespace
+} // namespace checkin
