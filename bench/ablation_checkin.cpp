@@ -51,6 +51,7 @@ main()
                             "zipfian, 64 threads");
     Table t({"variant", "kops/s", "p99.9 ms", "redundant MiB",
              "journal pad %", "remaps", "ckpt avg ms"});
+    BenchReport report("ablation_checkin");
     for (const Variant &v : kVariants) {
         ExperimentConfig c = figureScale();
         c.engine.mode = CheckpointMode::CheckIn;
@@ -64,6 +65,7 @@ main()
         c.threads = 64;
         v.apply(c);
         const RunResult r = runExperiment(c);
+        report.add(v.name, r);
         t.addRow({v.name, Table::num(r.throughputOps / 1e3, 2),
                   Table::num(
                       double(r.client.all.quantile(0.999)) / 1e6, 2),

@@ -10,12 +10,19 @@
 #define CHECKIN_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "harness/config_dump.h"
 #include "harness/experiment.h"
+#include "harness/run_export.h"
 #include "harness/table.h"
+#include "obs/json.h"
 
 namespace checkin::bench {
 
@@ -73,6 +80,87 @@ modeName(CheckpointMode m)
 {
     return checkpointModeName(m);
 }
+
+/**
+ * Machine-readable bench artifact: labeled RunResults serialized
+ * through the run exporter into BENCH_<name>.json (one line per run,
+ * deterministic bytes — two identical bench invocations diff clean).
+ *
+ * Written on destruction (or an explicit write()) into
+ * $CHECKIN_BENCH_DIR, defaulting to the working directory.
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+    BenchReport(const BenchReport &) = delete;
+    BenchReport &operator=(const BenchReport &) = delete;
+
+    ~BenchReport() { write(); }
+
+    void
+    add(std::string label, RunResult result)
+    {
+        entries_.push_back(
+            Entry{std::move(label), std::move(result)});
+    }
+
+    std::string
+    toJson() const
+    {
+        std::ostringstream os;
+        obs::JsonWriter w(os);
+        w.beginObject();
+        w.kv("bench", name_);
+        w.key("runs").beginArray();
+        for (const Entry &e : entries_) {
+            w.newline().beginObject();
+            w.kv("label", e.label);
+            w.key("result");
+            writeRunResultJson(w, e.result);
+            w.endObject();
+        }
+        w.newline().endArray();
+        w.endObject();
+        os << "\n";
+        return os.str();
+    }
+
+    void
+    write()
+    {
+        if (written_ || entries_.empty())
+            return;
+        written_ = true;
+        const char *dir = std::getenv("CHECKIN_BENCH_DIR");
+        if (dir != nullptr) {
+            std::error_code ec;
+            std::filesystem::create_directories(dir, ec);
+        }
+        const std::string path = std::string(dir ? dir : ".") +
+                                 "/BENCH_" + name_ + ".json";
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        if (!f) {
+            std::fprintf(stderr, "could not write %s\n",
+                         path.c_str());
+            return;
+        }
+        f << toJson();
+        std::printf("\nwrote %s\n", path.c_str());
+    }
+
+  private:
+    struct Entry
+    {
+        std::string label;
+        RunResult result;
+    };
+
+    std::string name_;
+    std::vector<Entry> entries_;
+    bool written_ = false;
+};
 
 } // namespace checkin::bench
 

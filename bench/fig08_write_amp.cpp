@@ -29,7 +29,7 @@ cfgFor(CheckpointMode mode)
 }
 
 void
-partA()
+partA(BenchReport &report)
 {
     printHeader("Fig 8(a)", "redundant writes on the SSD vs "
                             "checkpoint interval (YCSB-WO, MiB "
@@ -45,6 +45,9 @@ partA()
             c.engine.checkpointInterval = interval;
             const RunResult r = runExperiment(c);
             mib[mode] = double(r.redundantBytes) / double(kMiB);
+            report.add(std::string(modeName(mode)) + "-interval" +
+                           std::to_string(interval / kMsec) + "ms",
+                       r);
         }
         const double base = mib[CheckpointMode::Baseline];
         const double iscc = mib[CheckpointMode::IscC];
@@ -64,7 +67,7 @@ partA()
 }
 
 void
-partB()
+partB(BenchReport &report)
 {
     printHeader("Fig 8(b) + Eq (1)",
                 "GC invocations and relative lifetime vs write-query "
@@ -82,7 +85,11 @@ partB()
             // steady-state GC within the run.
             c.nand.blocksPerPlane = 48;
             c.workload.operationCount = ops;
-            results.emplace(mode, runExperiment(c));
+            const auto it =
+                results.emplace(mode, runExperiment(c)).first;
+            report.add(std::string(modeName(mode)) + "-ops" +
+                           std::to_string(ops),
+                       it->second);
         }
         const double base_erases = double(
             results.at(CheckpointMode::Baseline).nandErases);
@@ -113,7 +120,8 @@ int
 main()
 {
     printConfigOnce(figureScale());
-    partA();
-    partB();
+    BenchReport report("fig08_write_amp");
+    partA(report);
+    partB(report);
     return 0;
 }

@@ -21,6 +21,7 @@ main()
                           "checkpoint");
     Table t({"threads", "Baseline", "ISC-A", "ISC-B", "ISC-C",
              "Check-In"});
+    BenchReport report("fig10_checkpoint_time");
     for (std::uint32_t threads : {4u, 8u, 16u, 32u, 64u, 128u}) {
         std::vector<std::string> row{
             Table::num(std::uint64_t(threads))};
@@ -32,6 +33,9 @@ main()
             c.threads = threads;
             const RunResult r = runExperiment(c);
             row.push_back(Table::num(r.avgCheckpointMs, 2));
+            report.add(std::string(modeName(mode)) + "-t" +
+                           std::to_string(threads),
+                       r);
         }
         t.addRow(std::move(row));
     }

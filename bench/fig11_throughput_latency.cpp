@@ -16,7 +16,7 @@ using namespace checkin::bench;
 namespace {
 
 void
-runWorkload(const WorkloadSpec &wl)
+runWorkload(const WorkloadSpec &wl, BenchReport &report)
 {
     printHeader("Fig 11",
                 (wl.name + " — throughput (kops/s) and avg latency "
@@ -43,6 +43,9 @@ runWorkload(const WorkloadSpec &wl)
                       modeName(mode),
                       Table::num(r.throughputOps / 1e3, 2),
                       Table::num(r.avgLatencyUs, 1)});
+            report.add(wl.name + "-" + modeName(mode) + "-t" +
+                           std::to_string(threads),
+                       r);
             all[threads].emplace(mode, r);
         }
     }
@@ -63,9 +66,10 @@ int
 main()
 {
     printConfigOnce(figureScale());
-    runWorkload(WorkloadSpec::a());
-    runWorkload(WorkloadSpec::f());
-    runWorkload(WorkloadSpec::wo());
+    BenchReport report("fig11_throughput_latency");
+    runWorkload(WorkloadSpec::a(), report);
+    runWorkload(WorkloadSpec::f(), report);
+    runWorkload(WorkloadSpec::wo(), report);
     printPaperNote("average throughput +8.1 % and latency -10.2 % "
                    "for Check-In vs baseline at 128 threads.");
     return 0;

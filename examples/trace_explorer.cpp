@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Record a traced run and emit a Chrome trace_event JSON bundle.
+ *
+ * Runs a short YCSB workload with the observability subsystem fully
+ * enabled, writes the artifact bundle (trace.json, metrics.json/csv,
+ * series.csv, summary.json), and prints a per-layer breakdown of the
+ * recorded events. Load trace.json in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing to browse the run.
+ *
+ * Usage: trace_explorer [out_dir] [mode] [ops]
+ *   out_dir: artifact directory (default "trace-out")
+ *   mode:    baseline | isc-a | isc-b | isc-c | checkin (default)
+ *   ops:     operation count (default 4000)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.h"
+#include "obs/trace.h"
+
+namespace {
+
+checkin::CheckpointMode
+parseMode(const std::string &s)
+{
+    using checkin::CheckpointMode;
+    if (s == "baseline")
+        return CheckpointMode::Baseline;
+    if (s == "isc-a")
+        return CheckpointMode::IscA;
+    if (s == "isc-b")
+        return CheckpointMode::IscB;
+    if (s == "isc-c")
+        return CheckpointMode::IscC;
+    if (s == "checkin")
+        return CheckpointMode::CheckIn;
+    std::fprintf(stderr, "unknown mode '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace checkin;
+    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    cfg.obs.traceEnabled = true;
+    cfg.obs.artifactDir = argc > 1 ? argv[1] : "trace-out";
+    cfg.engine.mode = argc > 2 ? parseMode(argv[2])
+                               : CheckpointMode::CheckIn;
+    cfg.workload = WorkloadSpec::a();
+    cfg.workload.operationCount =
+        argc > 3 ? std::uint64_t(std::atoll(argv[3])) : 4'000;
+    cfg.threads = 16;
+    cfg.obs.runName = std::string("trace-") +
+                      checkpointModeName(cfg.engine.mode);
+
+    // Install the tracer here so the events survive the run:
+    // runExperiment reuses an enabled ambient tracer instead of
+    // creating its own (which would be gone once it returns).
+    obs::Tracer tracer;
+    tracer.setEnabled(true);
+    obs::TraceScope scope(tracer);
+    const RunResult r = runExperiment(cfg);
+
+    std::printf("=== traced %s run, %llu ops ===\n",
+                checkpointModeName(cfg.engine.mode),
+                (unsigned long long)r.client.opsCompleted);
+    std::printf("trace events      %10zu\n", tracer.eventCount());
+    for (std::size_t c = 0; c < obs::kCatCount; ++c) {
+        const auto cat = static_cast<obs::Cat>(c);
+        const std::uint64_t n = tracer.countIn(cat);
+        if (n > 0) {
+            std::printf("  %-10s      %10llu\n", obs::catName(cat),
+                        (unsigned long long)n);
+        }
+    }
+    std::printf("sim span          %10.2f ms\n",
+                double(r.simSpan) / double(kMsec));
+    std::printf("checkpoints       %10llu\n",
+                (unsigned long long)r.checkpoints);
+    if (!r.artifacts.empty()) {
+        std::printf("artifacts in %s:\n", r.artifacts.dir.c_str());
+        for (const std::string &f : r.artifacts.files)
+            std::printf("  %s\n", f.c_str());
+        std::printf("open %s/trace.json in ui.perfetto.dev\n",
+                    r.artifacts.dir.c_str());
+    }
+    return 0;
+}

@@ -5,8 +5,16 @@
 #include <cmath>
 
 #include "engine/record.h"
+#include "obs/trace.h"
 
 namespace checkin {
+
+namespace {
+
+/** Trace lane for journal events (Cat::Engine). */
+constexpr std::uint32_t kJournalLane = 0;
+
+} // namespace
 
 FormattedSize
 formatLogSize(std::uint32_t value_bytes, std::uint32_t unit_bytes,
@@ -50,6 +58,7 @@ JournalManager::JournalManager(EventQueue &eq, Ssd &ssd,
 {
     image_[0].assign(layout_.journalChunks(), 0);
     image_[1].assign(layout_.journalChunks(), 0);
+    obs::nameLane(obs::Cat::Engine, kJournalLane, "journal");
 }
 
 std::uint32_t
@@ -139,6 +148,8 @@ JournalManager::startFlush()
             buffer_.push_front(std::move(*it));
         stalledForSpace_ = true;
         stats_.add("engine.journalStalls");
+        obs::instant(obs::Cat::Engine, kJournalLane, "journal.stall",
+                     eq_.now(), {{"bufferedLogs", buffer_.size()}});
         if (onPressure_)
             onPressure_();
         return;
@@ -332,8 +343,15 @@ JournalManager::submitGroup(std::vector<Placed> placed,
         if (any)
             cmd.unitOob = std::move(unit_oob);
     }
+    const Tick submitted = eq_.now();
+    const std::uint64_t group_sectors = s1 - s0; // payload was moved
     ssd_.submit(std::move(cmd),
-                [this, half, placed = std::move(placed)](Tick done) {
+                [this, half, submitted, group_sectors,
+                 placed = std::move(placed)](Tick done) {
+        obs::span(obs::Cat::Engine, kJournalLane,
+                  "journal.groupCommit", submitted, done,
+                  {{"logs", placed.size()},
+                   {"sectors", group_sectors}});
         for (const Placed &pl : placed) {
             JmtEntry entry;
             entry.key = pl.pending.key;

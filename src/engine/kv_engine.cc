@@ -8,8 +8,16 @@
 #include <stdexcept>
 
 #include "engine/record.h"
+#include "obs/trace.h"
 
 namespace checkin {
+
+namespace {
+
+/** Trace lane for checkpoint events (Cat::Engine). */
+constexpr std::uint32_t kCkptLane = 1;
+
+} // namespace
 
 KvEngine::KvEngine(EventQueue &eq, Ssd &ssd, const EngineConfig &cfg)
     : eq_(eq),
@@ -23,6 +31,7 @@ KvEngine::KvEngine(EventQueue &eq, Ssd &ssd, const EngineConfig &cfg)
       strategy_(CheckpointStrategy::create(ssd, layout_, cfg_, stats_))
 {
     journal_.setPressureCallback([this] { requestCheckpoint(); });
+    obs::nameLane(obs::Cat::Engine, kCkptLane, "checkpoint");
 }
 
 void
@@ -450,6 +459,8 @@ KvEngine::startCheckpoint()
     ckptInProgress_ = true;
     ckptStart_ = eq_.now();
     stats_.add("engine.checkpoints");
+    obs::instant(obs::Cat::Engine, kCkptLane, "ckpt.start",
+                 ckptStart_, {{"jmtEntries", journal_.jmtSize()}});
     // Wait for any in-flight group commit: its records belong to the
     // half being checkpointed and must be in the JMT snapshot.
     journal_.quiesce([this] {
@@ -524,13 +535,19 @@ KvEngine::onStrategyDone(const std::vector<JmtEntry> &entries,
     // log deletion.
     ckptDataDone_ = std::max(eq_.now(), ckptStart_);
     stats_.add("engine.ckptDataTicks", ckptDataDone_ - ckptStart_);
+    obs::span(obs::Cat::Engine, kCkptLane, "ckpt.data", ckptStart_,
+              ckptDataDone_, {{"entries", entries.size()}});
     writeCatalog(entries, [this, half](Tick t2) {
         ckptMetaDone_ = std::max(t2, ckptDataDone_);
         stats_.add("engine.ckptMetaTicks",
                    ckptMetaDone_ - ckptDataDone_);
+        obs::span(obs::Cat::Engine, kCkptLane, "ckpt.meta",
+                  ckptDataDone_, ckptMetaDone_);
         deleteLogs(half, [this, half](Tick t3) {
             stats_.add("engine.ckptDeleteTicks",
                        t3 > ckptMetaDone_ ? t3 - ckptMetaDone_ : 0);
+            obs::span(obs::Cat::Engine, kCkptLane, "ckpt.delete",
+                      ckptMetaDone_, t3);
             finishCheckpoint(half, t3);
         });
     });
@@ -607,6 +624,8 @@ KvEngine::finishCheckpoint(std::uint8_t half, Tick t)
     ckptInProgress_ = false;
     ckptDurations_.push_back(t - ckptStart_);
     stats_.add("engine.ckptTicks", t - ckptStart_);
+    obs::span(obs::Cat::Engine, kCkptLane, "checkpoint", ckptStart_,
+              t, {{"half", half}});
     drainDeferred();
     const bool threshold_hit =
         journal_.activeJournalBytes() >= cfg_.checkpointJournalBytes;

@@ -81,6 +81,35 @@ Ftl::Ftl(NandFlash &nand, const FtlConfig &cfg)
     slotInfo_.assign(total_slots, SlotInfo{});
     sectors_.assign(total_slots * sectorsPerUnit_, SectorData{});
     slotOob_.assign(total_slots, OobEntry{});
+
+    // Intern the hot-path counters once; per-event updates are then
+    // plain array indexing (no per-write string construction).
+    sSlotWrites_ = stats_.intern("ftl.slotWrites");
+    sPageReads_ = stats_.intern("ftl.pageReads");
+    for (std::size_t c = 0; c < kIoCauseCount; ++c) {
+        const char *cause = ioCauseName(static_cast<IoCause>(c));
+        sSlotWritesBy_[c] =
+            stats_.intern(std::string("ftl.slotWrites.") + cause);
+        sPageReadsBy_[c] =
+            stats_.intern(std::string("ftl.pageReads.") + cause);
+    }
+    sCacheHits_ = stats_.intern("ftl.cacheHits");
+    sMapCacheHits_ = stats_.intern("ftl.mapCacheHits");
+    sMapCacheMisses_ = stats_.intern("ftl.mapCacheMisses");
+    sHostReadSectors_ = stats_.intern("ftl.hostReadSectors");
+    sHostWriteSectors_ = stats_.intern("ftl.hostWriteSectors");
+    sRmwReads_ = stats_.intern("ftl.rmwReads");
+    sRemaps_ = stats_.intern("ftl.remaps");
+    sInvalidatedSlots_ = stats_.intern("ftl.invalidatedSlots");
+    sTrimmedUnits_ = stats_.intern("ftl.trimmedUnits");
+    sGcPageReads_ = stats_.intern("gc.pageReads");
+    sGcMigratedSlots_ = stats_.intern("gc.migratedSlots");
+
+    obs::nameLane(obs::Cat::Ftl, kFtlLane, "ftl");
+    for (std::uint32_t d = 0; d < bm_.dieCount(); ++d) {
+        obs::nameLane(obs::Cat::Ftl, kFtlLane + 1 + d,
+                      "ftl-die" + std::to_string(d));
+    }
 }
 
 SlotId
@@ -111,10 +140,10 @@ Ftl::mapAccess(Lpn lpn, Tick earliest)
     if (it != mapSegIndex_.end()) {
         mapSegLru_.splice(mapSegLru_.begin(), mapSegLru_,
                           it->second);
-        stats_.add("ftl.mapCacheHits");
+        stats_.add(sMapCacheHits_);
         return earliest;
     }
-    stats_.add("ftl.mapCacheMisses");
+    stats_.add(sMapCacheMisses_);
     mapSegLru_.push_front(seg);
     mapSegIndex_[seg] = mapSegLru_.begin();
     if (mapSegLru_.size() > mapSegCapacity_) {
@@ -209,6 +238,10 @@ Ftl::programOpenPage(Stream stream, std::uint32_t die, Tick earliest)
     pageSeq_[ppn] = nextProgramSeq_++;
     content.seq = pageSeq_[ppn];
     const Tick done = nand_.program(ppn, std::move(content), earliest);
+    // Request-to-completion view of sealing the open page (the die
+    // lanes in Cat::Nand show the physical occupancy).
+    obs::span(obs::Cat::Ftl, kFtlLane + 1 + die, "ftl.program",
+              earliest, done, {{"ppn", ppn}});
     cacheInsert(ppn);
     if (onProgram_)
         onProgram_(done);
@@ -310,7 +343,7 @@ Ftl::deref(SlotId slot, Lpn lpn)
     --info.nrefs;
     if (info.nrefs == 0) {
         bm_.invalidate(blockOfSlot(slot));
-        stats_.add("ftl.invalidatedSlots");
+        stats_.add(sInvalidatedSlots_);
     }
 }
 
@@ -345,10 +378,13 @@ Ftl::touchMapEntry(Tick earliest)
     dirtyMapBytes_ = 0;
     for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
         allocateSlot(Stream::Map, earliest);
-        stats_.add("ftl.slotWrites");
-        stats_.add("ftl.slotWrites.mapflush");
+        stats_.add(sSlotWrites_);
+        stats_.add(
+            sSlotWritesBy_[std::size_t(IoCause::MapFlush)]);
     }
     stats_.add("ftl.mapFlushes");
+    obs::instant(obs::Cat::Ftl, kFtlLane, "ftl.mapFlush", earliest,
+                 {{"slots", slotsPerPage_}});
     inMapFlush_ = false;
 }
 
@@ -369,13 +405,13 @@ Ftl::readSlotPages(const std::vector<SlotId> &slots, IoCause cause,
     for (Ppn p : pages) {
         if (isCached(p)) {
             cacheInsert(p); // LRU touch
-            stats_.add("ftl.cacheHits");
+            stats_.add(sCacheHits_);
             continue;
         }
         done = std::max(done, nand_.read(p, earliest));
         cacheInsert(p);
-        stats_.add(std::string("ftl.pageReads.") + ioCauseName(cause));
-        stats_.add("ftl.pageReads");
+        stats_.add(sPageReadsBy_[std::size_t(cause)]);
+        stats_.add(sPageReads_);
     }
     return done;
 }
@@ -385,7 +421,7 @@ Ftl::readSectors(Lba lba, std::uint32_t nsect, IoCause cause,
                  Tick earliest)
 {
     assert(lba + nsect <= logicalSectors());
-    stats_.add("ftl.hostReadSectors", nsect);
+    stats_.add(sHostReadSectors_, nsect);
     std::vector<SlotId> slots;
     const Lpn first = lba / sectorsPerUnit_;
     const Lpn last = (lba + nsect - 1) / sectorsPerUnit_;
@@ -404,7 +440,7 @@ Ftl::writeSectors(Lba lba, std::uint32_t nsect, const SectorData *data,
 {
     assert(nsect > 0);
     assert(lba + nsect <= logicalSectors());
-    stats_.add("ftl.hostWriteSectors", nsect);
+    stats_.add(sHostWriteSectors_, nsect);
     const Stream stream = streamFor(cause);
     const Lpn first = lba / sectorsPerUnit_;
     const Lpn last = (lba + nsect - 1) / sectorsPerUnit_;
@@ -425,7 +461,7 @@ Ftl::writeSectors(Lba lba, std::uint32_t nsect, const SectorData *data,
         if (partial && old_slot != kInvalidAddr) {
             ack = std::max(ack, readSlotPages({old_slot}, cause,
                                               earliest));
-            stats_.add("ftl.rmwReads");
+            stats_.add(sRmwReads_);
             for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k)
                 merged[k] = sectors_[old_slot * sectorsPerUnit_ + k];
         }
@@ -443,8 +479,8 @@ Ftl::writeSectors(Lba lba, std::uint32_t nsect, const SectorData *data,
         }
         mapLpn(u, slot);
         touchMapEntry(earliest);
-        stats_.add("ftl.slotWrites");
-        stats_.add(std::string("ftl.slotWrites.") + ioCauseName(cause));
+        stats_.add(sSlotWrites_);
+        stats_.add(sSlotWritesBy_[std::size_t(cause)]);
     }
     return ack;
 }
@@ -476,7 +512,7 @@ Ftl::trimSectors(Lba lba, std::uint64_t nsect)
             continue;
         unmap(u);
         touchMapEntry(0);
-        stats_.add("ftl.trimmedUnits");
+        stats_.add(sTrimmedUnits_);
     }
 }
 
@@ -505,7 +541,9 @@ Ftl::remapUnit(Lpn src, Lpn dst, Tick earliest)
     map_[dst] = slot;
     addRef(slot, dst);
     touchMapEntry(earliest);
-    stats_.add("ftl.remaps");
+    stats_.add(sRemaps_);
+    obs::instant(obs::Cat::Ftl, kFtlLane, "ftl.remap", earliest,
+                 {{"src", src}, {"dst", dst}, {"slot", slot}});
     return earliest;
 }
 
@@ -575,6 +613,10 @@ Ftl::gcOnce(Tick earliest, bool background)
 
     stats_.add("gc.invocations");
     stats_.add(background ? "gc.background" : "gc.inline");
+    obs::instant(obs::Cat::Ftl, kFtlLane, "gc.victim", earliest,
+                 {{"victim", victim},
+                  {"valid", bm_.validCount(victim)},
+                  {"background", background ? 1u : 0u}});
     reclaimBlock(victim, earliest);
     return true;
 }
@@ -600,7 +642,7 @@ Ftl::reclaimBlock(Pbn victim, Tick earliest)
         if (!isCached(ppn)) {
             last_read =
                 std::max(last_read, nand_.read(ppn, earliest));
-            stats_.add("gc.pageReads");
+            stats_.add(sGcPageReads_);
         }
         for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
             const SlotId old_slot = slotOf(ppn, s);
@@ -630,15 +672,17 @@ Ftl::reclaimBlock(Pbn victim, Tick earliest)
             slotInfo_[old_slot] = SlotInfo{};
             refOverflow_.erase(old_slot);
             bm_.invalidate(victim);
-            stats_.add("gc.migratedSlots");
-            stats_.add("ftl.slotWrites");
-            stats_.add("ftl.slotWrites.gc");
+            stats_.add(sGcMigratedSlots_);
+            stats_.add(sSlotWrites_);
+            stats_.add(sSlotWritesBy_[std::size_t(IoCause::Gc)]);
         }
     }
     assert(bm_.validCount(victim) == 0);
     // Valid data now sits in the SPOR-protected GC open page, so the
     // erase may proceed as soon as the reads are done.
-    nand_.eraseBlock(victim, last_read);
+    const Tick erased = nand_.eraseBlock(victim, last_read);
+    obs::span(obs::Cat::Ftl, kFtlLane, "ftl.gc", earliest, erased,
+              {{"victim", victim}});
     for (std::uint32_t p = 0; p < nand_.config().pagesPerBlock; ++p)
         cacheEvict(first + p);
     stats_.add("gc.erases");

@@ -23,6 +23,7 @@
 #include "ftl/ftl_config.h"
 #include "ftl/ftl_types.h"
 #include "nand/nand_flash.h"
+#include "obs/trace.h"
 #include "sim/stats.h"
 #include "sim/types.h"
 
@@ -356,6 +357,27 @@ class Ftl
         mapSegIndex_;
     ProgramObserver onProgram_;
     StatRegistry stats_;
+
+    /** Single trace lane for FTL-level events (Cat::Ftl). */
+    static constexpr std::uint32_t kFtlLane = 0;
+
+    /** Interned hot-path counters (see sim/stats.h). */
+    static constexpr std::size_t kIoCauseCount = 6;
+    StatId sSlotWrites_;
+    std::array<StatId, kIoCauseCount> sSlotWritesBy_;
+    StatId sPageReads_;
+    std::array<StatId, kIoCauseCount> sPageReadsBy_;
+    StatId sCacheHits_;
+    StatId sMapCacheHits_;
+    StatId sMapCacheMisses_;
+    StatId sHostReadSectors_;
+    StatId sHostWriteSectors_;
+    StatId sRmwReads_;
+    StatId sRemaps_;
+    StatId sInvalidatedSlots_;
+    StatId sTrimmedUnits_;
+    StatId sGcPageReads_;
+    StatId sGcMigratedSlots_;
 };
 
 } // namespace checkin

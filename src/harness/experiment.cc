@@ -1,9 +1,13 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
 
 #include "engine/kv_engine.h"
+#include "harness/run_export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "ssd/ssd.h"
 
@@ -85,6 +89,25 @@ delta(const std::map<std::string, std::uint64_t> &after,
 RunResult
 runExperiment(const ExperimentConfig &cfg)
 {
+    // The tracer must be installed and enabled before the device is
+    // built: lane names register from the component constructors. An
+    // enabled ambient tracer installed by the caller is reused (so
+    // callers can keep the events); otherwise a run-local one is
+    // installed when tracing was requested.
+    obs::Tracer own_tracer;
+    obs::Tracer *tracer = nullptr;
+    std::unique_ptr<obs::TraceScope> trace_scope;
+    if (cfg.obs.traceEnabled) {
+        if (obs::traceOn()) {
+            tracer = obs::installedTracer();
+        } else {
+            own_tracer.setEnabled(true);
+            trace_scope =
+                std::make_unique<obs::TraceScope>(own_tracer);
+            tracer = &own_tracer;
+        }
+    }
+
     EventQueue eq;
     FtlConfig ftl_cfg = cfg.ftl;
     ftl_cfg.mappingUnitBytes = cfg.resolvedMappingUnit();
@@ -103,8 +126,28 @@ runExperiment(const ExperimentConfig &cfg)
     const auto before = collectStats(ssd, engine);
     const std::uint64_t ckpt_before =
         engine.checkpointDurations().size();
+    if (tracer != nullptr) {
+        // Drop load-phase events (lane names survive) so the trace
+        // covers exactly the measured run.
+        tracer->clear();
+    }
+
+    obs::MetricsRegistry metrics;
+    const bool want_artifacts = !cfg.obs.artifactDir.empty();
 
     ClientPool pool(eq, engine, cfg.workload, cfg.threads);
+    if (want_artifacts) {
+        const obs::MetricId lat_series =
+            metrics.series("op.latency", cfg.obs.seriesInterval);
+        const obs::MetricId lat_hist =
+            metrics.histogram("op.latency");
+        pool.setSampler([&metrics, lat_series, lat_hist](
+                            Tick issued, Tick done, bool, bool) {
+            const Tick lat = done > issued ? done - issued : 0;
+            metrics.sample(lat_series, done, lat);
+            metrics.observe(lat_hist, lat);
+        });
+    }
     engine.start();
     pool.start();
     while (!pool.done()) {
@@ -174,6 +217,22 @@ runExperiment(const ExperimentConfig &cfg)
     if (r.journalPayloadBytes > 0) {
         r.waf = double(r.nandPrograms) * cfg.nand.pageBytes /
                 double(r.journalPayloadBytes);
+    }
+
+    if (want_artifacts) {
+        metrics.importStats(ssd.nand().stats());
+        metrics.importStats(ssd.ftl().stats());
+        metrics.importStats(ssd.stats());
+        metrics.importStats(engine.stats());
+        obs::ArtifactWriter writer(cfg.obs.artifactDir,
+                                   cfg.obs.runName);
+        if (tracer != nullptr)
+            writer.writeText("trace.json", tracer->toJson());
+        writer.writeText("metrics.json", metrics.toJson());
+        writer.writeText("metrics.csv", metrics.scalarsCsv());
+        writer.writeText("series.csv", metrics.seriesCsv());
+        writer.writeText("summary.json", runResultJson(r));
+        r.artifacts = writer.bundle();
     }
     return r;
 }

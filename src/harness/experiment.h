@@ -15,6 +15,7 @@
 #include "engine/engine_config.h"
 #include "ftl/ftl_config.h"
 #include "nand/nand_config.h"
+#include "obs/artifacts.h"
 #include "sim/histogram.h"
 #include "ssd/ssd_config.h"
 #include "workload/client.h"
@@ -31,6 +32,9 @@ struct ExperimentConfig
     EngineConfig engine;
     WorkloadSpec workload;
     std::uint32_t threads = 32;
+
+    /** Observability: tracing + artifact bundle (off by default). */
+    obs::ObsOptions obs;
 
     /**
      * When nonzero, overrides the mapping unit. Otherwise the paper's
@@ -96,6 +100,9 @@ struct RunResult
 
     /** Full merged stat dump for ad-hoc inspection. */
     std::map<std::string, std::uint64_t> raw;
+
+    /** Artifact files written for this run (empty unless requested). */
+    obs::ArtifactBundle artifacts;
 
     /** Space overhead: stored journal bytes / payload bytes - 1. */
     double

@@ -1,0 +1,104 @@
+#include "harness/run_export.h"
+
+#include <sstream>
+
+namespace checkin {
+
+namespace {
+
+void
+histJson(obs::JsonWriter &w, const std::string &key,
+         const LatencyHistogram &h)
+{
+    w.key(key).beginObject();
+    w.kv("count", h.count());
+    w.kv("max", h.max());
+    w.kv("mean", h.mean());
+    w.kv("min", h.min());
+    w.kv("p50", h.quantile(0.5));
+    w.kv("p99", h.quantile(0.99));
+    w.kv("p999", h.quantile(0.999));
+    w.endObject();
+}
+
+} // namespace
+
+void
+writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
+{
+    w.beginObject();
+
+    w.kv("avgLatencyUs", r.avgLatencyUs);
+
+    w.key("checkpoints").beginObject();
+    w.kv("avgMs", r.avgCheckpointMs);
+    w.kv("count", r.checkpoints);
+    w.kv("dataTicks", r.ckptDataTicks);
+    w.kv("deleteTicks", r.ckptDeleteTicks);
+    w.kv("latestEntries", r.ckptLatestEntries);
+    w.kv("logsSeen", r.ckptLogsSeen);
+    w.kv("maxMs", r.maxCheckpointMs);
+    w.kv("metaTicks", r.ckptMetaTicks);
+    w.endObject();
+
+    w.key("client").beginObject();
+    histJson(w, "all", r.client.all);
+    histJson(w, "duringCheckpoint", r.client.duringCheckpoint);
+    w.kv("opsCompleted", r.client.opsCompleted);
+    histJson(w, "outsideCheckpoint", r.client.outsideCheckpoint);
+    histJson(w, "reads", r.client.reads);
+    histJson(w, "readsDuringCheckpoint",
+             r.client.readsDuringCheckpoint);
+    histJson(w, "writes", r.client.writes);
+    histJson(w, "writesDuringCheckpoint",
+             r.client.writesDuringCheckpoint);
+    w.endObject();
+
+    w.key("flash").beginObject();
+    w.kv("erases", r.nandErases);
+    w.kv("gcInvocations", r.gcInvocations);
+    w.kv("gcMigratedSlots", r.gcMigratedSlots);
+    w.kv("invalidatedSlots", r.invalidatedSlots);
+    w.kv("programs", r.nandPrograms);
+    w.kv("reads", r.nandReads);
+    w.kv("redundantBytes", r.redundantBytes);
+    w.kv("redundantSlotWrites", r.redundantSlotWrites);
+    w.kv("remaps", r.remaps);
+    w.kv("waf", r.waf);
+    w.endObject();
+
+    w.key("host").beginObject();
+    w.kv("readSectors", r.hostReadSectors);
+    w.kv("writeSectors", r.hostWriteSectors);
+    w.endObject();
+
+    w.key("journal").beginObject();
+    w.kv("chunksStored", r.journalChunksStored);
+    w.kv("mergedUnits", r.mergedUnits);
+    w.kv("payloadBytes", r.journalPayloadBytes);
+    w.kv("spaceOverhead", r.journalSpaceOverhead());
+    w.kv("stalls", r.journalStalls);
+    w.endObject();
+
+    w.key("raw").beginObject();
+    for (const auto &[k, v] : r.raw)
+        w.kv(k, v);
+    w.endObject();
+
+    w.kv("simSpanTicks", r.simSpan);
+    w.kv("throughputOps", r.throughputOps);
+
+    w.endObject();
+}
+
+std::string
+runResultJson(const RunResult &r)
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    writeRunResultJson(w, r);
+    os << "\n";
+    return os.str();
+}
+
+} // namespace checkin

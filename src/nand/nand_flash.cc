@@ -19,6 +19,17 @@ NandFlash::NandFlash(const NandConfig &cfg)
     channels_.reserve(cfg_.channels);
     for (std::uint32_t c = 0; c < cfg_.channels; ++c)
         channels_.emplace_back("ch" + std::to_string(c));
+    sReads_ = stats_.intern("nand.reads");
+    sPrograms_ = stats_.intern("nand.programs");
+    sErases_ = stats_.intern("nand.erases");
+    sAuxReads_ = stats_.intern("nand.auxReads");
+    // Trace lanes: one per die, then one per channel.
+    for (std::uint32_t d = 0; d < cfg_.dieCount(); ++d)
+        obs::nameLane(obs::Cat::Nand, dieLane(d), dies_[d].name());
+    for (std::uint32_t c = 0; c < cfg_.channels; ++c) {
+        obs::nameLane(obs::Cat::Nand, channelLane(c),
+                      channels_[c].name());
+    }
 }
 
 Resource &
@@ -37,12 +48,25 @@ Tick
 NandFlash::read(Ppn ppn, Tick earliest)
 {
     assert(ppn < pages_.size());
-    stats_.add("nand.reads");
+    stats_.add(sReads_);
     // Array sensing occupies the die, then the data crosses the
     // channel. The channel reservation can only start once sensing is
     // done.
-    const Tick sensed = dieOf(ppn).reserve(earliest, cfg_.readLatency);
-    return channelOf(ppn).reserve(sensed, cfg_.pageTransferTime());
+    Resource &die = dieOf(ppn);
+    Resource &ch = channelOf(ppn);
+    const Tick sense_start = std::max(earliest, die.freeAt());
+    const Tick sensed = die.reserve(earliest, cfg_.readLatency);
+    const Tick xfer_start = std::max(sensed, ch.freeAt());
+    const Tick done = ch.reserve(sensed, cfg_.pageTransferTime());
+    if (obs::traceOn()) {
+        const auto d = layout_.dieIndexOf(ppn);
+        const auto c = layout_.channelIndexOf(ppn);
+        obs::span(obs::Cat::Nand, dieLane(d), "nand.sense",
+                  sense_start, sensed, {{"ppn", ppn}});
+        obs::span(obs::Cat::Nand, channelLane(c), "nand.xfer",
+                  xfer_start, done, {{"ppn", ppn}});
+    }
+    return done;
 }
 
 Tick
@@ -61,23 +85,45 @@ NandFlash::program(Ppn ppn, PageContent content, Tick earliest)
     }
     blk.nextPage = page + 1;
     pages_[ppn] = std::move(content);
-    stats_.add("nand.programs");
+    stats_.add(sPrograms_);
     // Data crosses the channel first, then the cell program occupies
     // the die.
-    const Tick loaded =
-        channelOf(ppn).reserve(earliest, cfg_.pageTransferTime());
-    return dieOf(ppn).reserve(loaded, cfg_.programLatency);
+    Resource &die = dieOf(ppn);
+    Resource &ch = channelOf(ppn);
+    const Tick xfer_start = std::max(earliest, ch.freeAt());
+    const Tick loaded = ch.reserve(earliest, cfg_.pageTransferTime());
+    const Tick prog_start = std::max(loaded, die.freeAt());
+    const Tick done = die.reserve(loaded, cfg_.programLatency);
+    if (obs::traceOn()) {
+        const auto d = layout_.dieIndexOf(ppn);
+        const auto c = layout_.channelIndexOf(ppn);
+        obs::span(obs::Cat::Nand, channelLane(c), "nand.xfer",
+                  xfer_start, loaded, {{"ppn", ppn}});
+        obs::span(obs::Cat::Nand, dieLane(d), "nand.prog",
+                  prog_start, done, {{"ppn", ppn}});
+    }
+    return done;
 }
 
 Tick
 NandFlash::chargeAuxRead(std::uint32_t die_index, Tick earliest)
 {
     assert(die_index < dies_.size());
-    stats_.add("nand.auxReads");
-    const Tick sensed =
-        dies_[die_index].reserve(earliest, cfg_.readLatency);
-    return channels_[die_index / cfg_.diesPerChannel].reserve(
-        sensed, cfg_.pageTransferTime());
+    stats_.add(sAuxReads_);
+    Resource &die = dies_[die_index];
+    const std::uint32_t ch_index = die_index / cfg_.diesPerChannel;
+    const Tick sense_start = std::max(earliest, die.freeAt());
+    const Tick sensed = die.reserve(earliest, cfg_.readLatency);
+    Resource &ch = channels_[ch_index];
+    const Tick xfer_start = std::max(sensed, ch.freeAt());
+    const Tick done = ch.reserve(sensed, cfg_.pageTransferTime());
+    if (obs::traceOn()) {
+        obs::span(obs::Cat::Nand, dieLane(die_index), "nand.auxRead",
+                  sense_start, sensed);
+        obs::span(obs::Cat::Nand, channelLane(ch_index), "nand.xfer",
+                  xfer_start, done);
+    }
+    return done;
 }
 
 Tick
@@ -91,8 +137,16 @@ NandFlash::eraseBlock(Pbn pbn, Tick earliest)
     blk.nextPage = 0;
     ++blk.eraseCount;
     ++totalErases_;
-    stats_.add("nand.erases");
-    return dieOf(first).reserve(earliest, cfg_.eraseLatency);
+    stats_.add(sErases_);
+    Resource &die = dieOf(first);
+    const Tick erase_start = std::max(earliest, die.freeAt());
+    const Tick done = die.reserve(earliest, cfg_.eraseLatency);
+    if (obs::traceOn()) {
+        obs::span(obs::Cat::Nand, dieLane(layout_.dieIndexOf(first)),
+                  "nand.erase", erase_start, done,
+                  {{"pbn", pbn}, {"eraseCount", blk.eraseCount}});
+    }
+    return done;
 }
 
 bool

@@ -16,6 +16,7 @@
 
 #include "nand/nand_config.h"
 #include "nand/nand_types.h"
+#include "obs/trace.h"
 #include "sim/resource.h"
 #include "sim/stats.h"
 #include "sim/types.h"
@@ -102,6 +103,15 @@ class NandFlash
     Resource &dieOf(Ppn ppn);
     Resource &channelOf(Ppn ppn);
 
+    /** Trace lane of die @p d (die lanes precede channel lanes). */
+    std::uint32_t dieLane(std::uint32_t d) const { return d; }
+    /** Trace lane of channel @p c. */
+    std::uint32_t
+    channelLane(std::uint32_t c) const
+    {
+        return cfg_.dieCount() + c;
+    }
+
     NandConfig cfg_;
     NandLayout layout_;
     std::vector<Block> blocks_;
@@ -109,6 +119,10 @@ class NandFlash
     std::vector<Resource> dies_;
     std::vector<Resource> channels_;
     StatRegistry stats_;
+    StatId sReads_;
+    StatId sPrograms_;
+    StatId sErases_;
+    StatId sAuxReads_;
     std::uint64_t totalErases_ = 0;
 };
 

@@ -1,0 +1,35 @@
+#include "obs/artifacts.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace checkin::obs {
+
+ArtifactWriter::ArtifactWriter(const std::string &base_dir,
+                               const std::string &run_name)
+{
+    std::filesystem::path dir(base_dir);
+    dir /= run_name;
+    std::filesystem::create_directories(dir);
+    bundle_.dir = dir.string();
+}
+
+void
+ArtifactWriter::writeText(const std::string &filename,
+                          const std::string &content)
+{
+    const std::filesystem::path path =
+        std::filesystem::path(bundle_.dir) / filename;
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os)
+        throw std::runtime_error("cannot write artifact: " +
+                                 path.string());
+    os << content;
+    if (!os)
+        throw std::runtime_error("artifact write failed: " +
+                                 path.string());
+    bundle_.files.push_back(filename);
+}
+
+} // namespace checkin::obs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Run artifact bundles: a per-run directory of machine-readable
+ * observability outputs (trace JSON, metrics JSON/CSV, run summary)
+ * written with deterministic bytes so artifacts can be diffed across
+ * runs and commits.
+ */
+
+#ifndef CHECKIN_OBS_ARTIFACTS_H_
+#define CHECKIN_OBS_ARTIFACTS_H_
+
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace checkin::obs {
+
+/** What to collect and where to put it for one run. */
+struct ObsOptions
+{
+    /** Record trace events during the run (spans/instants/counters). */
+    bool traceEnabled = false;
+
+    /**
+     * When non-empty, write the artifact bundle into
+     * <artifactDir>/<runName>/ after the run.
+     */
+    std::string artifactDir;
+
+    /** Bundle subdirectory name (one per experiment point). */
+    std::string runName = "run";
+
+    /** Bucket width for collected time series. */
+    Tick seriesInterval = kMsec;
+};
+
+/** Files written for one run. */
+struct ArtifactBundle
+{
+    /** Bundle directory ("" when artifacts were not requested). */
+    std::string dir;
+
+    /** File names inside dir (e.g. "trace.json"). */
+    std::vector<std::string> files;
+
+    bool empty() const { return dir.empty(); }
+};
+
+/**
+ * Writes artifact files into a bundle directory, creating it (and
+ * parents) on first use.
+ */
+class ArtifactWriter
+{
+  public:
+    /** Bundle lives at <base_dir>/<run_name>. */
+    ArtifactWriter(const std::string &base_dir,
+                   const std::string &run_name);
+
+    /**
+     * Write @p content to @p filename inside the bundle directory
+     * and record it in the bundle.
+     * @throws std::runtime_error when the file cannot be written.
+     */
+    void writeText(const std::string &filename,
+                   const std::string &content);
+
+    const ArtifactBundle &bundle() const { return bundle_; }
+
+  private:
+    ArtifactBundle bundle_;
+};
+
+} // namespace checkin::obs
+
+#endif // CHECKIN_OBS_ARTIFACTS_H_

@@ -1,0 +1,158 @@
+#include "obs/json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace checkin::obs {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char raw : s) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += raw;
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (stack_.empty())
+        return;
+    Level &top = stack_.back();
+    if (top.pendingKey) {
+        // The comma was already written before the key.
+        top.pendingKey = false;
+        return;
+    }
+    if (top.any)
+        os_ << ',';
+    top.any = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << '{';
+    stack_.push_back(Level{});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    os_ << '}';
+    stack_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << '[';
+    stack_.push_back(Level{});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    os_ << ']';
+    stack_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    Level &top = stack_.back();
+    if (top.any)
+        os_ << ',';
+    top.any = true;
+    top.pendingKey = true;
+    os_ << '"' << jsonEscape(k) << "\":";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    preValue();
+    // Fixed format keeps output byte-stable for identical inputs.
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    preValue();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    preValue();
+    os_ << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::newline()
+{
+    os_ << '\n';
+    return *this;
+}
+
+} // namespace checkin::obs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal deterministic JSON emitter for observability artifacts.
+ *
+ * All exporters in obs/ (trace, metrics, run summaries) go through
+ * this writer so their output is byte-stable: keys are emitted in the
+ * order the caller provides (callers sort), doubles use a fixed
+ * printf format, and strings are escaped per RFC 8259. No reflection,
+ * no DOM — just a comma-managing stream wrapper.
+ */
+
+#ifndef CHECKIN_OBS_JSON_H_
+#define CHECKIN_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace checkin::obs {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Streaming JSON writer with automatic comma placement. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next value call supplies its value. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Insert a raw newline (for line-per-record diffability). */
+    JsonWriter &newline();
+
+  private:
+    /** Emit a separating comma when needed and mark a value written. */
+    void preValue();
+
+    struct Level
+    {
+        bool any = false;      //!< a member was already written
+        bool pendingKey = false;
+    };
+
+    std::ostream &os_;
+    std::vector<Level> stack_;
+};
+
+} // namespace checkin::obs
+
+#endif // CHECKIN_OBS_JSON_H_

@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace checkin::obs {
+
+MetricId
+MetricsRegistry::internScalar(const std::string &name, Kind kind)
+{
+    auto [it, inserted] = scalarIndex_.try_emplace(
+        name, MetricId(scalarValues_.size()));
+    if (inserted) {
+        scalarNames_.push_back(name);
+        scalarKinds_.push_back(kind);
+        scalarValues_.push_back(0);
+    }
+    return it->second;
+}
+
+MetricId
+MetricsRegistry::counter(const std::string &name)
+{
+    return internScalar(name, Kind::Counter);
+}
+
+MetricId
+MetricsRegistry::gauge(const std::string &name)
+{
+    return internScalar(name, Kind::Gauge);
+}
+
+MetricId
+MetricsRegistry::series(const std::string &name, Tick interval)
+{
+    auto [it, inserted] =
+        seriesIndex_.try_emplace(name, MetricId(series_.size()));
+    if (inserted)
+        series_.push_back(NamedSeries{name, TimeSeries(interval)});
+    return it->second;
+}
+
+MetricId
+MetricsRegistry::histogram(const std::string &name)
+{
+    auto [it, inserted] =
+        histIndex_.try_emplace(name, MetricId(hists_.size()));
+    if (inserted)
+        hists_.push_back(NamedHist{name, LatencyHistogram()});
+    return it->second;
+}
+
+void
+MetricsRegistry::importStats(const StatRegistry &stats)
+{
+    for (const auto &[name, value] : stats.all())
+        add(counter(name), value);
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+
+    w.key("counters").beginObject();
+    for (const auto &[name, id] : scalarIndex_) {
+        if (scalarKinds_[id] == Kind::Counter)
+            w.kv(name, scalarValues_[id]);
+    }
+    w.endObject();
+
+    w.key("gauges").beginObject();
+    for (const auto &[name, id] : scalarIndex_) {
+        if (scalarKinds_[id] == Kind::Gauge)
+            w.kv(name, scalarValues_[id]);
+    }
+    w.endObject();
+
+    w.key("histograms").beginObject();
+    for (const auto &[name, id] : histIndex_) {
+        const LatencyHistogram &h = hists_[id].data;
+        w.key(name).beginObject();
+        w.kv("count", h.count());
+        w.kv("sum", h.sum());
+        w.kv("min", h.min());
+        w.kv("mean", h.mean());
+        w.kv("p50", h.quantile(0.5));
+        w.kv("p99", h.quantile(0.99));
+        w.kv("p999", h.quantile(0.999));
+        w.kv("max", h.max());
+        w.endObject();
+    }
+    w.endObject();
+
+    w.key("series").beginObject();
+    for (const auto &[name, id] : seriesIndex_) {
+        const TimeSeries &s = series_[id].data;
+        w.key(name).beginObject();
+        w.kv("intervalTicks", std::uint64_t(s.interval()));
+        w.key("buckets").beginArray();
+        const auto [first, last] = s.activeRange();
+        for (std::size_t b = first;
+             b <= last && b < s.buckets().size(); ++b) {
+            const TimeSeries::Bucket &bk = s.buckets()[b];
+            w.beginArray();
+            w.value(std::uint64_t(b));
+            w.value(bk.count);
+            w.value(bk.sum);
+            w.value(bk.max);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+void
+MetricsRegistry::writeScalarsCsv(std::ostream &os) const
+{
+    os << "name,value\n";
+    for (const auto &[name, id] : scalarIndex_)
+        os << name << ',' << scalarValues_[id] << '\n';
+}
+
+std::string
+MetricsRegistry::scalarsCsv() const
+{
+    std::ostringstream os;
+    writeScalarsCsv(os);
+    return os.str();
+}
+
+void
+MetricsRegistry::writeSeriesCsv(std::ostream &os) const
+{
+    os << "series,bucket,start_tick,count,sum,max\n";
+    for (const auto &[name, id] : seriesIndex_) {
+        const TimeSeries &s = series_[id].data;
+        const auto [first, last] = s.activeRange();
+        for (std::size_t b = first;
+             b <= last && b < s.buckets().size(); ++b) {
+            const TimeSeries::Bucket &bk = s.buckets()[b];
+            if (bk.count == 0)
+                continue;
+            os << name << ',' << b << ','
+               << std::uint64_t(b) * s.interval() << ',' << bk.count
+               << ',' << bk.sum << ',' << bk.max << '\n';
+        }
+    }
+}
+
+std::string
+MetricsRegistry::seriesCsv() const
+{
+    std::ostringstream os;
+    writeSeriesCsv(os);
+    return os.str();
+}
+
+} // namespace checkin::obs

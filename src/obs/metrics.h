@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Typed metrics registry: interned-ID counters and gauges plus
+ * tick-bucketed time series and latency histograms, with JSON and
+ * CSV exporters.
+ *
+ * This supersedes raw string-keyed StatRegistry use for run-level
+ * reporting: names are interned once at registration, updates are
+ * array-indexed, and exporters emit in sorted-name order so artifacts
+ * are stable and diffable. Legacy StatRegistry counters merge in via
+ * importStats() so one exporter covers both worlds.
+ */
+
+#ifndef CHECKIN_OBS_METRICS_H_
+#define CHECKIN_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/histogram.h"
+#include "sim/stats.h"
+#include "sim/timeseries.h"
+#include "sim/types.h"
+
+namespace checkin::obs {
+
+/** Interned metric handle; indexes are stable after registration. */
+using MetricId = std::uint32_t;
+
+/** Registry of typed metrics with stable, diffable exporters. */
+class MetricsRegistry
+{
+  public:
+    // ------------------------------------------------------------------
+    // Registration (intern once, then hot-path updates by id)
+    // ------------------------------------------------------------------
+    /** Register (or look up) a monotonically increasing counter. */
+    MetricId counter(const std::string &name);
+
+    /** Register (or look up) a last-value-wins gauge. */
+    MetricId gauge(const std::string &name);
+
+    /** Register (or look up) a tick-bucketed time series. */
+    MetricId series(const std::string &name, Tick interval);
+
+    /** Register (or look up) a log-linear latency histogram. */
+    MetricId histogram(const std::string &name);
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+    void
+    add(MetricId id, std::uint64_t delta = 1)
+    {
+        scalarValues_[id] += delta;
+    }
+
+    void
+    set(MetricId id, std::uint64_t value)
+    {
+        scalarValues_[id] = value;
+    }
+
+    std::uint64_t
+    value(MetricId id) const
+    {
+        return scalarValues_[id];
+    }
+
+    /** Add a (when, value) sample to time series @p id. */
+    void
+    sample(MetricId id, Tick when, std::uint64_t value)
+    {
+        series_[id].data.record(when, value);
+    }
+
+    /** Record @p value into histogram @p id. */
+    void
+    observe(MetricId id, std::uint64_t value)
+    {
+        hists_[id].data.record(value);
+    }
+
+    const TimeSeries &
+    seriesData(MetricId id) const
+    {
+        return series_[id].data;
+    }
+
+    const LatencyHistogram &
+    histogramData(MetricId id) const
+    {
+        return hists_[id].data;
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy bridge + export
+    // ------------------------------------------------------------------
+    /** Merge every counter of @p stats (add semantics). */
+    void importStats(const StatRegistry &stats);
+
+    /**
+     * Full registry as JSON: {"counters":{}, "gauges":{},
+     * "histograms":{}, "series":{}} with sorted keys.
+     */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+
+    /** Counters + gauges as "name,value" CSV (sorted by name). */
+    void writeScalarsCsv(std::ostream &os) const;
+    std::string scalarsCsv() const;
+
+    /** All series as "series,bucket,start_tick,count,sum,max" CSV. */
+    void writeSeriesCsv(std::ostream &os) const;
+    std::string seriesCsv() const;
+
+  private:
+    enum class Kind : std::uint8_t { Counter, Gauge };
+
+    MetricId internScalar(const std::string &name, Kind kind);
+
+    struct NamedSeries
+    {
+        std::string name;
+        TimeSeries data;
+    };
+
+    struct NamedHist
+    {
+        std::string name;
+        LatencyHistogram data;
+    };
+
+    std::map<std::string, MetricId> scalarIndex_;
+    std::vector<std::string> scalarNames_;
+    std::vector<Kind> scalarKinds_;
+    std::vector<std::uint64_t> scalarValues_;
+
+    std::map<std::string, MetricId> seriesIndex_;
+    std::vector<NamedSeries> series_;
+
+    std::map<std::string, MetricId> histIndex_;
+    std::vector<NamedHist> hists_;
+};
+
+} // namespace checkin::obs
+
+#endif // CHECKIN_OBS_METRICS_H_

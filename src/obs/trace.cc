@@ -1,0 +1,193 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace checkin::obs {
+
+const char *
+catName(Cat cat)
+{
+    switch (cat) {
+      case Cat::Workload: return "workload";
+      case Cat::Engine: return "engine";
+      case Cat::Ssd: return "ssd";
+      case Cat::Ftl: return "ftl";
+      case Cat::Nand: return "nand";
+      case Cat::Sim: return "sim";
+      case Cat::kCount: break;
+    }
+    return "?";
+}
+
+void
+Tracer::push(Phase phase, Cat cat, std::uint32_t lane,
+             const char *name, Tick ts, std::uint64_t dur,
+             std::initializer_list<TraceArg> args)
+{
+    Event e;
+    e.phase = phase;
+    e.cat = cat;
+    e.lane = lane;
+    e.name = name;
+    e.ts = ts;
+    e.dur = dur;
+    e.nargs = 0;
+    for (const TraceArg &a : args) {
+        if (e.nargs >= kMaxArgs)
+            break;
+        e.argKeys[e.nargs] = a.key;
+        e.argVals[e.nargs] = a.value;
+        ++e.nargs;
+    }
+    events_.push_back(e);
+}
+
+void
+Tracer::span(Cat cat, std::uint32_t lane, const char *name,
+             Tick begin, Tick end,
+             std::initializer_list<TraceArg> args)
+{
+    if (!enabled_)
+        return;
+    const std::uint64_t dur = end > begin ? end - begin : 0;
+    push(Phase::Span, cat, lane, name, begin, dur, args);
+}
+
+void
+Tracer::instant(Cat cat, std::uint32_t lane, const char *name,
+                Tick at, std::initializer_list<TraceArg> args)
+{
+    if (!enabled_)
+        return;
+    push(Phase::Instant, cat, lane, name, at, 0, args);
+}
+
+void
+Tracer::counter(Cat cat, std::uint32_t lane, const char *name,
+                Tick at, std::uint64_t value)
+{
+    if (!enabled_)
+        return;
+    push(Phase::Counter, cat, lane, name, at, value, {});
+}
+
+void
+Tracer::setLaneName(Cat cat, std::uint32_t lane, std::string name)
+{
+    const std::uint64_t key =
+        (std::uint64_t(static_cast<std::uint8_t>(cat)) << 32) | lane;
+    laneNames_[key] = std::move(name);
+}
+
+std::uint64_t
+Tracer::countIn(Cat cat) const
+{
+    std::uint64_t n = 0;
+    for (const Event &e : events_) {
+        if (e.cat == cat)
+            ++n;
+    }
+    return n;
+}
+
+namespace {
+
+/** Ticks (ns) rendered as microseconds with ns precision. */
+std::string
+ticksAsUs(std::uint64_t ticks)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64,
+                  ticks / 1000, ticks % 1000);
+    return buf;
+}
+
+} // namespace
+
+void
+Tracer::writeJson(std::ostream &os) const
+{
+    // Chrome trace ts/dur fields are microseconds; ticks are ns.
+    // Everything is emitted with integer math so the bytes are a pure
+    // function of the recorded events.
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    const auto sep = [&os, &first] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Metadata: process (layer) names, then lane (thread) names.
+    for (std::size_t c = 0; c < kCatCount; ++c) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << c + 1
+           << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+           << catName(static_cast<Cat>(c)) << "\"}}";
+    }
+    for (const auto &[key, name] : laneNames_) {
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << (key >> 32) + 1
+           << ",\"tid\":" << (key & 0xffffffffu)
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << jsonEscape(name) << "\"}}";
+    }
+
+    // Events, sorted by timestamp; emission order breaks ties so the
+    // output is stable.
+    std::vector<std::size_t> order(events_.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         return events_[a].ts < events_[b].ts;
+                     });
+    for (const std::size_t i : order) {
+        const Event &e = events_[i];
+        sep();
+        const int pid = static_cast<std::uint8_t>(e.cat) + 1;
+        os << "{\"ph\":\"";
+        switch (e.phase) {
+          case Phase::Span: os << 'X'; break;
+          case Phase::Instant: os << 'i'; break;
+          case Phase::Counter: os << 'C'; break;
+        }
+        os << "\",\"pid\":" << pid << ",\"tid\":" << e.lane
+           << ",\"ts\":" << ticksAsUs(e.ts);
+        if (e.phase == Phase::Span)
+            os << ",\"dur\":" << ticksAsUs(e.dur);
+        os << ",\"cat\":\"" << catName(e.cat) << "\",\"name\":\""
+           << jsonEscape(e.name) << '"';
+        if (e.phase == Phase::Instant)
+            os << ",\"s\":\"t\"";
+        if (e.phase == Phase::Counter) {
+            os << ",\"args\":{\"value\":" << e.dur << '}';
+        } else if (e.nargs > 0) {
+            os << ",\"args\":{";
+            for (std::uint8_t a = 0; a < e.nargs; ++a) {
+                if (a > 0)
+                    os << ',';
+                os << '"' << jsonEscape(e.argKeys[a])
+                   << "\":" << e.argVals[a];
+            }
+            os << '}';
+        }
+        os << '}';
+    }
+    os << "\n]}\n";
+}
+
+std::string
+Tracer::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace checkin::obs

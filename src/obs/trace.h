@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Structured event tracer: zero-cost-when-disabled spans, instants
+ * and counters keyed to simulation ticks, exported as Chrome
+ * trace_event JSON (loadable in Perfetto / chrome://tracing).
+ *
+ * Layers emit probes through the free functions at the bottom of this
+ * header (obs::span / obs::instant / obs::counterSample). Probes
+ * consult a process-global installed Tracer: when none is installed,
+ * or the installed tracer is disabled, a probe is a single pointer +
+ * flag check and performs no allocation. Install a tracer with
+ * TraceScope (RAII) around the code under observation.
+ *
+ * Layout convention (see docs/OBSERVABILITY.md):
+ *  - Chrome "process" (pid) = layer (Cat): workload, engine, ssd,
+ *    ftl, nand;
+ *  - Chrome "thread" (tid) = lane inside the layer: client thread,
+ *    die index, channel index, ... Lanes can be named.
+ *  - event names are "noun.verb" strings, lowercase, prefixed by
+ *    their subsystem ("nand.sense", "ckpt.data", "op.read").
+ *
+ * Determinism contract: all timestamps are simulation ticks and event
+ * order is the (deterministic) emission order, so the same seed
+ * produces a byte-identical trace JSON.
+ */
+
+#ifndef CHECKIN_OBS_TRACE_H_
+#define CHECKIN_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace checkin::obs {
+
+/** Trace category: one Chrome "process" per simulated layer. */
+enum class Cat : std::uint8_t
+{
+    Workload = 0,
+    Engine,
+    Ssd,
+    Ftl,
+    Nand,
+    Sim,
+    kCount,
+};
+
+inline constexpr std::size_t kCatCount =
+    static_cast<std::size_t>(Cat::kCount);
+
+/** Lowercase layer name ("workload", "engine", ...). */
+const char *catName(Cat cat);
+
+/** One key/value annotation attached to an event. */
+struct TraceArg
+{
+    const char *key;
+    std::uint64_t value;
+};
+
+/**
+ * Event recorder. Event names and arg keys must be string literals
+ * (or otherwise outlive the tracer): only the pointer is stored.
+ */
+class Tracer
+{
+  public:
+    static constexpr std::size_t kMaxArgs = 3;
+
+    enum class Phase : std::uint8_t
+    {
+        Span,    //!< Chrome "X" complete event (ts + dur)
+        Instant, //!< Chrome "i" instant event
+        Counter, //!< Chrome "C" counter sample
+    };
+
+    struct Event
+    {
+        Phase phase;
+        Cat cat;
+        std::uint8_t nargs;
+        std::uint32_t lane;
+        const char *name;
+        Tick ts;
+        /** Span: duration. Counter: sampled value. Instant: 0. */
+        std::uint64_t dur;
+        std::array<const char *, kMaxArgs> argKeys;
+        std::array<std::uint64_t, kMaxArgs> argVals;
+    };
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /** Record a completed span [begin, end] on (cat, lane). */
+    void span(Cat cat, std::uint32_t lane, const char *name,
+              Tick begin, Tick end,
+              std::initializer_list<TraceArg> args = {});
+
+    /** Record an instant event at @p at. */
+    void instant(Cat cat, std::uint32_t lane, const char *name,
+                 Tick at, std::initializer_list<TraceArg> args = {});
+
+    /** Record a counter sample (rendered as a counter track). */
+    void counter(Cat cat, std::uint32_t lane, const char *name,
+                 Tick at, std::uint64_t value);
+
+    /** Name a (cat, lane) track, e.g. lane 2 of Nand -> "die2". */
+    void setLaneName(Cat cat, std::uint32_t lane, std::string name);
+
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Bytes reserved for event storage (0 until first event). */
+    std::size_t
+    storageCapacity() const
+    {
+        return events_.capacity() * sizeof(Event);
+    }
+
+    /** Events recorded in category @p cat (any phase). */
+    std::uint64_t countIn(Cat cat) const;
+
+    /** Drop all recorded events (lane names are kept). */
+    void clear() { events_.clear(); }
+
+    const std::vector<Event> &events() const { return events_; }
+
+    /**
+     * Write the whole trace as Chrome trace_event JSON: metadata
+     * (process/thread names) first, then events sorted by timestamp
+     * with emission order as the tie-breaker. One event per line.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** writeJson into a string. */
+    std::string toJson() const;
+
+  private:
+    void push(Phase phase, Cat cat, std::uint32_t lane,
+              const char *name, Tick ts, std::uint64_t dur,
+              std::initializer_list<TraceArg> args);
+
+    bool enabled_ = false;
+    std::vector<Event> events_;
+    /** (cat << 32 | lane) -> display name. */
+    std::map<std::uint64_t, std::string> laneNames_;
+};
+
+namespace detail {
+/** Process-global probe target; nullptr when tracing is off. */
+inline Tracer *g_tracer = nullptr;
+} // namespace detail
+
+/** Currently installed tracer (nullptr when none). */
+inline Tracer *
+installedTracer()
+{
+    return detail::g_tracer;
+}
+
+/** Install @p t as the probe target (nullptr uninstalls). */
+inline void
+installTracer(Tracer *t)
+{
+    detail::g_tracer = t;
+}
+
+/** RAII installation of a tracer; restores the previous on exit. */
+class TraceScope
+{
+  public:
+    explicit TraceScope(Tracer &t) : prev_(detail::g_tracer)
+    {
+        detail::g_tracer = &t;
+    }
+    ~TraceScope() { detail::g_tracer = prev_; }
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    Tracer *prev_;
+};
+
+/** True when probes will record (installed and enabled tracer). */
+inline bool
+traceOn()
+{
+    const Tracer *t = detail::g_tracer;
+    return t != nullptr && t->enabled();
+}
+
+// ----------------------------------------------------------------------
+// Probe points. Names and arg keys must be string literals.
+// ----------------------------------------------------------------------
+
+inline void
+span(Cat cat, std::uint32_t lane, const char *name, Tick begin,
+     Tick end, std::initializer_list<TraceArg> args = {})
+{
+    if (Tracer *t = detail::g_tracer; t != nullptr && t->enabled())
+        t->span(cat, lane, name, begin, end, args);
+}
+
+inline void
+instant(Cat cat, std::uint32_t lane, const char *name, Tick at,
+        std::initializer_list<TraceArg> args = {})
+{
+    if (Tracer *t = detail::g_tracer; t != nullptr && t->enabled())
+        t->instant(cat, lane, name, at, args);
+}
+
+inline void
+counterSample(Cat cat, std::uint32_t lane, const char *name, Tick at,
+              std::uint64_t value)
+{
+    if (Tracer *t = detail::g_tracer; t != nullptr && t->enabled())
+        t->counter(cat, lane, name, at, value);
+}
+
+/** Register a lane display name on the installed tracer, if any. */
+inline void
+nameLane(Cat cat, std::uint32_t lane, const std::string &name)
+{
+    if (Tracer *t = detail::g_tracer; t != nullptr && t->enabled())
+        t->setLaneName(cat, lane, name);
+}
+
+} // namespace checkin::obs
+
+#endif // CHECKIN_OBS_TRACE_H_

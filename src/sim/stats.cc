@@ -8,10 +8,10 @@ std::string
 StatRegistry::dump(const std::string &prefix) const
 {
     std::ostringstream os;
-    for (const auto &[name, value] : counters_) {
+    for (const auto &[name, id] : index_) {
         if (!prefix.empty() && name.rfind(prefix, 0) != 0)
             continue;
-        os << name << " = " << value << "\n";
+        os << name << " = " << values_[id] << "\n";
     }
     return os.str();
 }

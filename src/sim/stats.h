@@ -5,6 +5,11 @@
  * Modules register counters against a StatRegistry; the harness dumps
  * them after a run. Counters are plain uint64s addressed by name so
  * tests can assert on exact operation counts.
+ *
+ * Hot paths should intern() their counter names once (typically in
+ * the owning module's constructor) and update through the returned
+ * StatId: an interned add is a plain array index instead of a
+ * std::map string lookup per event.
  */
 
 #ifndef CHECKIN_SIM_STATS_H_
@@ -17,52 +22,93 @@
 
 namespace checkin {
 
-/** Ordered map of named uint64 counters. */
+/** Interned counter handle; stable for the registry's lifetime. */
+using StatId = std::uint32_t;
+
+/** Registry of named uint64 counters with interned fast handles. */
 class StatRegistry
 {
   public:
+    /**
+     * Intern @p name, creating the counter at zero. Idempotent: the
+     * same name always returns the same id.
+     */
+    StatId
+    intern(const std::string &name)
+    {
+        auto [it, inserted] =
+            index_.try_emplace(name, StatId(values_.size()));
+        if (inserted)
+            values_.push_back(0);
+        return it->second;
+    }
+
+    /** Add @p delta to the interned counter @p id. */
+    void
+    add(StatId id, std::uint64_t delta = 1)
+    {
+        values_[id] += delta;
+    }
+
+    /** Set the interned counter @p id to @p value. */
+    void
+    set(StatId id, std::uint64_t value)
+    {
+        values_[id] = value;
+    }
+
+    /** Read the interned counter @p id. */
+    std::uint64_t get(StatId id) const { return values_[id]; }
+
     /** Add @p delta to counter @p name, creating it at zero. */
     void
     add(const std::string &name, std::uint64_t delta = 1)
     {
-        counters_[name] += delta;
+        values_[intern(name)] += delta;
     }
 
     /** Set counter @p name to @p value. */
     void
     set(const std::string &name, std::uint64_t value)
     {
-        counters_[name] = value;
+        values_[intern(name)] = value;
     }
 
     /** Read counter @p name; zero when absent. */
     std::uint64_t
     get(const std::string &name) const
     {
-        auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second;
+        auto it = index_.find(name);
+        return it == index_.end() ? 0 : values_[it->second];
     }
 
     /** All counters, sorted by name. */
-    const std::map<std::string, std::uint64_t> &
+    std::map<std::string, std::uint64_t>
     all() const
     {
-        return counters_;
+        std::map<std::string, std::uint64_t> out;
+        for (const auto &[name, id] : index_)
+            out.emplace(name, values_[id]);
+        return out;
     }
 
-    /** Reset every counter to zero (names are kept). */
+    /** Number of registered counters. */
+    std::size_t size() const { return values_.size(); }
+
+    /** Reset every counter to zero (names and ids are kept). */
     void
     reset()
     {
-        for (auto &kv : counters_)
-            kv.second = 0;
+        for (std::uint64_t &v : values_)
+            v = 0;
     }
 
     /** Render as "name = value" lines. */
     std::string dump(const std::string &prefix = "") const;
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, StatId> index_;
+    std::vector<std::uint64_t> values_;
 };
 
 } // namespace checkin

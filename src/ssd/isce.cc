@@ -81,6 +81,12 @@ Isce::bufferSmallRecord(const CowPair &pair, Tick start)
         }
     }
     stats_.add("isce.bufferedSmallRecords");
+    if (obs::traceOn()) {
+        obs::instant(obs::Cat::Ssd, kIsceLane, "isce.buffer",
+                     fetched, {{"chunks", pair.chunks}});
+        obs::counterSample(obs::Cat::Ssd, kIsceLane, "isce.smallBuf",
+                           fetched, smallBuf_.size());
+    }
     return fetched;
 }
 
@@ -133,6 +139,12 @@ Isce::flushSmallBuffer(Tick start)
     }
     stats_.add("isce.smallBufferFlushes");
     stats_.add("isce.flushedSmallSectors", smallBuf_.size());
+    if (obs::traceOn()) {
+        obs::span(obs::Cat::Ssd, kIsceLane, "isce.flush", start, done,
+                  {{"sectors", smallBuf_.size()}});
+        obs::counterSample(obs::Cat::Ssd, kIsceLane, "isce.smallBuf",
+                           done, 0);
+    }
     smallBuf_.clear();
     return done;
 }
@@ -190,6 +202,8 @@ Isce::checkpoint(const std::vector<CowPair> &pairs, Tick start,
             }
             stats_.add("isce.remappedPairs");
             stats_.add("isce.remappedUnits", units);
+            obs::instant(obs::Cat::Ssd, kIsceLane, "isce.remap", t,
+                         {{"units", units}});
             done = std::max(done, t_pair);
         } else if (remap_allowed && pair.forceCopy &&
                    cfg_.smallBufferSectors > 0 &&
@@ -201,7 +215,10 @@ Isce::checkpoint(const std::vector<CowPair> &pairs, Tick start,
             done = std::max(done, bufferSmallRecord(pair, t));
         } else {
             invalidateRange(pair.dst, pair.dstSectors());
-            done = std::max(done, copyRecord(pair, t));
+            const Tick copied = copyRecord(pair, t);
+            obs::span(obs::Cat::Ssd, kIsceLane, "isce.copy", t,
+                      copied, {{"chunks", pair.chunks}});
+            done = std::max(done, copied);
             stats_.add("isce.copiedPairs");
             stats_.add("isce.copiedChunks", pair.chunks);
         }

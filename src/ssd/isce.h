@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "ftl/ftl.h"
+#include "obs/trace.h"
 #include "sim/resource.h"
 #include "sim/stats.h"
 #include "ssd/command.h"
@@ -38,6 +39,7 @@ class Isce
          StatRegistry &stats)
         : ftl_(ftl), cpu_(cpu), cfg_(cfg), stats_(stats)
     {
+        obs::nameLane(obs::Cat::Ssd, kIsceLane, "isce");
     }
 
     /**
@@ -107,6 +109,9 @@ class Isce
         SectorData data;
         std::uint64_t version = 0;
     };
+
+    /** Trace lane for checkpoint-engine events (Cat::Ssd). */
+    static constexpr std::uint32_t kIsceLane = 1;
 
     Ftl &ftl_;
     Resource &cpu_;

@@ -37,6 +37,14 @@ Ssd::Ssd(EventQueue &eq, const NandConfig &nand_cfg,
         while (inflightPrograms_.size() > 4 * cfg_.writeBufferPages)
             inflightPrograms_.erase(inflightPrograms_.begin());
     });
+    for (std::size_t c = 0; c < kCmdTypeCount; ++c) {
+        sCmd_[c] = stats_.intern(
+            std::string("ssd.cmd.") +
+            cmdTypeName(static_cast<CmdType>(c)));
+    }
+    sWriteStalls_ = stats_.intern("ssd.writeStalls");
+    sQueueFullStalls_ = stats_.intern("ssd.queueFullStalls");
+    obs::nameLane(obs::Cat::Ssd, kFrontendLane, "frontend");
 }
 
 Tick
@@ -63,9 +71,11 @@ Ssd::applyWriteBackpressure(Tick ack)
         inflightPrograms_.erase(inflightPrograms_.begin());
         if (drain > ack) {
             ack = drain;
-            stats_.add("ssd.writeStalls");
+            stats_.add(sWriteStalls_);
         }
     }
+    obs::counterSample(obs::Cat::Ssd, kFrontendLane, "ssd.writeBuf",
+                       ack, inflightPrograms_.size());
     return ack;
 }
 
@@ -81,7 +91,11 @@ Ssd::admitCommand(Tick now)
     while (inflightCommands_.size() >= cfg_.queueDepth) {
         admission = std::max(admission, *inflightCommands_.begin());
         inflightCommands_.erase(inflightCommands_.begin());
-        stats_.add("ssd.queueFullStalls");
+        stats_.add(sQueueFullStalls_);
+    }
+    if (admission > now) {
+        obs::span(obs::Cat::Ssd, kFrontendLane, "ssd.qwait", now,
+                  admission);
     }
     return admission;
 }
@@ -89,9 +103,15 @@ Ssd::admitCommand(Tick now)
 Tick
 Ssd::processCommand(const Command &cmd)
 {
-    stats_.add(std::string("ssd.cmd.") + cmdTypeName(cmd.type));
+    stats_.add(sCmd_[std::size_t(cmd.type)]);
     const Tick now = eq_.now();
-    Tick t = cpu_.reserve(admitCommand(now), cfg_.commandOverhead);
+    // cmdTypeName returns string literals, so the pointer is safe to
+    // store in the trace buffer.
+    obs::instant(obs::Cat::Ssd, kFrontendLane, cmdTypeName(cmd.type),
+                 now, {{"lba", cmd.lba}, {"nsect", cmd.nsect}});
+    const Tick admitted = admitCommand(now);
+    const Tick fw_start = std::max(admitted, cpu_.freeAt());
+    Tick t = cpu_.reserve(admitted, cfg_.commandOverhead);
     if (cmd.type == CmdType::Read || cmd.type == CmdType::Write) {
         // Address translation cost scales with the mapping units the
         // request spans (finer mapping -> more metadata processing).
@@ -99,6 +119,8 @@ Ssd::processCommand(const Command &cmd)
             divCeil(cmd.nsect, ftl_.sectorsPerUnit());
         t = cpu_.reserve(t, units * cfg_.perUnitCpuTime);
     }
+    // Firmware occupancy of the controller core (decode + lookup).
+    obs::span(obs::Cat::Ssd, kFrontendLane, "ssd.fw", fw_start, t);
 
     switch (cmd.type) {
       case CmdType::Read: {

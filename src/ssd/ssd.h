@@ -13,6 +13,7 @@
 #define CHECKIN_SSD_SSD_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <set>
@@ -21,6 +22,7 @@
 #include "ftl/ftl_config.h"
 #include "nand/nand_config.h"
 #include "nand/nand_flash.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/resource.h"
 #include "sim/stats.h"
@@ -111,6 +113,12 @@ class Ssd
     /** Queue-depth admission: tick at which the command may start. */
     Tick admitCommand(Tick now);
 
+    /** Trace lane for front-end events (Cat::Ssd). */
+    static constexpr std::uint32_t kFrontendLane = 0;
+
+    /** Interned hot-path counters (see sim/stats.h). */
+    static constexpr std::size_t kCmdTypeCount = 8;
+
     EventQueue &eq_;
     SsdConfig cfg_;
     NandFlash nand_;
@@ -118,6 +126,9 @@ class Ssd
     Resource bus_{"pcie"};
     Resource cpu_{"ssd-cpu"};
     StatRegistry stats_;
+    std::array<StatId, kCmdTypeCount> sCmd_;
+    StatId sWriteStalls_;
+    StatId sQueueFullStalls_;
     Isce isce_;
     std::multiset<Tick> inflightPrograms_;
     std::multiset<Tick> inflightCommands_;

@@ -1,8 +1,28 @@
 #include "workload/client.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace checkin {
+
+namespace {
+
+const char *
+opTraceName(WorkloadGenerator::OpType type)
+{
+    switch (type) {
+      case WorkloadGenerator::OpType::Read: return "op.read";
+      case WorkloadGenerator::OpType::Update: return "op.update";
+      case WorkloadGenerator::OpType::Rmw: return "op.rmw";
+      case WorkloadGenerator::OpType::Scan: return "op.scan";
+      case WorkloadGenerator::OpType::Delete: return "op.delete";
+    }
+    return "op.unknown";
+}
+
+} // namespace
 
 ClientPool::ClientPool(EventQueue &eq, KvEngine &engine,
                        const WorkloadSpec &spec,
@@ -13,6 +33,10 @@ ClientPool::ClientPool(EventQueue &eq, KvEngine &engine,
       opTarget_(spec.operationCount),
       threads_(threads)
 {
+    for (std::uint32_t t = 0; t < threads_; ++t) {
+        obs::nameLane(obs::Cat::Workload, t,
+                      "client" + std::to_string(t));
+    }
 }
 
 void
@@ -22,22 +46,22 @@ ClientPool::start()
     stats_.firstIssue = eq_.now();
     for (std::uint32_t t = 0; t < threads_ && opsIssued_ < opTarget_;
          ++t) {
-        issueNext();
+        issueNext(t);
     }
 }
 
 void
-ClientPool::issueNext()
+ClientPool::issueNext(std::uint32_t thread)
 {
     if (opsIssued_ >= opTarget_)
         return;
     ++opsIssued_;
     const WorkloadGenerator::Op op = gen_.next();
     const Tick issued = eq_.now();
-    auto cb = [this, type = op.type,
+    auto cb = [this, type = op.type, thread,
                issued](const QueryResult &res) {
-        record(type, issued, res);
-        issueNext();
+        record(type, thread, issued, res);
+        issueNext(thread);
     };
     switch (op.type) {
       case WorkloadGenerator::OpType::Read:
@@ -60,13 +84,17 @@ ClientPool::issueNext()
 }
 
 void
-ClientPool::record(WorkloadGenerator::OpType type, Tick issued,
+ClientPool::record(WorkloadGenerator::OpType type,
+                   std::uint32_t thread, Tick issued,
                    const QueryResult &res)
 {
     const Tick latency = res.done > issued ? res.done - issued : 0;
     stats_.all.record(latency);
     const bool is_read = type == WorkloadGenerator::OpType::Read ||
                          type == WorkloadGenerator::OpType::Scan;
+    obs::span(obs::Cat::Workload, thread, opTraceName(type), issued,
+              res.done,
+              {{"duringCkpt", res.duringCheckpoint ? 1u : 0u}});
     if (sampler_)
         sampler_(issued, res.done, res.duringCheckpoint, is_read);
     if (is_read)

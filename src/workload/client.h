@@ -75,9 +75,9 @@ class ClientPool
     void setSampler(Sampler s) { sampler_ = std::move(s); }
 
   private:
-    void issueNext();
-    void record(WorkloadGenerator::OpType type, Tick issued,
-                const QueryResult &res);
+    void issueNext(std::uint32_t thread);
+    void record(WorkloadGenerator::OpType type, std::uint32_t thread,
+                Tick issued, const QueryResult &res);
 
     EventQueue &eq_;
     KvEngine &engine_;
