@@ -2,7 +2,7 @@
  * @file
  * Ablation study of Check-In's design choices (beyond the paper's
  * own ISC-A/B/C ladder): disable each mechanism independently and
- * measure what it buys.
+ * measure what it buys. Variants run as one parallel sweep.
  *
  *  full        — complete Check-In
  *  -merge      — Algorithm 2 without MergePartialLogs (each partial
@@ -44,29 +44,41 @@ const Variant kVariants[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
     printHeader("Ablation", "Check-In design choices, YCSB-A "
                             "zipfian, 64 threads");
+
+    ExperimentConfig base = figureScale();
+    base.engine.mode = CheckpointMode::CheckIn;
+    base.engine.checkpointInterval = 25 * kMsec;
+    base.engine.checkpointJournalBytes = 2 * kMiB;
+    base.workload = WorkloadSpec::a();
+    // Odd value sizes exercise bucketing, merging & compression.
+    base.workload.valueSizes = {100, 200, 300, 500, 700, 1000,
+                                1800, 3000};
+    base.workload.operationCount = 30'000;
+    base.threads = 64;
+
+    std::vector<SweepPoint> points;
+    for (const Variant &v : kVariants) {
+        ExperimentConfig c = base;
+        v.apply(c);
+        points.push_back({v.name, c});
+    }
+
+    BenchReport report("ablation_checkin");
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(points, opts, report);
+
     Table t({"variant", "kops/s", "p99.9 ms", "redundant MiB",
              "journal pad %", "remaps", "ckpt avg ms"});
-    BenchReport report("ablation_checkin");
-    for (const Variant &v : kVariants) {
-        ExperimentConfig c = figureScale();
-        c.engine.mode = CheckpointMode::CheckIn;
-        c.engine.checkpointInterval = 25 * kMsec;
-        c.engine.checkpointJournalBytes = 2 * kMiB;
-        c.workload = WorkloadSpec::a();
-        // Odd value sizes exercise bucketing, merging & compression.
-        c.workload.valueSizes = {100, 200, 300, 500, 700, 1000,
-                                 1800, 3000};
-        c.workload.operationCount = 30'000;
-        c.threads = 64;
-        v.apply(c);
-        const RunResult r = runExperiment(c);
-        report.add(v.name, r);
-        t.addRow({v.name, Table::num(r.throughputOps / 1e3, 2),
+    for (const SweepOutcome &o : outcomes) {
+        const RunResult &r = o.result;
+        report.add(o.label, r);
+        t.addRow({o.label, Table::num(r.throughputOps / 1e3, 2),
                   Table::num(
                       double(r.client.all.quantile(0.999)) / 1e6, 2),
                   Table::num(double(r.redundantBytes) / double(kMiB),

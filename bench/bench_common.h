@@ -9,6 +9,8 @@
 #ifndef CHECKIN_BENCH_BENCH_COMMON_H_
 #define CHECKIN_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -21,6 +23,7 @@
 #include "harness/config_dump.h"
 #include "harness/experiment.h"
 #include "harness/run_export.h"
+#include "harness/sweep.h"
 #include "harness/table.h"
 #include "obs/json.h"
 
@@ -106,6 +109,20 @@ class BenchReport
             Entry{std::move(label), std::move(result)});
     }
 
+    /**
+     * Record the worker count and wall-clock of a sweep this report
+     * covers; seconds accumulate across multiple sweeps so the perf
+     * trajectory captures the parallel-harness speedup. Emitted as a
+     * trailing "sweep" object (its own line, so byte-comparison of
+     * the deterministic "runs" lines can skip it).
+     */
+    void
+    noteSweep(unsigned jobs, double wall_seconds)
+    {
+        sweepJobs_ = jobs;
+        sweepSeconds_ += wall_seconds;
+    }
+
     std::string
     toJson() const
     {
@@ -122,6 +139,12 @@ class BenchReport
             w.endObject();
         }
         w.newline().endArray();
+        if (sweepJobs_ > 0) {
+            w.newline().key("sweep").beginObject();
+            w.kv("jobs", std::uint64_t(sweepJobs_));
+            w.kv("wallSeconds", sweepSeconds_);
+            w.endObject();
+        }
         w.endObject();
         os << "\n";
         return os.str();
@@ -160,7 +183,46 @@ class BenchReport
     std::string name_;
     std::vector<Entry> entries_;
     bool written_ = false;
+    unsigned sweepJobs_ = 0;
+    double sweepSeconds_ = 0.0;
 };
+
+/**
+ * Run a sweep for a bench: execute @p points with @p opts, record
+ * worker count + wall-clock into @p report, and abort the bench (exit
+ * 1) after printing every captured per-point failure — matching the
+ * pre-sweep behaviour where the first exception killed the process,
+ * but with all failures visible.
+ */
+inline std::vector<SweepOutcome>
+runBenchSweep(const std::vector<SweepPoint> &points,
+              const SweepOptions &opts, BenchReport &report)
+{
+    const unsigned jobs = std::min<unsigned>(
+        std::max(1u, resolveJobs(opts.jobs)),
+        points.empty() ? 1u
+                       : static_cast<unsigned>(points.size()));
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<SweepOutcome> outcomes = runSweep(points, opts);
+    const double secs =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    report.noteSweep(jobs, secs);
+    std::printf("\n[sweep] %zu points, %u worker%s, %.2f s\n",
+                points.size(), jobs, jobs == 1 ? "" : "s", secs);
+    bool failed = false;
+    for (const SweepOutcome &o : outcomes) {
+        if (!o.ok) {
+            failed = true;
+            std::fprintf(stderr, "sweep point '%s' failed: %s\n",
+                         o.label.c_str(), o.error.c_str());
+        }
+    }
+    if (failed)
+        std::exit(1);
+    return outcomes;
+}
 
 } // namespace checkin::bench
 

@@ -14,6 +14,7 @@
 #include "sim/event_queue.h"
 #include "sim/histogram.h"
 #include "sim/rng.h"
+#include "sim/sim_context.h"
 #include "sim/zipf.h"
 #include "ssd/ssd.h"
 
@@ -158,10 +159,11 @@ BENCHMARK(BM_FormatLogSize)->Arg(0)->Arg(1);
 void
 BM_SsdWriteCommandPath(benchmark::State &state)
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     NandConfig nand = benchNand();
     FtlConfig ftl_cfg;
-    Ssd ssd(eq, nand, ftl_cfg, SsdConfig{});
+    Ssd ssd(ctx, nand, ftl_cfg, SsdConfig{});
     Rng rng(1);
     const std::uint64_t span = ssd.capacitySectors() / 2;
     std::vector<SectorData> payload(1);

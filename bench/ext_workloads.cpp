@@ -4,6 +4,7 @@
  * across checkpoint configurations. The paper evaluates only the
  * write-heavy set (A, F, WO); this bench records how Check-In
  * behaves when reads, scans, or the latest distribution dominate.
+ * The workload x mode grid runs on the parallel sweep runner.
  */
 
 #include <cstdio>
@@ -14,26 +15,45 @@ using namespace checkin;
 using namespace checkin::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
     printHeader("Extension", "full YCSB suite, 64 threads");
-    Table t({"workload", "mode", "kops/s", "avg us", "p99.9 ms",
-             "redundant MiB"});
+
     const WorkloadSpec specs[] = {
         WorkloadSpec::a(), WorkloadSpec::b(), WorkloadSpec::c(),
         WorkloadSpec::d(), WorkloadSpec::e(), WorkloadSpec::f(),
         WorkloadSpec::wo()};
+    const std::vector<CheckpointMode> modes{CheckpointMode::Baseline,
+                                            CheckpointMode::CheckIn};
+
+    std::vector<SweepPoint> points;
     for (const WorkloadSpec &spec : specs) {
-        for (CheckpointMode mode :
-             {CheckpointMode::Baseline, CheckpointMode::CheckIn}) {
+        for (CheckpointMode mode : modes) {
             ExperimentConfig c = figureScale();
             c.engine.mode = mode;
             c.workload = spec;
             c.workload.operationCount = 20'000;
             c.workload.maxScanLength = 32;
             c.threads = 64;
-            const RunResult r = runExperiment(c);
+            points.push_back(
+                {std::string(spec.name) + "-" + modeName(mode), c});
+        }
+    }
+
+    BenchReport report("ext_workloads");
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(points, opts, report);
+
+    Table t({"workload", "mode", "kops/s", "avg us", "p99.9 ms",
+             "redundant MiB"});
+    std::size_t i = 0;
+    for (const WorkloadSpec &spec : specs) {
+        for (CheckpointMode mode : modes) {
+            const RunResult &r = outcomes[i].result;
+            report.add(outcomes[i].label, r);
+            ++i;
             t.addRow({spec.name, modeName(mode),
                       Table::num(r.throughputOps / 1e3, 2),
                       Table::num(r.avgLatencyUs, 1),

@@ -8,6 +8,8 @@
  *  (b) checkpointing time vs thread count, and the latest-version
  *      ratio explaining the uniform/zipfian slope difference.
  *  (c) query latency during checkpointing vs overall average.
+ *
+ * Each part's point set runs on the parallel sweep runner.
  */
 
 #include <cstdio>
@@ -31,15 +33,25 @@ baseCfg(Distribution dist, std::uint32_t threads)
 }
 
 void
-partA()
+partA(BenchReport &report, const SweepOptions &opts)
 {
     printHeader("Fig 3(a)", "I/O and flash-op amplification due to "
                             "checkpointing (baseline, YCSB-WO)");
+    const std::vector<Distribution> dists{Distribution::Uniform,
+                                          Distribution::Zipfian};
+    std::vector<SweepPoint> points;
+    for (Distribution dist : dists) {
+        points.push_back({std::string("a-") + distributionName(dist),
+                          baseCfg(dist, 32)});
+    }
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(points, opts, report);
+
     Table t({"distribution", "write-query MiB", "host I/O x",
              "flash-op x"});
-    for (Distribution dist :
-         {Distribution::Uniform, Distribution::Zipfian}) {
-        const RunResult r = runExperiment(baseCfg(dist, 32));
+    for (std::size_t i = 0; i < dists.size(); ++i) {
+        const RunResult &r = outcomes[i].result;
+        report.add(outcomes[i].label, r);
         const double payload = double(r.journalPayloadBytes);
         // Total host I/O moved for writes: journal + checkpoint +
         // metadata traffic, both directions.
@@ -47,7 +59,7 @@ partA()
             double(r.hostWriteSectors + r.hostReadSectors) * 512.0;
         const double flash_io =
             double(r.nandPrograms + r.nandReads) * 4096.0;
-        t.addRow({distributionName(dist),
+        t.addRow({distributionName(dists[i]),
                   Table::num(payload / double(kMiB), 1),
                   Table::num(host_io / payload, 2),
                   Table::num(flash_io / payload, 2)});
@@ -58,31 +70,46 @@ partA()
 }
 
 void
-partB()
+partB(BenchReport &report, const SweepOptions &opts)
 {
     printHeader("Fig 3(b)", "checkpointing time vs threads "
                             "(baseline, normalized to 4 threads)");
+    const std::vector<std::uint32_t> thread_axis{4, 8, 16, 32, 64,
+                                                 128};
+    std::vector<SweepPoint> points;
+    for (std::uint32_t threads : thread_axis) {
+        for (Distribution dist :
+             {Distribution::Uniform, Distribution::Zipfian}) {
+            ExperimentConfig c = baseCfg(dist, threads);
+            c.engine.lockQueriesDuringCheckpoint = true;
+            // Timer-driven checkpoints only, with journal halves
+            // large enough that space pressure never caps
+            // accumulation: more threads then mean more logs per
+            // checkpoint (Fig 3(b)).
+            c.engine.checkpointJournalBytes = 1 * kGiB;
+            c.engine.journalHalfBytes = 24 * kMiB;
+            // Scale the run with the thread count so every point
+            // spans several checkpoint intervals at its own
+            // throughput.
+            c.workload.operationCount =
+                std::uint64_t(threads) * 2'500;
+            points.push_back({std::string("b-t") +
+                                  std::to_string(threads) + "-" +
+                                  distributionName(dist),
+                              c});
+        }
+    }
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(points, opts, report);
+
     Table t({"threads", "uniform ckpt ms", "uniform norm",
              "zipfian ckpt ms", "zipfian norm", "uni/zipf latest"});
     double norm_u = 0.0, norm_z = 0.0;
-    for (std::uint32_t threads : {4u, 8u, 16u, 32u, 64u, 128u}) {
-        ExperimentConfig cu = baseCfg(Distribution::Uniform, threads);
-        ExperimentConfig cz = baseCfg(Distribution::Zipfian, threads);
-        cu.engine.lockQueriesDuringCheckpoint = true;
-        cz.engine.lockQueriesDuringCheckpoint = true;
-        // Timer-driven checkpoints only, with journal halves large
-        // enough that space pressure never caps accumulation: more
-        // threads then mean more logs per checkpoint (Fig 3(b)).
-        cu.engine.checkpointJournalBytes = 1 * kGiB;
-        cz.engine.checkpointJournalBytes = 1 * kGiB;
-        cu.engine.journalHalfBytes = 24 * kMiB;
-        cz.engine.journalHalfBytes = 24 * kMiB;
-        // Scale the run with the thread count so every point spans
-        // several checkpoint intervals at its own throughput.
-        cu.workload.operationCount = std::uint64_t(threads) * 2'500;
-        cz.workload.operationCount = std::uint64_t(threads) * 2'500;
-        const RunResult ru = runExperiment(cu);
-        const RunResult rz = runExperiment(cz);
+    for (std::size_t i = 0; i < thread_axis.size(); ++i) {
+        const RunResult &ru = outcomes[2 * i].result;
+        const RunResult &rz = outcomes[2 * i + 1].result;
+        report.add(outcomes[2 * i].label, ru);
+        report.add(outcomes[2 * i + 1].label, rz);
         if (norm_u == 0.0) {
             norm_u = ru.avgCheckpointMs;
             norm_z = rz.avgCheckpointMs;
@@ -97,7 +124,7 @@ partB()
                                  ? double(rz.ckptLatestEntries) /
                                        double(rz.ckptLogsSeen)
                                  : 0.0;
-        t.addRow({Table::num(std::uint64_t(threads)),
+        t.addRow({Table::num(std::uint64_t(thread_axis[i])),
                   Table::num(ru.avgCheckpointMs, 2),
                   Table::num(ru.avgCheckpointMs / norm_u, 2),
                   Table::num(rz.avgCheckpointMs, 2),
@@ -111,7 +138,7 @@ partB()
 }
 
 void
-partC()
+partC(BenchReport &report, const SweepOptions &opts)
 {
     printHeader("Fig 3(c)", "query latency during checkpointing vs "
                             "average (baseline, YCSB-A zipfian)");
@@ -119,7 +146,10 @@ partC()
     c.engine.mode = CheckpointMode::Baseline;
     c.workload = WorkloadSpec::a();
     c.threads = 32;
-    const RunResult r = runExperiment(c);
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep({{"c-a-zipfian", c}}, opts, report);
+    const RunResult &r = outcomes[0].result;
+    report.add(outcomes[0].label, r);
     const auto &cl = r.client;
     Table t({"class", "avg us", "during-ckpt avg us", "ratio"});
     const double read_avg = cl.reads.mean() / 1e3;
@@ -140,11 +170,13 @@ partC()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
-    partA();
-    partB();
-    partC();
+    BenchReport report("fig03_motivation");
+    partA(report, opts);
+    partB(report, opts);
+    partC(report, opts);
     return 0;
 }

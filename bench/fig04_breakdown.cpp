@@ -7,7 +7,8 @@
  * metadata through the block interface; offloading removes the host
  * transfer; the engine-aware FTL removes most flash operations. This
  * bench measures the actual phase split (data movement / metadata /
- * log deletion) for all five configurations.
+ * log deletion) for all five configurations, run as one parallel
+ * sweep.
  */
 
 #include <cstdio>
@@ -18,27 +19,44 @@ using namespace checkin;
 using namespace checkin::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
     printHeader("Fig 4 (analogue)",
                 "checkpoint phase breakdown, YCSB-A zipfian, 64 "
                 "threads, queries locked");
+
+    ExperimentConfig base = figureScale();
+    base.engine.lockQueriesDuringCheckpoint = true;
+    base.engine.checkpointInterval = 25 * kMsec;
+    base.engine.checkpointJournalBytes = 3 * kMiB;
+    base.workload = WorkloadSpec::a();
+    base.workload.operationCount = 30'000;
+    base.threads = 64;
+
+    SweepGrid grid(base);
+    std::vector<SweepGrid::Value> mode_values;
+    for (CheckpointMode mode : kAllModes) {
+        mode_values.push_back({modeName(mode),
+                               [mode](ExperimentConfig &c) {
+                                   c.engine.mode = mode;
+                               }});
+    }
+    grid.axis(std::move(mode_values));
+
+    BenchReport report("fig04_breakdown");
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(grid.points(), opts, report);
+
     Table t({"mode", "ckpts", "data ms/ckpt", "meta ms/ckpt",
              "delete ms/ckpt", "total ms/ckpt", "WAF"});
-    for (CheckpointMode mode : kAllModes) {
-        ExperimentConfig c = figureScale();
-        c.engine.mode = mode;
-        c.engine.lockQueriesDuringCheckpoint = true;
-        c.engine.checkpointInterval = 25 * kMsec;
-        c.engine.checkpointJournalBytes = 3 * kMiB;
-        c.workload = WorkloadSpec::a();
-        c.workload.operationCount = 30'000;
-        c.threads = 64;
-        const RunResult r = runExperiment(c);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const RunResult &r = outcomes[i].result;
+        report.add(outcomes[i].label, r);
         const double n = double(std::max<std::uint64_t>(
             1, r.checkpoints));
-        t.addRow({modeName(mode), Table::num(r.checkpoints),
+        t.addRow({modeName(kAllModes[i]), Table::num(r.checkpoints),
                   Table::num(double(r.ckptDataTicks) / n / 1e6, 2),
                   Table::num(double(r.ckptMetaTicks) / n / 1e6, 2),
                   Table::num(double(r.ckptDeleteTicks) / n / 1e6,

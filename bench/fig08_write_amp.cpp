@@ -6,10 +6,12 @@
  *      interval for all five configurations.
  *  (b) GC invocation counts vs write-query count.
  *  (eq1) relative flash lifetime from block erase counts.
+ *
+ * Both parts declare their grids with SweepGrid and run on the
+ * parallel sweep runner.
  */
 
 #include <cstdio>
-#include <map>
 
 #include "bench_common.h"
 
@@ -19,44 +21,61 @@ using namespace checkin::bench;
 namespace {
 
 ExperimentConfig
-cfgFor(CheckpointMode mode)
+baseCfg()
 {
     ExperimentConfig c = figureScale();
-    c.engine.mode = mode;
     c.workload = WorkloadSpec::wo();
     c.workload.distribution = Distribution::Zipfian;
     return c;
 }
 
 void
-partA(BenchReport &report)
+partA(BenchReport &report, const SweepOptions &opts)
 {
     printHeader("Fig 8(a)", "redundant writes on the SSD vs "
                             "checkpoint interval (YCSB-WO, MiB "
                             "written by checkpoints)");
     const std::vector<Tick> intervals = {50 * kMsec, 100 * kMsec,
                                          200 * kMsec, 400 * kMsec};
+    SweepGrid grid(baseCfg());
+    std::vector<SweepGrid::Value> interval_values;
+    for (Tick interval : intervals) {
+        interval_values.push_back(
+            {"interval" + std::to_string(interval / kMsec) + "ms",
+             [interval](ExperimentConfig &c) {
+                 c.engine.checkpointInterval = interval;
+             }});
+    }
+    std::vector<SweepGrid::Value> mode_values;
+    for (CheckpointMode mode : kAllModes) {
+        mode_values.push_back({modeName(mode),
+                               [mode](ExperimentConfig &c) {
+                                   c.engine.mode = mode;
+                               }});
+    }
+    grid.axis(std::move(interval_values))
+        .axis(std::move(mode_values));
+
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(grid.points(), opts, report);
+
     Table t({"interval ms", "Baseline", "ISC-A", "ISC-B", "ISC-C",
              "Check-In", "CkIn vs Base", "CkIn vs ISC-C"});
+    std::size_t i = 0;
     for (const Tick interval : intervals) {
-        std::map<CheckpointMode, double> mib;
-        for (CheckpointMode mode : kAllModes) {
-            ExperimentConfig c = cfgFor(mode);
-            c.engine.checkpointInterval = interval;
-            const RunResult r = runExperiment(c);
-            mib[mode] = double(r.redundantBytes) / double(kMiB);
-            report.add(std::string(modeName(mode)) + "-interval" +
-                           std::to_string(interval / kMsec) + "ms",
-                       r);
+        std::vector<double> mib;
+        for (std::size_t m = 0; m < kAllModes.size(); ++m, ++i) {
+            const RunResult &r = outcomes[i].result;
+            mib.push_back(double(r.redundantBytes) / double(kMiB));
+            report.add(outcomes[i].label, r);
         }
-        const double base = mib[CheckpointMode::Baseline];
-        const double iscc = mib[CheckpointMode::IscC];
-        const double ours = mib[CheckpointMode::CheckIn];
+        const double base = mib[0];
+        const double iscc = mib[3];
+        const double ours = mib[4];
         t.addRow({Table::num(std::uint64_t(interval / kMsec)),
-                  Table::num(mib[CheckpointMode::Baseline], 2),
-                  Table::num(mib[CheckpointMode::IscA], 2),
-                  Table::num(mib[CheckpointMode::IscB], 2),
-                  Table::num(iscc, 2), Table::num(ours, 2),
+                  Table::num(mib[0], 2), Table::num(mib[1], 2),
+                  Table::num(mib[2], 2), Table::num(iscc, 2),
+                  Table::num(ours, 2),
                   Table::percent(base > 0 ? 1.0 - ours / base : 0.0),
                   Table::percent(iscc > 0 ? 1.0 - ours / iscc
                                           : 0.0)});
@@ -67,42 +86,57 @@ partA(BenchReport &report)
 }
 
 void
-partB(BenchReport &report)
+partB(BenchReport &report, const SweepOptions &opts)
 {
     printHeader("Fig 8(b) + Eq (1)",
                 "GC invocations and relative lifetime vs write-query "
                 "count (YCSB-WO, 96 MiB device for GC pressure)");
+    const std::vector<std::uint64_t> op_axis{120'000, 240'000,
+                                             480'000};
+    const std::vector<CheckpointMode> modes{CheckpointMode::Baseline,
+                                            CheckpointMode::IscC,
+                                            CheckpointMode::CheckIn};
+    ExperimentConfig base = baseCfg();
+    // Shrink the flash array so every configuration reaches
+    // steady-state GC within the run.
+    base.nand.blocksPerPlane = 48;
+
+    SweepGrid grid(base);
+    std::vector<SweepGrid::Value> ops_values;
+    for (std::uint64_t ops : op_axis) {
+        ops_values.push_back({"ops" + std::to_string(ops),
+                              [ops](ExperimentConfig &c) {
+                                  c.workload.operationCount = ops;
+                              }});
+    }
+    std::vector<SweepGrid::Value> mode_values;
+    for (CheckpointMode mode : modes) {
+        mode_values.push_back({modeName(mode),
+                               [mode](ExperimentConfig &c) {
+                                   c.engine.mode = mode;
+                               }});
+    }
+    grid.axis(std::move(ops_values)).axis(std::move(mode_values));
+
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(grid.points(), opts, report);
+
     Table t({"write queries", "mode", "GC count", "erases",
              "lifetime x vs Base"});
-    for (const std::uint64_t ops : {120'000ULL, 240'000ULL,
-                                    480'000ULL}) {
-        std::map<CheckpointMode, RunResult> results;
-        for (CheckpointMode mode :
-             {CheckpointMode::Baseline, CheckpointMode::IscC,
-              CheckpointMode::CheckIn}) {
-            ExperimentConfig c = cfgFor(mode);
-            // Shrink the flash array so every configuration reaches
-            // steady-state GC within the run.
-            c.nand.blocksPerPlane = 48;
-            c.workload.operationCount = ops;
-            const auto it =
-                results.emplace(mode, runExperiment(c)).first;
-            report.add(std::string(modeName(mode)) + "-ops" +
-                           std::to_string(ops),
-                       it->second);
-        }
-        const double base_erases = double(
-            results.at(CheckpointMode::Baseline).nandErases);
-        for (CheckpointMode mode :
-             {CheckpointMode::Baseline, CheckpointMode::IscC,
-              CheckpointMode::CheckIn}) {
-            const RunResult &r = results.at(mode);
+    std::size_t i = 0;
+    for (const std::uint64_t ops : op_axis) {
+        const std::size_t first = i;
+        const double base_erases =
+            double(outcomes[first].result.nandErases);
+        for (std::size_t m = 0; m < modes.size(); ++m, ++i) {
+            const RunResult &r = outcomes[i].result;
+            report.add(outcomes[i].label, r);
             // Eq (1): lifetime ~ PEC_max * T_op / BEC; with identical
             // workloads, relative lifetime = BEC_base / BEC_mode.
             const double lifetime =
                 r.nandErases > 0 ? base_erases / double(r.nandErases)
                                  : 0.0;
-            t.addRow({Table::num(ops), modeName(mode),
+            t.addRow({Table::num(ops), modeName(modes[m]),
                       Table::num(r.gcInvocations),
                       Table::num(r.nandErases),
                       r.nandErases > 0 ? Table::num(lifetime, 2)
@@ -117,11 +151,12 @@ partB(BenchReport &report)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
     BenchReport report("fig08_write_amp");
-    partA(report);
-    partB(report);
+    partA(report, opts);
+    partB(report, opts);
     return 0;
 }

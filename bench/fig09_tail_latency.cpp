@@ -1,11 +1,11 @@
 /**
  * @file
  * Figure 9 — tail latency (p99, p99.9, p99.99) of YCSB-A under
- * uniform and zipfian request distributions for all configurations.
+ * uniform and zipfian request distributions for all configurations,
+ * swept in parallel.
  */
 
 #include <cstdio>
-#include <map>
 
 #include "bench_common.h"
 
@@ -13,45 +13,68 @@ using namespace checkin;
 using namespace checkin::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
-    for (Distribution dist :
-         {Distribution::Uniform, Distribution::Zipfian}) {
+    const std::vector<Distribution> dists{Distribution::Uniform,
+                                          Distribution::Zipfian};
+
+    ExperimentConfig base = figureScale();
+    base.workload = WorkloadSpec::a();
+    base.workload.operationCount = 40'000;
+    base.threads = 128;
+
+    SweepGrid grid(base);
+    std::vector<SweepGrid::Value> dist_values;
+    for (Distribution dist : dists) {
+        dist_values.push_back({distributionName(dist),
+                               [dist](ExperimentConfig &c) {
+                                   c.workload.distribution = dist;
+                               }});
+    }
+    std::vector<SweepGrid::Value> mode_values;
+    for (CheckpointMode mode : kAllModes) {
+        mode_values.push_back({modeName(mode),
+                               [mode](ExperimentConfig &c) {
+                                   c.engine.mode = mode;
+                               }});
+    }
+    grid.axis(std::move(dist_values)).axis(std::move(mode_values));
+
+    BenchReport report("fig09_tail_latency");
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(grid.points(), opts, report);
+
+    std::size_t i = 0;
+    for (Distribution dist : dists) {
         printHeader("Fig 9", (std::string("tail latency, YCSB-A, ") +
                               distributionName(dist) +
                               " distribution, 128 threads")
                                  .c_str());
         Table t({"mode", "avg us", "p99 us", "p99.9 us",
                  "p99.99 us"});
-        std::map<CheckpointMode, RunResult> results;
-        for (CheckpointMode mode : kAllModes) {
-            ExperimentConfig c = figureScale();
-            c.engine.mode = mode;
-            c.workload = WorkloadSpec::a();
-            c.workload.distribution = dist;
-            c.workload.operationCount = 40'000;
-            c.threads = 128;
-            results.emplace(mode, runExperiment(c));
-        }
-        for (CheckpointMode mode : kAllModes) {
-            const auto &h = results.at(mode).client.all;
-            t.addRow({modeName(mode), Table::num(h.mean() / 1e3, 1),
+        const std::size_t first = i;
+        for (std::size_t m = 0; m < kAllModes.size(); ++m, ++i) {
+            const auto &h = outcomes[i].result.client.all;
+            t.addRow({modeName(kAllModes[m]),
+                      Table::num(h.mean() / 1e3, 1),
                       Table::num(double(h.quantile(0.99)) / 1e3, 1),
                       Table::num(double(h.quantile(0.999)) / 1e3, 1),
                       Table::num(double(h.quantile(0.9999)) / 1e3,
                                  1)});
+            report.add(outcomes[i].label, outcomes[i].result);
         }
         std::printf("%s", t.render().c_str());
-        const auto &base = results.at(CheckpointMode::Baseline);
-        const auto &iscc = results.at(CheckpointMode::IscC);
-        const auto &ours = results.at(CheckpointMode::CheckIn);
+        const auto &base_r = outcomes[first + 0].result;
+        const auto &iscc_r = outcomes[first + 3].result;
+        const auto &ours_r = outcomes[first + 4].result;
         const double red999 =
-            1.0 - double(ours.client.all.quantile(0.999)) /
-                      double(base.client.all.quantile(0.999));
+            1.0 - double(ours_r.client.all.quantile(0.999)) /
+                      double(base_r.client.all.quantile(0.999));
         const double red9999 =
-            1.0 - double(ours.client.all.quantile(0.9999)) /
-                      double(iscc.client.all.quantile(0.9999));
+            1.0 - double(ours_r.client.all.quantile(0.9999)) /
+                      double(iscc_r.client.all.quantile(0.9999));
         std::printf("\nmeasured: p99.9 Check-In vs Baseline: "
                     "-%0.1f %% | p99.99 vs ISC-C: -%0.1f %%\n",
                     red999 * 100.0, red9999 * 100.0);

@@ -2,7 +2,9 @@
  * @file
  * Figure 10 — pure checkpointing time vs thread count for every
  * configuration. Query processing is locked during checkpoints so
- * the measurement matches the paper's methodology (§IV-C).
+ * the measurement matches the paper's methodology (§IV-C). The
+ * threads x mode grid is declared with SweepGrid and executed by the
+ * parallel sweep runner.
  */
 
 #include <cstdio>
@@ -13,29 +15,53 @@ using namespace checkin;
 using namespace checkin::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
     printHeader("Fig 10", "checkpointing time (ms) vs threads, "
                           "YCSB-A zipfian, queries locked during "
                           "checkpoint");
+
+    ExperimentConfig base = figureScale();
+    base.engine.lockQueriesDuringCheckpoint = true;
+    base.workload = WorkloadSpec::a();
+
+    const std::vector<std::uint32_t> thread_axis{4, 8, 16, 32,
+                                                 64, 128};
+    SweepGrid grid(base);
+    std::vector<SweepGrid::Value> threads_values;
+    for (std::uint32_t threads : thread_axis) {
+        threads_values.push_back(
+            {"t" + std::to_string(threads),
+             [threads](ExperimentConfig &c) {
+                 c.threads = threads;
+             }});
+    }
+    std::vector<SweepGrid::Value> mode_values;
+    for (CheckpointMode mode : kAllModes) {
+        mode_values.push_back({modeName(mode),
+                               [mode](ExperimentConfig &c) {
+                                   c.engine.mode = mode;
+                               }});
+    }
+    grid.axis(std::move(threads_values))
+        .axis(std::move(mode_values));
+
+    BenchReport report("fig10_checkpoint_time");
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(grid.points(), opts, report);
+
     Table t({"threads", "Baseline", "ISC-A", "ISC-B", "ISC-C",
              "Check-In"});
-    BenchReport report("fig10_checkpoint_time");
-    for (std::uint32_t threads : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    std::size_t i = 0;
+    for (std::uint32_t threads : thread_axis) {
         std::vector<std::string> row{
             Table::num(std::uint64_t(threads))};
-        for (CheckpointMode mode : kAllModes) {
-            ExperimentConfig c = figureScale();
-            c.engine.mode = mode;
-            c.engine.lockQueriesDuringCheckpoint = true;
-            c.workload = WorkloadSpec::a();
-            c.threads = threads;
-            const RunResult r = runExperiment(c);
+        for (std::size_t m = 0; m < kAllModes.size(); ++m, ++i) {
+            const RunResult &r = outcomes[i].result;
             row.push_back(Table::num(r.avgCheckpointMs, 2));
-            report.add(std::string(modeName(mode)) + "-t" +
-                           std::to_string(threads),
-                       r);
+            report.add(outcomes[i].label, r);
         }
         t.addRow(std::move(row));
     }

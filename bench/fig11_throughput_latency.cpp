@@ -2,7 +2,8 @@
  * @file
  * Figure 11 — overall average query throughput (a) and latency (b)
  * for write-heavy workloads A, F, and WO (zipfian) across thread
- * counts, all five configurations.
+ * counts, all five configurations. The 20-point grid per workload is
+ * executed by the parallel sweep runner (--jobs N / CHECKIN_JOBS).
  */
 
 #include <cstdio>
@@ -16,16 +17,16 @@ using namespace checkin::bench;
 namespace {
 
 void
-runWorkload(const WorkloadSpec &wl, BenchReport &report)
+runWorkload(const WorkloadSpec &wl, BenchReport &report,
+            const SweepOptions &opts)
 {
     printHeader("Fig 11",
                 (wl.name + " — throughput (kops/s) and avg latency "
                            "(us) vs threads")
                     .c_str());
-    Table t({"threads", "mode", "kops/s", "avg us"});
-    std::map<std::uint32_t,
-             std::map<CheckpointMode, RunResult>> all;
-    for (std::uint32_t threads : {4u, 16u, 64u, 128u}) {
+    const std::vector<std::uint32_t> thread_axis{4, 16, 64, 128};
+    std::vector<SweepPoint> points;
+    for (std::uint32_t threads : thread_axis) {
         for (CheckpointMode mode : kAllModes) {
             ExperimentConfig c = figureScale();
             c.engine.mode = mode;
@@ -38,15 +39,28 @@ runWorkload(const WorkloadSpec &wl, BenchReport &report)
             c.workload = wl;
             c.workload.operationCount = 30'000;
             c.threads = threads;
-            const RunResult r = runExperiment(c);
+            points.push_back({wl.name + "-" + modeName(mode) + "-t" +
+                                  std::to_string(threads),
+                              c});
+        }
+    }
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(points, opts, report);
+
+    Table t({"threads", "mode", "kops/s", "avg us"});
+    std::map<std::uint32_t,
+             std::map<CheckpointMode, RunResult>> all;
+    std::size_t i = 0;
+    for (std::uint32_t threads : thread_axis) {
+        for (CheckpointMode mode : kAllModes) {
+            const RunResult &r = outcomes[i].result;
             t.addRow({Table::num(std::uint64_t(threads)),
                       modeName(mode),
                       Table::num(r.throughputOps / 1e3, 2),
                       Table::num(r.avgLatencyUs, 1)});
-            report.add(wl.name + "-" + modeName(mode) + "-t" +
-                           std::to_string(threads),
-                       r);
+            report.add(outcomes[i].label, r);
             all[threads].emplace(mode, r);
+            ++i;
         }
     }
     std::printf("%s", t.render().c_str());
@@ -63,13 +77,14 @@ runWorkload(const WorkloadSpec &wl, BenchReport &report)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
     BenchReport report("fig11_throughput_latency");
-    runWorkload(WorkloadSpec::a(), report);
-    runWorkload(WorkloadSpec::f(), report);
-    runWorkload(WorkloadSpec::wo(), report);
+    runWorkload(WorkloadSpec::a(), report, opts);
+    runWorkload(WorkloadSpec::f(), report, opts);
+    runWorkload(WorkloadSpec::wo(), report, opts);
     printPaperNote("average throughput +8.1 % and latency -10.2 % "
                    "for Check-In vs baseline at 128 threads.");
     return 0;

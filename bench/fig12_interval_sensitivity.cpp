@@ -2,7 +2,8 @@
  * @file
  * Figure 12 — sensitivity to the checkpoint interval: baseline
  * improves with longer intervals (fewer duplicate writes of hot
- * keys), Check-In stays steady.
+ * keys), Check-In stays steady. The interval x mode grid runs on the
+ * parallel sweep runner.
  */
 
 #include <cstdio>
@@ -13,33 +14,62 @@ using namespace checkin;
 using namespace checkin::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
     printHeader("Fig 12", "checkpoint-interval sensitivity, YCSB-A "
                           "zipfian, 64 threads");
+
+    ExperimentConfig base = figureScale();
+    base.engine.checkpointJournalBytes = 7 * kMiB;
+    base.workload = WorkloadSpec::a();
+    base.workload.operationCount = 60'000;
+    base.threads = 64;
+
+    const std::vector<Tick> intervals{25 * kMsec, 50 * kMsec,
+                                      100 * kMsec, 200 * kMsec,
+                                      400 * kMsec};
+    const std::vector<CheckpointMode> modes{CheckpointMode::Baseline,
+                                            CheckpointMode::CheckIn};
+
+    SweepGrid grid(base);
+    std::vector<SweepGrid::Value> interval_values;
+    for (Tick interval : intervals) {
+        interval_values.push_back(
+            {std::to_string(interval / kMsec) + "ms",
+             [interval](ExperimentConfig &c) {
+                 c.engine.checkpointInterval = interval;
+             }});
+    }
+    std::vector<SweepGrid::Value> mode_values;
+    for (CheckpointMode mode : modes) {
+        mode_values.push_back({modeName(mode),
+                               [mode](ExperimentConfig &c) {
+                                   c.engine.mode = mode;
+                               }});
+    }
+    grid.axis(std::move(interval_values))
+        .axis(std::move(mode_values));
+
+    BenchReport report("fig12_interval_sensitivity");
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(grid.points(), opts, report);
+
     Table t({"interval ms", "Base kops/s", "Base avg us",
              "CkIn kops/s", "CkIn avg us"});
-    for (Tick interval : {25 * kMsec, 50 * kMsec, 100 * kMsec,
-                          200 * kMsec, 400 * kMsec}) {
-        RunResult res[2];
-        int i = 0;
-        for (CheckpointMode mode : {CheckpointMode::Baseline,
-                                    CheckpointMode::CheckIn}) {
-            ExperimentConfig c = figureScale();
-            c.engine.mode = mode;
-            c.engine.checkpointInterval = interval;
-            c.engine.checkpointJournalBytes = 7 * kMiB;
-            c.workload = WorkloadSpec::a();
-            c.workload.operationCount = 60'000;
-            c.threads = 64;
-            res[i++] = runExperiment(c);
-        }
+    std::size_t i = 0;
+    for (Tick interval : intervals) {
+        const RunResult &base_r = outcomes[i].result;
+        const RunResult &ours_r = outcomes[i + 1].result;
+        report.add(outcomes[i].label, base_r);
+        report.add(outcomes[i + 1].label, ours_r);
+        i += 2;
         t.addRow({Table::num(std::uint64_t(interval / kMsec)),
-                  Table::num(res[0].throughputOps / 1e3, 2),
-                  Table::num(res[0].avgLatencyUs, 1),
-                  Table::num(res[1].throughputOps / 1e3, 2),
-                  Table::num(res[1].avgLatencyUs, 1)});
+                  Table::num(base_r.throughputOps / 1e3, 2),
+                  Table::num(base_r.avgLatencyUs, 1),
+                  Table::num(ours_r.throughputOps / 1e3, 2),
+                  Table::num(ours_r.avgLatencyUs, 1)});
     }
     std::printf("%s", t.render().c_str());
     printPaperNote("baseline throughput rises / latency falls as the "

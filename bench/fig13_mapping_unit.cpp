@@ -6,6 +6,9 @@
  *      mapping units.
  *  (b) journal space overhead of Check-In vs ISC-C for the four
  *      mixed record-size patterns.
+ *
+ * Both grids are declared with SweepGrid and executed by the
+ * parallel sweep runner.
  */
 
 #include <cstdio>
@@ -17,38 +20,74 @@ using namespace checkin::bench;
 
 namespace {
 
+std::vector<SweepGrid::Value>
+unitAxis(const std::vector<std::uint32_t> &units)
+{
+    std::vector<SweepGrid::Value> values;
+    for (std::uint32_t unit : units) {
+        values.push_back({"u" + std::to_string(unit),
+                          [unit](ExperimentConfig &c) {
+                              c.mappingUnitOverride = unit;
+                          }});
+    }
+    return values;
+}
+
+std::vector<SweepGrid::Value>
+modeAxis(const std::vector<CheckpointMode> &modes)
+{
+    std::vector<SweepGrid::Value> values;
+    for (CheckpointMode mode : modes) {
+        values.push_back({modeName(mode),
+                          [mode](ExperimentConfig &c) {
+                              c.engine.mode = mode;
+                          }});
+    }
+    return values;
+}
+
 void
-partA()
+partA(BenchReport &report, const SweepOptions &opts)
 {
     printHeader("Fig 13(a)", "throughput (kops/s) vs mapping unit, "
                              "YCSB-A zipfian, 64 threads");
+    const std::vector<std::uint32_t> units{512u, 1024u, 2048u,
+                                           4096u};
+    ExperimentConfig base = figureScale();
+    // Model the full-scale device's metadata-processing pressure as
+    // serialized per-unit CPU time. (The library also has a
+    // locality-aware map-cache model, FtlConfig::mapCacheBytes, but
+    // at this scale zipfian locality keeps its hit rate high and
+    // flash write amplification dominates instead — see
+    // EXPERIMENTS.md.)
+    base.ssd.perUnitCpuTime = 40 * kUsec;
+    base.workload = WorkloadSpec::a();
+    // Medium-to-large records (P3): large enough that coarse mapping
+    // does not explode write amplification, varied enough that
+    // alignment (Check-In) matters vs ISC-C.
+    base.workload.valueSizes = WorkloadSpec::sizePattern(3);
+    base.workload.operationCount = 25'000;
+    base.threads = 64;
+
+    SweepGrid grid(base);
+    grid.axis(unitAxis(units))
+        .axis(modeAxis(
+            {CheckpointMode::IscC, CheckpointMode::CheckIn}));
+
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(grid.points(), opts, report);
+
     Table t({"unit B", "ISC-C kops/s", "Check-In kops/s"});
-    for (std::uint32_t unit : {512u, 1024u, 2048u, 4096u}) {
-        double vals[2];
-        int i = 0;
-        for (CheckpointMode mode :
-             {CheckpointMode::IscC, CheckpointMode::CheckIn}) {
-            ExperimentConfig c = figureScale();
-            c.engine.mode = mode;
-            c.mappingUnitOverride = unit;
-            // Model the full-scale device's metadata-processing
-            // pressure as serialized per-unit CPU time. (The library
-            // also has a locality-aware map-cache model,
-            // FtlConfig::mapCacheBytes, but at this scale zipfian
-            // locality keeps its hit rate high and flash write
-            // amplification dominates instead — see EXPERIMENTS.md.)
-            c.ssd.perUnitCpuTime = 40 * kUsec;
-            c.workload = WorkloadSpec::a();
-            // Medium-to-large records (P3): large enough that coarse
-            // mapping does not explode write amplification, varied
-            // enough that alignment (Check-In) matters vs ISC-C.
-            c.workload.valueSizes = WorkloadSpec::sizePattern(3);
-            c.workload.operationCount = 25'000;
-            c.threads = 64;
-            vals[i++] = runExperiment(c).throughputOps / 1e3;
-        }
+    std::size_t i = 0;
+    for (std::uint32_t unit : units) {
+        const RunResult &iscc = outcomes[i].result;
+        const RunResult &ours = outcomes[i + 1].result;
+        report.add(outcomes[i].label, iscc);
+        report.add(outcomes[i + 1].label, ours);
+        i += 2;
         t.addRow({Table::num(std::uint64_t(unit)),
-                  Table::num(vals[0], 2), Table::num(vals[1], 2)});
+                  Table::num(iscc.throughputOps / 1e3, 2),
+                  Table::num(ours.throughputOps / 1e3, 2)});
     }
     std::printf("%s", t.render().c_str());
     printPaperNote("throughput rises with the mapping unit (less "
@@ -57,46 +96,58 @@ partA()
 }
 
 void
-partB()
+partB(BenchReport &report, const SweepOptions &opts)
 {
     printHeader("Fig 13(b)",
                 "device space overhead of Check-In vs ISC-C (flash "
                 "bytes consumed for the same workload), record-size "
                 "patterns P1..P4");
+    ExperimentConfig base = figureScale();
+    base.workload = WorkloadSpec::wo();
+    base.workload.operationCount = 15'000;
+    base.threads = 32;
+
+    SweepGrid grid(base);
+    std::vector<SweepGrid::Value> pattern_values;
+    for (std::uint32_t pattern = 1; pattern <= 4; ++pattern) {
+        pattern_values.push_back(
+            {"P" + std::to_string(pattern),
+             [pattern](ExperimentConfig &c) {
+                 c.workload.valueSizes =
+                     WorkloadSpec::sizePattern(pattern);
+             }});
+    }
+    grid.axis(std::move(pattern_values))
+        .axis(unitAxis({512u, 4096u}))
+        .axis(modeAxis(
+            {CheckpointMode::IscC, CheckpointMode::CheckIn}));
+
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(grid.points(), opts, report);
+
     Table t({"pattern", "unit B", "ISC-C flash MiB",
              "Check-In flash MiB", "journal pad %",
              "overhead vs ISC-C"});
+    std::size_t i = 0;
     for (std::uint32_t pattern = 1; pattern <= 4; ++pattern) {
         for (std::uint32_t unit : {512u, 4096u}) {
-            double flash_mib[2];
-            double pad = 0.0;
-            int i = 0;
-            for (CheckpointMode mode :
-                 {CheckpointMode::IscC, CheckpointMode::CheckIn}) {
-                ExperimentConfig c = figureScale();
-                c.engine.mode = mode;
-                c.mappingUnitOverride = unit;
-                c.workload = WorkloadSpec::wo();
-                c.workload.valueSizes =
-                    WorkloadSpec::sizePattern(pattern);
-                c.workload.operationCount = 15'000;
-                c.threads = 32;
-                const RunResult r = runExperiment(c);
-                // Space the device actually consumed: pages
-                // programmed for the same logical workload.
-                flash_mib[i] = double(r.nandPrograms) * 4096.0 /
-                               double(kMiB);
-                if (mode == CheckpointMode::CheckIn)
-                    pad = r.journalSpaceOverhead();
-                ++i;
-            }
+            const RunResult &iscc = outcomes[i].result;
+            const RunResult &ours = outcomes[i + 1].result;
+            report.add(outcomes[i].label, iscc);
+            report.add(outcomes[i + 1].label, ours);
+            i += 2;
+            // Space the device actually consumed: pages programmed
+            // for the same logical workload.
+            const double iscc_mib =
+                double(iscc.nandPrograms) * 4096.0 / double(kMiB);
+            const double ours_mib =
+                double(ours.nandPrograms) * 4096.0 / double(kMiB);
             t.addRow({"P" + std::to_string(pattern),
                       Table::num(std::uint64_t(unit)),
-                      Table::num(flash_mib[0], 1),
-                      Table::num(flash_mib[1], 1),
-                      Table::percent(pad),
-                      Table::percent(flash_mib[1] / flash_mib[0] -
-                                     1.0)});
+                      Table::num(iscc_mib, 1),
+                      Table::num(ours_mib, 1),
+                      Table::percent(ours.journalSpaceOverhead()),
+                      Table::percent(ours_mib / iscc_mib - 1.0)});
         }
     }
     std::printf("%s", t.render().c_str());
@@ -109,10 +160,12 @@ partB()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
     printConfigOnce(figureScale());
-    partA();
-    partB();
+    BenchReport report("fig13_mapping_unit");
+    partA(report, opts);
+    partB(report, opts);
     return 0;
 }

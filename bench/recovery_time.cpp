@@ -12,6 +12,7 @@
 #include "bench_common.h"
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "ssd/ssd.h"
 
 using namespace checkin;
@@ -29,19 +30,20 @@ Probe
 measure(CheckpointMode mode, std::uint64_t updates)
 {
     ExperimentConfig base = ExperimentConfig::smallScale();
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     FtlConfig ftl_cfg = base.ftl;
     ftl_cfg.mappingUnitBytes =
         (mode == CheckpointMode::IscC ||
          mode == CheckpointMode::CheckIn)
             ? 512
             : base.nand.pageBytes;
-    Ssd ssd(eq, base.nand, ftl_cfg, base.ssd);
+    Ssd ssd(ctx, base.nand, ftl_cfg, base.ssd);
     EngineConfig ecfg = base.engine;
     ecfg.mode = mode;
     ecfg.checkpointInterval = 0;
     ecfg.checkpointJournalBytes = 1 * kGiB; // no auto checkpoints
-    auto engine = std::make_unique<KvEngine>(eq, ssd, ecfg);
+    auto engine = std::make_unique<KvEngine>(ctx, ssd, ecfg);
     engine->load([](std::uint64_t) { return 384u; });
     eq.schedule(ssd.quiesceTick(), [] {});
     eq.run();
@@ -57,7 +59,7 @@ measure(CheckpointMode mode, std::uint64_t updates)
     // Power cut, then recover on a fresh engine.
     eq.clear();
     engine.reset();
-    engine = std::make_unique<KvEngine>(eq, ssd, ecfg);
+    engine = std::make_unique<KvEngine>(ctx, ssd, ecfg);
     const RecoveryInfo info = engine->recover();
     engine->verifyAllKeys();
     return Probe{double(info.duration) / double(kMsec),

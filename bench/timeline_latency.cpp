@@ -14,6 +14,7 @@
 #include "bench_common.h"
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/timeseries.h"
 #include "ssd/ssd.h"
 
@@ -33,11 +34,12 @@ runTimeline(CheckpointMode mode)
     cfg.engine.checkpointInterval = 100 * kMsec;
     cfg.engine.checkpointJournalBytes = 64 * kMiB; // timer-driven
 
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     FtlConfig ftl_cfg = cfg.ftl;
     ftl_cfg.mappingUnitBytes = cfg.resolvedMappingUnit();
-    Ssd ssd(eq, cfg.nand, ftl_cfg, cfg.ssd);
-    KvEngine engine(eq, ssd, cfg.engine);
+    Ssd ssd(ctx, cfg.nand, ftl_cfg, cfg.ssd);
+    KvEngine engine(ctx, ssd, cfg.engine);
     WorkloadGenerator sizer(cfg.workload, cfg.engine.recordCount);
     engine.load([&sizer](std::uint64_t k) {
         return sizer.initialSize(k);
@@ -49,7 +51,7 @@ runTimeline(CheckpointMode mode)
     const Tick bucket = 20 * kMsec;
     TimeSeries lat(bucket);
     TimeSeries ckpt(bucket);
-    ClientPool pool(eq, engine, cfg.workload, cfg.threads);
+    ClientPool pool(ctx, engine, cfg.workload, cfg.threads);
     pool.setSampler([&](Tick issued, Tick done, bool during, bool) {
         lat.record(done - t0, done - issued);
         if (during)

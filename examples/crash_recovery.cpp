@@ -10,6 +10,7 @@
 
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "ssd/ssd.h"
 
@@ -18,12 +19,13 @@ main()
 {
     using namespace checkin;
 
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     NandConfig nand_cfg;
     nand_cfg.blocksPerPlane = 64;
     nand_cfg.pagesPerBlock = 64;
     FtlConfig ftl_cfg; // Check-In class device: 512 B mapping unit
-    Ssd ssd(eq, nand_cfg, ftl_cfg, SsdConfig{});
+    Ssd ssd(ctx, nand_cfg, ftl_cfg, SsdConfig{});
 
     EngineConfig ecfg;
     ecfg.mode = CheckpointMode::CheckIn;
@@ -32,7 +34,7 @@ main()
     ecfg.checkpointJournalBytes = 2 * kMiB;
     ecfg.checkpointInterval = 0; // manual checkpoints
 
-    auto engine = std::make_unique<KvEngine>(eq, ssd, ecfg);
+    auto engine = std::make_unique<KvEngine>(ctx, ssd, ecfg);
     engine->load([](std::uint64_t) { return 512u; });
     eq.schedule(ssd.quiesceTick(), [] {});
     eq.run();
@@ -71,7 +73,7 @@ main()
     engine.reset();
 
     // Recovery: a fresh engine rebuilds from catalog + journal.
-    engine = std::make_unique<KvEngine>(eq, ssd, ecfg);
+    engine = std::make_unique<KvEngine>(ctx, ssd, ecfg);
     const RecoveryInfo info = engine->recover();
     std::printf("recovered: %llu keys from catalog, %llu journal "
                 "logs replayed, %.3f ms simulated recovery time\n",

@@ -22,6 +22,7 @@
 #include "engine/kv_engine.h"
 #include "harness/experiment.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "ssd/ssd.h"
 #include "workload/trace.h"
 
@@ -144,18 +145,19 @@ cmdReplay(int argc, char **argv)
     ExperimentConfig base = ExperimentConfig::smallScale();
     base.engine.mode = mode;
     base.engine.recordCount = max_key + 1;
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     FtlConfig ftl_cfg = base.ftl;
     ftl_cfg.mappingUnitBytes = base.resolvedMappingUnit();
-    Ssd ssd(eq, base.nand, ftl_cfg, base.ssd);
-    KvEngine engine(eq, ssd, base.engine);
+    Ssd ssd(ctx, base.nand, ftl_cfg, base.ssd);
+    KvEngine engine(ctx, ssd, base.engine);
     engine.load([](std::uint64_t) { return 384u; });
     eq.schedule(ssd.quiesceTick(), [] {});
     eq.run();
     engine.start();
 
     const Tick start = eq.now();
-    TraceReplayer replay(eq, engine, trace, threads);
+    TraceReplayer replay(ctx, engine, trace, threads);
     replay.start();
     while (!replay.done()) {
         if (!eq.step()) {

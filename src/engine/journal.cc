@@ -50,11 +50,15 @@ formatLogSize(std::uint32_t value_bytes, std::uint32_t unit_bytes,
     return f;
 }
 
-JournalManager::JournalManager(EventQueue &eq, Ssd &ssd,
+JournalManager::JournalManager(SimContext &ctx, Ssd &ssd,
                                const DiskLayout &layout,
                                const EngineConfig &cfg,
                                StatRegistry &stats)
-    : eq_(eq), ssd_(ssd), layout_(layout), cfg_(cfg), stats_(stats)
+    : eq_(ctx.events()),
+      ssd_(ssd),
+      layout_(layout),
+      cfg_(cfg),
+      stats_(stats)
 {
     image_[0].assign(layout_.journalChunks(), 0);
     image_[1].assign(layout_.journalChunks(), 0);

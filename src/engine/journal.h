@@ -23,6 +23,7 @@
 #include "engine/engine_config.h"
 #include "engine/layout.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/stats.h"
 #include "ssd/ssd.h"
 
@@ -79,7 +80,8 @@ class JournalManager
     /** Fired when the journal wants a checkpoint (space pressure). */
     using PressureCb = std::function<void()>;
 
-    JournalManager(EventQueue &eq, Ssd &ssd, const DiskLayout &layout,
+    JournalManager(SimContext &ctx, Ssd &ssd,
+                   const DiskLayout &layout,
                    const EngineConfig &cfg, StatRegistry &stats);
 
     void setPressureCallback(PressureCb cb)

@@ -19,15 +19,15 @@ constexpr std::uint32_t kCkptLane = 1;
 
 } // namespace
 
-KvEngine::KvEngine(EventQueue &eq, Ssd &ssd, const EngineConfig &cfg)
-    : eq_(eq),
+KvEngine::KvEngine(SimContext &ctx, Ssd &ssd, const EngineConfig &cfg)
+    : eq_(ctx.events()),
       ssd_(ssd),
       cfg_(cfg),
       layout_(DiskLayout::compute(cfg, ssd.capacitySectors(),
                                   ssd.ftl().sectorsPerUnit())),
       keymap_(cfg.recordCount),
       hostCache_(cfg.hostCacheBytes),
-      journal_(eq, ssd, layout_, cfg_, stats_),
+      journal_(ctx, ssd, layout_, cfg_, stats_),
       strategy_(CheckpointStrategy::create(ssd, layout_, cfg_, stats_))
 {
     journal_.setPressureCallback([this] { requestCheckpoint(); });

@@ -21,6 +21,7 @@
 #include "engine/keymap.h"
 #include "engine/layout.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/stats.h"
 #include "ssd/ssd.h"
 
@@ -59,7 +60,7 @@ class KvEngine
   public:
     using QueryCb = std::function<void(const QueryResult &)>;
 
-    KvEngine(EventQueue &eq, Ssd &ssd, const EngineConfig &cfg);
+    KvEngine(SimContext &ctx, Ssd &ssd, const EngineConfig &cfg);
 
     /**
      * Populate the data area and catalog with initial values

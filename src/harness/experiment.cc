@@ -1,7 +1,6 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
-#include <memory>
 #include <stdexcept>
 
 #include "engine/kv_engine.h"
@@ -9,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "ssd/ssd.h"
 
 namespace checkin {
@@ -89,30 +89,45 @@ delta(const std::map<std::string, std::uint64_t> &after,
 RunResult
 runExperiment(const ExperimentConfig &cfg)
 {
+    if (cfg.threads == 0 && cfg.workload.operationCount > 0) {
+        // Without clients the workload can never finish, but the
+        // engine's checkpoint timer keeps the event queue alive —
+        // the run would spin forever instead of deadlocking.
+        throw std::invalid_argument(
+            "experiment needs at least one client thread");
+    }
+    // The run's context: event queue, root RNG, and observability
+    // sinks. Everything the simulation touches hangs off it (or off
+    // this stack frame), so concurrent runExperiment calls on
+    // different threads share no mutable state.
+    SimContext ctx(cfg.seed != 0 ? cfg.seed : cfg.workload.seed,
+                   cfg.obs.runName);
+
     // The tracer must be installed and enabled before the device is
     // built: lane names register from the component constructors. An
-    // enabled ambient tracer installed by the caller is reused (so
-    // callers can keep the events); otherwise a run-local one is
-    // installed when tracing was requested.
+    // enabled ambient tracer installed by the caller (on this thread)
+    // is reused so callers can keep the events; otherwise a run-local
+    // one is used when tracing was requested.
     obs::Tracer own_tracer;
     obs::Tracer *tracer = nullptr;
-    std::unique_ptr<obs::TraceScope> trace_scope;
     if (cfg.obs.traceEnabled) {
         if (obs::traceOn()) {
             tracer = obs::installedTracer();
         } else {
             own_tracer.setEnabled(true);
-            trace_scope =
-                std::make_unique<obs::TraceScope>(own_tracer);
             tracer = &own_tracer;
         }
     }
+    ctx.setTracer(tracer);
+    obs::MetricsRegistry metrics;
+    ctx.setMetrics(&metrics);
+    SimContextScope active(ctx);
 
-    EventQueue eq;
+    EventQueue &eq = ctx.events();
     FtlConfig ftl_cfg = cfg.ftl;
     ftl_cfg.mappingUnitBytes = cfg.resolvedMappingUnit();
-    Ssd ssd(eq, cfg.nand, ftl_cfg, cfg.ssd);
-    KvEngine engine(eq, ssd, cfg.engine);
+    Ssd ssd(ctx, cfg.nand, ftl_cfg, cfg.ssd);
+    KvEngine engine(ctx, ssd, cfg.engine);
 
     WorkloadGenerator sizer(cfg.workload, cfg.engine.recordCount);
     engine.load([&sizer](std::uint64_t key) {
@@ -132,10 +147,9 @@ runExperiment(const ExperimentConfig &cfg)
         tracer->clear();
     }
 
-    obs::MetricsRegistry metrics;
     const bool want_artifacts = !cfg.obs.artifactDir.empty();
 
-    ClientPool pool(eq, engine, cfg.workload, cfg.threads);
+    ClientPool pool(ctx, engine, cfg.workload, cfg.threads);
     if (want_artifacts) {
         const obs::MetricId lat_series =
             metrics.series("op.latency", cfg.obs.seriesInterval);
@@ -202,6 +216,7 @@ runExperiment(const ExperimentConfig &cfg)
         delta(after, before, "engine.journalPayloadBytes");
     r.journalChunksStored =
         delta(after, before, "engine.journalChunksStored");
+    r.journalChunkBytes = kChunkBytes;
     r.journalStalls = delta(after, before, "engine.journalStalls");
     r.mergedUnits = delta(after, before, "engine.mergedUnits");
     r.ckptLogsSeen = delta(after, before, "engine.ckptLogsSeen");

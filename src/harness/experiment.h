@@ -33,6 +33,14 @@ struct ExperimentConfig
     WorkloadSpec workload;
     std::uint32_t threads = 32;
 
+    /**
+     * Root seed of the run's SimContext (run identity). 0 (the
+     * default) derives it from the workload seed, preserving the
+     * pre-SimContext behaviour; sweeps assign each point a distinct
+     * deterministic seed (see harness/sweep.h).
+     */
+    std::uint64_t seed = 0;
+
     /** Observability: tracing + artifact bundle (off by default). */
     obs::ObsOptions obs;
 
@@ -89,6 +97,10 @@ struct RunResult
     // Journal metrics.
     std::uint64_t journalPayloadBytes = 0;
     std::uint64_t journalChunksStored = 0;
+    /** Chunk granularity the run's journal packed records at; the
+     *  space-overhead formula below uses it so it cannot drift from
+     *  the engine configuration. */
+    std::uint32_t journalChunkBytes = 0;
     std::uint64_t journalStalls = 0;
     std::uint64_t mergedUnits = 0;
     std::uint64_t ckptLogsSeen = 0;
@@ -108,9 +120,10 @@ struct RunResult
     double
     journalSpaceOverhead() const
     {
-        if (journalPayloadBytes == 0)
+        if (journalPayloadBytes == 0 || journalChunkBytes == 0)
             return 0.0;
-        return double(journalChunksStored) * 128.0 /
+        return double(journalChunksStored) *
+                   double(journalChunkBytes) /
                    double(journalPayloadBytes) -
                1.0;
     }

@@ -73,6 +73,8 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     w.endObject();
 
     w.key("journal").beginObject();
+    w.kv("chunkBytes",
+         std::uint64_t(r.journalChunkBytes));
     w.kv("chunksStored", r.journalChunksStored);
     w.kv("mergedUnits", r.mergedUnits);
     w.kv("payloadBytes", r.journalPayloadBytes);

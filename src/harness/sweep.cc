@@ -1,0 +1,145 @@
+#include "harness/sweep.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "sim/rng.h"
+
+namespace checkin {
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    if (const char *env = std::getenv("CHECKIN_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+SweepOptions
+sweepOptionsFromArgs(int argc, char **argv)
+{
+    SweepOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        long v = 0;
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            v = std::strtol(argv[++i], nullptr, 10);
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            v = std::strtol(arg + 7, nullptr, 10);
+        } else if (std::strncmp(arg, "-j", 2) == 0 &&
+                   arg[2] != '\0') {
+            v = std::strtol(arg + 2, nullptr, 10);
+        } else {
+            continue;
+        }
+        if (v > 0)
+            opts.jobs = static_cast<unsigned>(v);
+    }
+    return opts;
+}
+
+std::vector<SweepOutcome>
+runSweep(const std::vector<SweepPoint> &points,
+         const SweepOptions &opts)
+{
+    std::vector<SweepOutcome> out(points.size());
+    if (points.empty())
+        return out;
+
+    const unsigned jobs = std::min<unsigned>(
+        std::max(1u, resolveJobs(opts.jobs)),
+        static_cast<unsigned>(points.size()));
+
+    // Workers claim indices from a shared counter; each outcome slot
+    // is written by exactly one worker, so the only synchronization
+    // needed is the counter and the final join.
+    std::atomic<std::size_t> next{0};
+    auto work = [&points, &out, &opts, &next] {
+        for (std::size_t i;
+             (i = next.fetch_add(1, std::memory_order_relaxed)) <
+             points.size();) {
+            SweepOutcome &o = out[i];
+            o.label = points[i].label;
+            ExperimentConfig cfg = points[i].config;
+            if (cfg.seed == 0) {
+                // Index-derived, not drawn from a shared RNG: the
+                // seed of point i is the same whichever worker runs
+                // it, whenever.
+                cfg.seed = mix64(opts.baseSeed ^ mix64(i + 1));
+            }
+            try {
+                o.result = runExperiment(cfg);
+                o.ok = true;
+            } catch (const std::exception &e) {
+                o.error = e.what();
+            } catch (...) {
+                o.error = "unknown exception";
+            }
+        }
+    };
+
+    if (jobs == 1) {
+        work();
+        return out;
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(jobs);
+    for (unsigned w = 0; w < jobs; ++w)
+        workers.emplace_back(work);
+    for (std::thread &w : workers)
+        w.join();
+    return out;
+}
+
+std::size_t
+SweepGrid::size() const
+{
+    std::size_t n = 1;
+    for (const auto &axis : axes_)
+        n *= axis.size();
+    return n;
+}
+
+std::vector<SweepPoint>
+SweepGrid::points() const
+{
+    std::vector<SweepPoint> pts;
+    if (size() == 0)
+        return pts;
+    pts.reserve(size());
+    std::vector<std::size_t> idx(axes_.size(), 0);
+    for (;;) {
+        SweepPoint p{std::string(), base_};
+        for (std::size_t a = 0; a < axes_.size(); ++a) {
+            const Value &v = axes_[a][idx[a]];
+            if (a != 0)
+                p.label += '-';
+            p.label += v.label;
+            if (v.apply)
+                v.apply(p.config);
+        }
+        pts.push_back(std::move(p));
+        // Odometer increment, last axis fastest.
+        std::size_t a = axes_.size();
+        while (a > 0) {
+            --a;
+            if (++idx[a] < axes_[a].size())
+                break;
+            idx[a] = 0;
+            if (a == 0)
+                return pts;
+        }
+        if (axes_.empty())
+            return pts;
+    }
+}
+
+} // namespace checkin

@@ -6,10 +6,19 @@
  *
  * Layers emit probes through the free functions at the bottom of this
  * header (obs::span / obs::instant / obs::counterSample). Probes
- * consult a process-global installed Tracer: when none is installed,
- * or the installed tracer is disabled, a probe is a single pointer +
- * flag check and performs no allocation. Install a tracer with
- * TraceScope (RAII) around the code under observation.
+ * consult a *thread-local* installed Tracer: when none is installed
+ * on the calling thread, or the installed tracer is disabled, a probe
+ * is a single pointer + flag check and performs no allocation.
+ * Install a tracer with TraceScope (RAII) around the code under
+ * observation, or activate a whole run with SimContextScope
+ * (sim/sim_context.h), which installs the context's tracer.
+ *
+ * The probe target is deliberately not process-global: concurrent
+ * simulation runs (harness/sweep.h workers) each install their own
+ * tracer on their own thread, so runs never share mutable trace
+ * state. Callers that used the former process-global installation
+ * only need changes if they installed a tracer on one thread and ran
+ * the simulation on another — install on the running thread instead.
  *
  * Layout convention (see docs/OBSERVABILITY.md):
  *  - Chrome "process" (pid) = layer (Cat): workload, engine, ssd,
@@ -152,33 +161,37 @@ class Tracer
 };
 
 namespace detail {
-/** Process-global probe target; nullptr when tracing is off. */
-inline Tracer *g_tracer = nullptr;
+/** Per-thread probe target; nullptr when tracing is off. */
+inline thread_local Tracer *t_tracer = nullptr;
 } // namespace detail
 
-/** Currently installed tracer (nullptr when none). */
+/** Tracer installed on this thread (nullptr when none). */
 inline Tracer *
 installedTracer()
 {
-    return detail::g_tracer;
+    return detail::t_tracer;
 }
 
-/** Install @p t as the probe target (nullptr uninstalls). */
+/** Install @p t as this thread's probe target (nullptr uninstalls). */
 inline void
 installTracer(Tracer *t)
 {
-    detail::g_tracer = t;
+    detail::t_tracer = t;
 }
 
-/** RAII installation of a tracer; restores the previous on exit. */
+/**
+ * RAII installation of a tracer on the calling thread; restores the
+ * previous target on exit. Install and probes must happen on the
+ * same thread.
+ */
 class TraceScope
 {
   public:
-    explicit TraceScope(Tracer &t) : prev_(detail::g_tracer)
+    explicit TraceScope(Tracer &t) : prev_(detail::t_tracer)
     {
-        detail::g_tracer = &t;
+        detail::t_tracer = &t;
     }
-    ~TraceScope() { detail::g_tracer = prev_; }
+    ~TraceScope() { detail::t_tracer = prev_; }
     TraceScope(const TraceScope &) = delete;
     TraceScope &operator=(const TraceScope &) = delete;
 
@@ -186,11 +199,11 @@ class TraceScope
     Tracer *prev_;
 };
 
-/** True when probes will record (installed and enabled tracer). */
+/** True when this thread's probes will record. */
 inline bool
 traceOn()
 {
-    const Tracer *t = detail::g_tracer;
+    const Tracer *t = detail::t_tracer;
     return t != nullptr && t->enabled();
 }
 
@@ -202,7 +215,7 @@ inline void
 span(Cat cat, std::uint32_t lane, const char *name, Tick begin,
      Tick end, std::initializer_list<TraceArg> args = {})
 {
-    if (Tracer *t = detail::g_tracer; t != nullptr && t->enabled())
+    if (Tracer *t = detail::t_tracer; t != nullptr && t->enabled())
         t->span(cat, lane, name, begin, end, args);
 }
 
@@ -210,7 +223,7 @@ inline void
 instant(Cat cat, std::uint32_t lane, const char *name, Tick at,
         std::initializer_list<TraceArg> args = {})
 {
-    if (Tracer *t = detail::g_tracer; t != nullptr && t->enabled())
+    if (Tracer *t = detail::t_tracer; t != nullptr && t->enabled())
         t->instant(cat, lane, name, at, args);
 }
 
@@ -218,7 +231,7 @@ inline void
 counterSample(Cat cat, std::uint32_t lane, const char *name, Tick at,
               std::uint64_t value)
 {
-    if (Tracer *t = detail::g_tracer; t != nullptr && t->enabled())
+    if (Tracer *t = detail::t_tracer; t != nullptr && t->enabled())
         t->counter(cat, lane, name, at, value);
 }
 
@@ -226,7 +239,7 @@ counterSample(Cat cat, std::uint32_t lane, const char *name, Tick at,
 inline void
 nameLane(Cat cat, std::uint32_t lane, const std::string &name)
 {
-    if (Tracer *t = detail::g_tracer; t != nullptr && t->enabled())
+    if (Tracer *t = detail::t_tracer; t != nullptr && t->enabled())
         t->setLaneName(cat, lane, name);
 }
 

@@ -82,8 +82,12 @@ class EventQueue
     void
     clear()
     {
-        while (!events_.empty())
-            events_.pop();
+        // Swap with a fresh container: dropping n events costs O(n)
+        // destructor calls instead of O(n log n) heap pops. The old
+        // storage (and its capacity) is released wholesale; a queue
+        // that is refilled afterwards regrows its vector on demand.
+        std::priority_queue<Event, std::vector<Event>, Later> empty;
+        events_.swap(empty);
     }
 
   private:

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Per-run simulation context.
+ *
+ * A SimContext owns everything one simulated system instance needs —
+ * the discrete-event queue (and with it the simulated clock), the
+ * run's root RNG, pointers to the run's observability sinks (tracer
+ * and metrics registry), and the run identity (name + seed). It is
+ * constructed once per experiment run and threaded explicitly through
+ * every layer (nand/, ftl/, ssd/, engine/, workload/, harness/), so a
+ * whole simulation is self-contained: two SimContexts share no
+ * mutable state and can run on different threads concurrently. This
+ * is what makes experiment sweeps embarrassingly parallel (see
+ * harness/sweep.h).
+ *
+ * Trace probes (obs::span & friends) do not take a context argument
+ * on every call; instead they consult a thread_local probe target
+ * that SimContextScope installs from the active context. A worker
+ * thread activates a context with SimContextScope before running the
+ * simulation and every probe on that thread then records into that
+ * run's tracer only.
+ */
+
+#ifndef CHECKIN_SIM_SIM_CONTEXT_H_
+#define CHECKIN_SIM_SIM_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "obs/trace.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace checkin {
+
+namespace obs {
+class MetricsRegistry;
+} // namespace obs
+
+/** Everything one simulation instance owns; never shared. */
+class SimContext
+{
+  public:
+    static constexpr std::uint64_t kDefaultSeed = 42;
+
+    explicit SimContext(std::uint64_t seed = kDefaultSeed,
+                        std::string run_name = {})
+        : seed_(seed), runName_(std::move(run_name)), rootRng_(seed)
+    {
+    }
+
+    SimContext(const SimContext &) = delete;
+    SimContext &operator=(const SimContext &) = delete;
+
+    /** The run's event queue (owns the simulated clock). */
+    EventQueue &events() { return eq_; }
+    const EventQueue &events() const { return eq_; }
+
+    /** Current simulated time (events().now()). */
+    Tick now() const { return eq_.now(); }
+
+    /** Root RNG; component streams should use deriveSeed instead of
+     *  drawing from it so seeding stays order-independent. */
+    Rng &rootRng() { return rootRng_; }
+
+    /** Seed the context was built with (the run's identity seed). */
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Deterministic per-stream seed: the same (context seed, stream)
+     * pair always yields the same value, independent of when or on
+     * which thread it is requested.
+     */
+    std::uint64_t
+    deriveSeed(std::uint64_t stream) const
+    {
+        return mix64(seed_ ^ mix64(stream + 1));
+    }
+
+    /** Human-readable run identity ("" when unnamed). */
+    const std::string &runName() const { return runName_; }
+
+    /** The run's tracer (nullptr: tracing off for this run). */
+    obs::Tracer *tracer() const { return tracer_; }
+    void setTracer(obs::Tracer *t) { tracer_ = t; }
+
+    /** The run's metrics registry (nullptr when not collected). */
+    obs::MetricsRegistry *metrics() const { return metrics_; }
+    void setMetrics(obs::MetricsRegistry *m) { metrics_ = m; }
+
+  private:
+    std::uint64_t seed_;
+    std::string runName_;
+    EventQueue eq_;
+    Rng rootRng_;
+    obs::Tracer *tracer_ = nullptr;
+    obs::MetricsRegistry *metrics_ = nullptr;
+};
+
+namespace detail {
+/** The thread's active context; nullptr outside a scope. */
+inline thread_local SimContext *t_current_context = nullptr;
+} // namespace detail
+
+/** Context activated on this thread (nullptr when none). */
+inline SimContext *
+currentSimContext()
+{
+    return detail::t_current_context;
+}
+
+/**
+ * RAII activation: makes @p ctx the calling thread's current context
+ * and, when the context carries a tracer, installs it as the thread's
+ * probe target. Restores both on destruction. Scopes nest.
+ *
+ * When ctx.tracer() is nullptr an already-installed ambient tracer is
+ * left in place (callers that wrap a run in their own TraceScope keep
+ * receiving its events, as before).
+ */
+class SimContextScope
+{
+  public:
+    explicit SimContextScope(SimContext &ctx)
+        : prevCtx_(detail::t_current_context),
+          prevTracer_(obs::installedTracer())
+    {
+        detail::t_current_context = &ctx;
+        if (ctx.tracer() != nullptr)
+            obs::installTracer(ctx.tracer());
+    }
+
+    ~SimContextScope()
+    {
+        obs::installTracer(prevTracer_);
+        detail::t_current_context = prevCtx_;
+    }
+
+    SimContextScope(const SimContextScope &) = delete;
+    SimContextScope &operator=(const SimContextScope &) = delete;
+
+  private:
+    SimContext *prevCtx_;
+    obs::Tracer *prevTracer_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_SIM_SIM_CONTEXT_H_

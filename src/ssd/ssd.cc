@@ -23,9 +23,10 @@ cmdTypeName(CmdType type)
     return "unknown";
 }
 
-Ssd::Ssd(EventQueue &eq, const NandConfig &nand_cfg,
+Ssd::Ssd(SimContext &ctx, const NandConfig &nand_cfg,
          const FtlConfig &ftl_cfg, const SsdConfig &ssd_cfg)
-    : eq_(eq),
+    : ctx_(ctx),
+      eq_(ctx.events()),
       cfg_(ssd_cfg),
       nand_(nand_cfg),
       ftl_(nand_, ftl_cfg),

@@ -25,6 +25,7 @@
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/resource.h"
+#include "sim/sim_context.h"
 #include "sim/stats.h"
 #include "ssd/command.h"
 #include "ssd/isce.h"
@@ -39,7 +40,7 @@ class Ssd
     /** Completion callback; receives the completion tick. */
     using Completion = std::function<void(Tick)>;
 
-    Ssd(EventQueue &eq, const NandConfig &nand_cfg,
+    Ssd(SimContext &ctx, const NandConfig &nand_cfg,
         const FtlConfig &ftl_cfg, const SsdConfig &ssd_cfg);
 
     /**
@@ -73,6 +74,7 @@ class Ssd
     NandFlash &nand() { return nand_; }
     const NandFlash &nand() const { return nand_; }
     Isce &isce() { return isce_; }
+    SimContext &context() { return ctx_; }
     EventQueue &eventQueue() { return eq_; }
     const SsdConfig &config() const { return cfg_; }
 
@@ -119,6 +121,7 @@ class Ssd
     /** Interned hot-path counters (see sim/stats.h). */
     static constexpr std::size_t kCmdTypeCount = 8;
 
+    SimContext &ctx_;
     EventQueue &eq_;
     SsdConfig cfg_;
     NandFlash nand_;

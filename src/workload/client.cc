@@ -24,10 +24,10 @@ opTraceName(WorkloadGenerator::OpType type)
 
 } // namespace
 
-ClientPool::ClientPool(EventQueue &eq, KvEngine &engine,
+ClientPool::ClientPool(SimContext &ctx, KvEngine &engine,
                        const WorkloadSpec &spec,
                        std::uint32_t threads)
-    : eq_(eq),
+    : eq_(ctx.events()),
       engine_(engine),
       gen_(spec, engine.config().recordCount),
       opTarget_(spec.operationCount),

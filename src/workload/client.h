@@ -15,6 +15,7 @@
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
 #include "sim/histogram.h"
+#include "sim/sim_context.h"
 #include "workload/ycsb.h"
 
 namespace checkin {
@@ -57,7 +58,7 @@ struct ClientStats
 class ClientPool
 {
   public:
-    ClientPool(EventQueue &eq, KvEngine &engine,
+    ClientPool(SimContext &ctx, KvEngine &engine,
                const WorkloadSpec &spec, std::uint32_t threads);
 
     /** Launch all threads' first operations. */

@@ -100,10 +100,13 @@ Trace::load(std::istream &is)
     return t;
 }
 
-TraceReplayer::TraceReplayer(EventQueue &eq, KvEngine &engine,
+TraceReplayer::TraceReplayer(SimContext &ctx, KvEngine &engine,
                              const Trace &trace,
                              std::uint32_t threads)
-    : eq_(eq), engine_(engine), trace_(trace), threads_(threads)
+    : eq_(ctx.events()),
+      engine_(engine),
+      trace_(trace),
+      threads_(threads)
 {
 }
 

@@ -74,12 +74,13 @@ class Trace
 
 class KvEngine;
 class EventQueue;
+class SimContext;
 
 /** Closed-loop replay of a Trace against an engine. */
 class TraceReplayer
 {
   public:
-    TraceReplayer(EventQueue &eq, KvEngine &engine,
+    TraceReplayer(SimContext &ctx, KvEngine &engine,
                   const Trace &trace, std::uint32_t threads);
 
     void start();

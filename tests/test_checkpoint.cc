@@ -12,6 +12,7 @@
 
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "ssd/ssd.h"
 
@@ -44,7 +45,8 @@ unitFor(CheckpointMode mode)
 
 struct Stack
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     std::unique_ptr<Ssd> ssd;
     std::unique_ptr<KvEngine> engine;
 
@@ -52,7 +54,7 @@ struct Stack
     {
         FtlConfig ftl_cfg;
         ftl_cfg.mappingUnitBytes = unitFor(mode);
-        ssd = std::make_unique<Ssd>(eq, smallNand(), ftl_cfg,
+        ssd = std::make_unique<Ssd>(ctx, smallNand(), ftl_cfg,
                                     SsdConfig{});
         EngineConfig ecfg;
         ecfg.mode = mode;
@@ -60,7 +62,7 @@ struct Stack
         ecfg.journalHalfBytes = 2 * kMiB;
         ecfg.checkpointJournalBytes = kMiB;
         ecfg.checkpointInterval = 0;
-        engine = std::make_unique<KvEngine>(eq, *ssd, ecfg);
+        engine = std::make_unique<KvEngine>(ctx, *ssd, ecfg);
         engine->load([](std::uint64_t k) {
             return std::uint32_t(128 * (1 + k % 4));
         });

@@ -11,6 +11,7 @@
 
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "ssd/ssd.h"
 #include "workload/client.h"
@@ -43,7 +44,8 @@ engineCfg(CheckpointMode mode)
 
 struct Stack
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     std::unique_ptr<Ssd> ssd;
     std::unique_ptr<KvEngine> engine;
     CheckpointMode mode;
@@ -54,9 +56,9 @@ struct Stack
         FtlConfig ftl_cfg;
         ftl_cfg.mappingUnitBytes =
             m == CheckpointMode::Baseline ? 4096 : 512;
-        ssd = std::make_unique<Ssd>(eq, smallNand(), ftl_cfg,
+        ssd = std::make_unique<Ssd>(ctx, smallNand(), ftl_cfg,
                                     SsdConfig{});
-        engine = std::make_unique<KvEngine>(eq, *ssd, engineCfg(m));
+        engine = std::make_unique<KvEngine>(ctx, *ssd, engineCfg(m));
         engine->load([](std::uint64_t) { return 256u; });
         eq.schedule(ssd->quiesceTick(), [] {});
         eq.run();
@@ -155,7 +157,7 @@ TEST_P(DeleteRecovery, TombstonesSurviveCrash)
     // Crash + recover.
     s.eq.clear();
     s.engine.reset();
-    s.engine = std::make_unique<KvEngine>(s.eq, *s.ssd,
+    s.engine = std::make_unique<KvEngine>(s.ctx, *s.ssd,
                                           engineCfg(s.mode));
     s.engine->recover();
     for (std::uint64_t k = 10; k < 20; ++k) {
@@ -252,7 +254,7 @@ TEST(WorkloadE, RunsEndToEnd)
     WorkloadSpec spec = WorkloadSpec::e();
     spec.operationCount = 500;
     spec.maxScanLength = 16;
-    ClientPool pool(s.eq, *s.engine, spec, 8);
+    ClientPool pool(s.ctx, *s.engine, spec, 8);
     pool.start();
     while (!pool.done()) {
         ASSERT_TRUE(s.eq.step()) << "deadlock";
@@ -266,7 +268,7 @@ TEST(WorkloadD, LatestDistributionRuns)
     Stack s;
     WorkloadSpec spec = WorkloadSpec::d();
     spec.operationCount = 500;
-    ClientPool pool(s.eq, *s.engine, spec, 8);
+    ClientPool pool(s.ctx, *s.engine, spec, 8);
     pool.start();
     while (!pool.done()) {
         ASSERT_TRUE(s.eq.step()) << "deadlock";

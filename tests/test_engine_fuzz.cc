@@ -14,6 +14,7 @@
 
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "ssd/ssd.h"
 
@@ -66,9 +67,9 @@ class EngineFuzz : public ::testing::TestWithParam<std::uint64_t>
                                     : CheckpointMode::IscC;
         FtlConfig ftl_cfg;
         ftl_cfg.exportedRatio = 0.8;
-        ssd_ = std::make_unique<Ssd>(eq_, fuzzNand(), ftl_cfg,
+        ssd_ = std::make_unique<Ssd>(ctx_, fuzzNand(), ftl_cfg,
                                      SsdConfig{});
-        engine_ = std::make_unique<KvEngine>(eq_, *ssd_,
+        engine_ = std::make_unique<KvEngine>(ctx_, *ssd_,
                                              engineCfg(mode_));
         engine_->load([](std::uint64_t) { return 256u; });
         for (std::uint64_t k = 0; k < 200; ++k)
@@ -93,7 +94,7 @@ class EngineFuzz : public ::testing::TestWithParam<std::uint64_t>
             ssd_->suddenPowerLoss();
             ssd_->ftl().checkInvariants();
         }
-        engine_ = std::make_unique<KvEngine>(eq_, *ssd_,
+        engine_ = std::make_unique<KvEngine>(ctx_, *ssd_,
                                              engineCfg(mode_));
         engine_->recover();
         // Recovery may surface newer (unacked but durable) versions;
@@ -106,7 +107,8 @@ class EngineFuzz : public ::testing::TestWithParam<std::uint64_t>
         engine_->verifyAllKeys();
     }
 
-    EventQueue eq_;
+    SimContext ctx_;
+    EventQueue &eq_ = ctx_.events();
     std::unique_ptr<Ssd> ssd_;
     std::unique_ptr<KvEngine> engine_;
     CheckpointMode mode_ = CheckpointMode::CheckIn;

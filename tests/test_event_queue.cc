@@ -125,6 +125,32 @@ TEST(EventQueue, ClearDropsPendingEvents)
     EXPECT_EQ(fired, 0);
 }
 
+TEST(EventQueue, ClearReleasesStorageAndKeepsClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.run();
+    for (int i = 0; i < 10'000; ++i)
+        eq.scheduleAfter(Tick(i + 1), [&] { ++fired; });
+    EXPECT_EQ(eq.pending(), 10'000u);
+    eq.clear();
+    // Dropping the backlog resets pending work only: the clock and
+    // the dispatch count are part of run history, not the backlog.
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.now(), 5u);
+    EXPECT_EQ(eq.dispatched(), 1u);
+    EXPECT_EQ(eq.nextEventTick(), kInvalidAddr);
+    EXPECT_EQ(fired, 1);
+    // The queue is reusable after clear(): scheduling and dispatch
+    // behave as on a fresh queue at the same clock.
+    eq.scheduleAfter(10, [&] { ++fired; });
+    EXPECT_EQ(eq.run(), 1u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
 TEST(EventQueue, CountsDispatched)
 {
     EventQueue eq;

@@ -50,8 +50,14 @@ TEST(Harness, JournalSpaceOverheadMath)
 {
     RunResult r;
     r.journalPayloadBytes = 1000;
-    r.journalChunksStored = 10; // 1280 bytes
+    r.journalChunksStored = 10;
+    // Chunk size is recorded per run, not assumed: with no recorded
+    // size the overhead is undefined and reads as zero.
+    EXPECT_EQ(r.journalSpaceOverhead(), 0.0);
+    r.journalChunkBytes = 128; // 10 chunks = 1280 bytes
     EXPECT_NEAR(r.journalSpaceOverhead(), 0.28, 1e-9);
+    r.journalChunkBytes = 256; // 10 chunks = 2560 bytes
+    EXPECT_NEAR(r.journalSpaceOverhead(), 1.56, 1e-9);
     r.journalPayloadBytes = 0;
     EXPECT_EQ(r.journalSpaceOverhead(), 0.0);
 }

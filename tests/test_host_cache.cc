@@ -12,6 +12,7 @@
 #include "engine/host_cache.h"
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "ssd/ssd.h"
 
 namespace checkin {
@@ -87,7 +88,8 @@ TEST(HostCache, EraseDropsEntry)
 
 struct Stack
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     std::unique_ptr<Ssd> ssd;
     std::unique_ptr<KvEngine> engine;
 
@@ -99,13 +101,13 @@ struct Stack
         nand.blocksPerPlane = 32;
         nand.pagesPerBlock = 32;
         FtlConfig ftl_cfg;
-        ssd = std::make_unique<Ssd>(eq, nand, ftl_cfg, SsdConfig{});
+        ssd = std::make_unique<Ssd>(ctx, nand, ftl_cfg, SsdConfig{});
         EngineConfig ecfg;
         ecfg.recordCount = 300;
         ecfg.journalHalfBytes = 2 * kMiB;
         ecfg.checkpointInterval = 0;
         ecfg.hostCacheBytes = cache_bytes;
-        engine = std::make_unique<KvEngine>(eq, *ssd, ecfg);
+        engine = std::make_unique<KvEngine>(ctx, *ssd, ecfg);
         engine->load([](std::uint64_t) { return 256u; });
         eq.schedule(ssd->quiesceTick(), [] {});
         eq.run();

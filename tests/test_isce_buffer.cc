@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "ssd/ssd.h"
 
 namespace checkin {
@@ -43,7 +44,7 @@ class IsceBuffer : public ::testing::Test
         SsdConfig scfg;
         scfg.smallBufferSectors = 8;
         FtlConfig fcfg; // 512 B mapping unit
-        ssd_ = std::make_unique<Ssd>(eq_, smallNand(), fcfg, scfg);
+        ssd_ = std::make_unique<Ssd>(ctx_, smallNand(), fcfg, scfg);
     }
 
     /** Write one journal sector holding a small (2-chunk) record. */
@@ -72,7 +73,8 @@ class IsceBuffer : public ::testing::Test
         eq_.run();
     }
 
-    EventQueue eq_;
+    SimContext ctx_;
+    EventQueue &eq_ = ctx_.events();
     std::unique_ptr<Ssd> ssd_;
 };
 
@@ -216,8 +218,9 @@ TEST_F(IsceBuffer, DisabledBufferCopiesImmediately)
     SsdConfig scfg;
     scfg.smallBufferSectors = 0;
     FtlConfig fcfg;
-    EventQueue eq;
-    Ssd ssd(eq, smallNand(), fcfg, scfg);
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
+    Ssd ssd(ctx, smallNand(), fcfg, scfg);
     ssd.submit(Command::write(0, {sector(5)}, IoCause::Journal),
                [](Tick) {});
     Command c;

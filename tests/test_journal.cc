@@ -11,6 +11,7 @@
 #include "engine/journal.h"
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "ssd/ssd.h"
 
 namespace checkin {
@@ -118,7 +119,8 @@ smallNand()
 
 struct Stack
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     std::unique_ptr<Ssd> ssd;
     std::unique_ptr<KvEngine> engine;
 
@@ -126,7 +128,7 @@ struct Stack
     {
         FtlConfig ftl_cfg;
         ftl_cfg.mappingUnitBytes = unit_bytes;
-        ssd = std::make_unique<Ssd>(eq, smallNand(), ftl_cfg,
+        ssd = std::make_unique<Ssd>(ctx, smallNand(), ftl_cfg,
                                     SsdConfig{});
         EngineConfig ecfg;
         ecfg.mode = mode;
@@ -134,7 +136,7 @@ struct Stack
         ecfg.journalHalfBytes = 2 * kMiB;
         ecfg.checkpointJournalBytes = 1536 * kKiB;
         ecfg.checkpointInterval = 0; // manual checkpoints only
-        engine = std::make_unique<KvEngine>(eq, *ssd, ecfg);
+        engine = std::make_unique<KvEngine>(ctx, *ssd, ecfg);
         engine->load([](std::uint64_t) { return 256u; });
         eq.schedule(ssd->quiesceTick(), [] {});
         eq.run();

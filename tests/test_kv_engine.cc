@@ -10,6 +10,7 @@
 
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "ssd/ssd.h"
 
@@ -29,7 +30,8 @@ smallNand()
 
 struct Stack
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     std::unique_ptr<Ssd> ssd;
     std::unique_ptr<KvEngine> engine;
 
@@ -42,7 +44,7 @@ struct Stack
                     mode == CheckpointMode::IscC
                 ? 512
                 : 4096;
-        ssd = std::make_unique<Ssd>(eq, smallNand(), ftl_cfg,
+        ssd = std::make_unique<Ssd>(ctx, smallNand(), ftl_cfg,
                                     SsdConfig{});
         EngineConfig ecfg;
         ecfg.mode = mode;
@@ -51,7 +53,7 @@ struct Stack
         ecfg.checkpointJournalBytes = 256 * kKiB;
         ecfg.checkpointInterval = interval;
         ecfg.lockQueriesDuringCheckpoint = lock;
-        engine = std::make_unique<KvEngine>(eq, *ssd, ecfg);
+        engine = std::make_unique<KvEngine>(ctx, *ssd, ecfg);
         engine->load([](std::uint64_t) { return 256u; });
         eq.schedule(ssd->quiesceTick(), [] {});
         eq.run();

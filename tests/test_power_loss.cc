@@ -14,6 +14,7 @@
 #include "ftl/ftl.h"
 #include "nand/nand_flash.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "ssd/ssd.h"
 
@@ -192,7 +193,8 @@ class PowerLossStack
 
 TEST_P(PowerLossStack, NoCommittedUpdateLostThroughFirmwareRebuild)
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     FtlConfig ftl_cfg;
     ftl_cfg.mappingUnitBytes =
         GetParam() == CheckpointMode::Baseline ||
@@ -200,8 +202,8 @@ TEST_P(PowerLossStack, NoCommittedUpdateLostThroughFirmwareRebuild)
                 GetParam() == CheckpointMode::IscB
             ? 4096
             : 512;
-    Ssd ssd(eq, smallNand(), ftl_cfg, SsdConfig{});
-    auto engine = std::make_unique<KvEngine>(eq, ssd, engineCfg());
+    Ssd ssd(ctx, smallNand(), ftl_cfg, SsdConfig{});
+    auto engine = std::make_unique<KvEngine>(ctx, ssd, engineCfg());
     engine->load([](std::uint64_t) { return 384u; });
     eq.schedule(ssd.quiesceTick(), [] {});
     eq.run();
@@ -229,7 +231,7 @@ TEST_P(PowerLossStack, NoCommittedUpdateLostThroughFirmwareRebuild)
     EXPECT_GT(report.slotsRecovered, 0u);
     ssd.ftl().checkInvariants();
 
-    engine = std::make_unique<KvEngine>(eq, ssd, engineCfg());
+    engine = std::make_unique<KvEngine>(ctx, ssd, engineCfg());
     engine->recover();
     for (const auto &[key, version] : committed) {
         EXPECT_GE(engine->keymap()[key].version, version)

@@ -12,6 +12,7 @@
 
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "ssd/ssd.h"
 #include "workload/ycsb.h"
@@ -55,7 +56,8 @@ unitFor(CheckpointMode mode)
 /** Device + crashed/recovered engines sharing one event queue. */
 struct CrashRig
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     std::unique_ptr<Ssd> ssd;
     std::unique_ptr<KvEngine> engine;
     CheckpointMode mode;
@@ -66,9 +68,9 @@ struct CrashRig
     {
         FtlConfig ftl_cfg;
         ftl_cfg.mappingUnitBytes = unitFor(m);
-        ssd = std::make_unique<Ssd>(eq, smallNand(), ftl_cfg,
+        ssd = std::make_unique<Ssd>(ctx, smallNand(), ftl_cfg,
                                     SsdConfig{});
-        engine = std::make_unique<KvEngine>(eq, *ssd, engineCfg(m));
+        engine = std::make_unique<KvEngine>(ctx, *ssd, engineCfg(m));
         engine->load([](std::uint64_t) { return 256u; });
         for (std::uint64_t k = 0; k < 300; ++k)
             committed[k] = 1;
@@ -105,7 +107,7 @@ struct CrashRig
     RecoveryInfo
     recover()
     {
-        engine = std::make_unique<KvEngine>(eq, *ssd, engineCfg(mode));
+        engine = std::make_unique<KvEngine>(ctx, *ssd, engineCfg(mode));
         return engine->recover();
     }
 

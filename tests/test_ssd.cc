@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "ssd/ssd.h"
 
 namespace checkin {
@@ -50,11 +51,12 @@ class SsdTest : public ::testing::Test
     {
         FtlConfig ftl_cfg;
         ftl_cfg.mappingUnitBytes = 512;
-        ssd_ = std::make_unique<Ssd>(eq_, smallNand(), ftl_cfg,
+        ssd_ = std::make_unique<Ssd>(ctx_, smallNand(), ftl_cfg,
                                      SsdConfig{});
     }
 
-    EventQueue eq_;
+    SimContext ctx_;
+    EventQueue &eq_ = ctx_.events();
     std::unique_ptr<Ssd> ssd_;
 };
 
@@ -236,8 +238,9 @@ TEST_F(SsdTest, ReadLatencyExceedsFlashRead)
     // Disable the DRAM data cache so the read must touch flash.
     FtlConfig ftl_cfg;
     ftl_cfg.dataCacheBytes = 0;
-    EventQueue eq;
-    Ssd ssd(eq, smallNand(), ftl_cfg, SsdConfig{});
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
+    Ssd ssd(ctx, smallNand(), ftl_cfg, SsdConfig{});
     ssd.submit(Command::write(0, sectors(1, 1), IoCause::Query),
                [](Tick) {});
     eq.run();
@@ -273,8 +276,9 @@ TEST_F(SsdTest, WriteBackpressureKicksInUnderBurst)
     SsdConfig cfg;
     cfg.writeBufferPages = 4;
     FtlConfig ftl_cfg;
-    EventQueue eq;
-    Ssd ssd(eq, smallNand(), ftl_cfg, cfg);
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
+    Ssd ssd(ctx, smallNand(), ftl_cfg, cfg);
     Tick last = 0;
     for (int i = 0; i < 64; ++i) {
         ssd.submit(Command::write(Lba(i) * 8, sectors(i, 8),

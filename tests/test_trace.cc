@@ -12,6 +12,7 @@
 
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "ssd/ssd.h"
 #include "workload/trace.h"
 
@@ -82,7 +83,8 @@ TEST(Trace, GenerateIsDeterministic)
 
 struct Stack
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     std::unique_ptr<Ssd> ssd;
     std::unique_ptr<KvEngine> engine;
 
@@ -91,7 +93,7 @@ struct Stack
         FtlConfig ftl_cfg;
         ftl_cfg.mappingUnitBytes =
             mode == CheckpointMode::Baseline ? 4096 : 512;
-        ssd = std::make_unique<Ssd>(eq, smallNand(), ftl_cfg,
+        ssd = std::make_unique<Ssd>(ctx, smallNand(), ftl_cfg,
                                     SsdConfig{});
         EngineConfig ecfg;
         ecfg.mode = mode;
@@ -99,7 +101,7 @@ struct Stack
         ecfg.journalHalfBytes = 2 * kMiB;
         ecfg.checkpointJournalBytes = kMiB;
         ecfg.checkpointInterval = 0;
-        engine = std::make_unique<KvEngine>(eq, *ssd, ecfg);
+        engine = std::make_unique<KvEngine>(ctx, *ssd, ecfg);
         engine->load([](std::uint64_t) { return 256u; });
         eq.schedule(ssd->quiesceTick(), [] {});
         eq.run();
@@ -121,7 +123,7 @@ TEST(TraceReplay, CompletesEveryOperation)
     Stack s(CheckpointMode::CheckIn);
     WorkloadSpec spec = WorkloadSpec::a();
     const Trace t = Trace::generate(spec, 300, 800);
-    TraceReplayer replay(s.eq, *s.engine, t, 16);
+    TraceReplayer replay(s.ctx, *s.engine, t, 16);
     replay.start();
     while (!replay.done()) {
         ASSERT_TRUE(s.eq.step()) << "deadlock during replay";
@@ -140,7 +142,7 @@ TEST(TraceReplay, SameTraceSameFinalStateAcrossModes)
          {CheckpointMode::Baseline, CheckpointMode::IscC,
           CheckpointMode::CheckIn}) {
         Stack s(mode);
-        TraceReplayer replay(s.eq, *s.engine, t, 8);
+        TraceReplayer replay(s.ctx, *s.engine, t, 8);
         replay.start();
         while (!replay.done())
             ASSERT_TRUE(s.eq.step());
@@ -165,7 +167,7 @@ TEST(TraceReplay, HandlesDeletesInTrace)
     t.add({OpType::Delete, 10, 0, 0});
     t.add({OpType::Read, 10, 0, 0});
     t.add({OpType::Scan, 5, 0, 10});
-    TraceReplayer replay(s.eq, *s.engine, t, 1);
+    TraceReplayer replay(s.ctx, *s.engine, t, 1);
     replay.start();
     while (!replay.done())
         ASSERT_TRUE(s.eq.step());

@@ -10,6 +10,7 @@
 
 #include "engine/kv_engine.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "sim/timeseries.h"
 #include "ssd/ssd.h"
@@ -42,16 +43,17 @@ engineCfg()
 
 struct Stack
 {
-    EventQueue eq;
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
     std::unique_ptr<Ssd> ssd;
     std::unique_ptr<KvEngine> engine;
 
     Stack()
     {
         FtlConfig ftl_cfg;
-        ssd = std::make_unique<Ssd>(eq, smallNand(), ftl_cfg,
+        ssd = std::make_unique<Ssd>(ctx, smallNand(), ftl_cfg,
                                     SsdConfig{});
-        engine = std::make_unique<KvEngine>(eq, *ssd, engineCfg());
+        engine = std::make_unique<KvEngine>(ctx, *ssd, engineCfg());
         engine->load([](std::uint64_t) { return 256u; });
         eq.schedule(ssd->quiesceTick(), [] {});
         eq.run();
@@ -96,7 +98,7 @@ TEST(Transactions, AtomicAcrossCrash)
         }
         s.eq.clear();
         s.engine.reset();
-        s.engine = std::make_unique<KvEngine>(s.eq, *s.ssd,
+        s.engine = std::make_unique<KvEngine>(s.ctx, *s.ssd,
                                               engineCfg());
         s.engine->recover();
         for (int t = 0; t < 3; ++t) {

@@ -10,6 +10,7 @@
 #include "ftl/ftl.h"
 #include "nand/nand_flash.h"
 #include "sim/event_queue.h"
+#include "sim/sim_context.h"
 #include "sim/rng.h"
 #include "ssd/ssd.h"
 
@@ -102,8 +103,9 @@ TEST(QueueDepth, AdmissionStallsBeyondDepth)
     scfg.queueDepth = 4;
     FtlConfig fcfg;
     fcfg.dataCacheBytes = 0; // make reads slow (flash-bound)
-    EventQueue eq;
-    Ssd ssd(eq, smallNand(), fcfg, scfg);
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
+    Ssd ssd(ctx, smallNand(), fcfg, scfg);
     // Populate then flush so reads touch flash.
     std::vector<SectorData> payload(8);
     for (int i = 0; i < 8; ++i)
@@ -126,8 +128,9 @@ TEST(QueueDepth, DeepQueueDoesNotStallLightLoad)
     SsdConfig scfg;
     scfg.queueDepth = 256;
     FtlConfig fcfg;
-    EventQueue eq;
-    Ssd ssd(eq, smallNand(), fcfg, scfg);
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
+    Ssd ssd(ctx, smallNand(), fcfg, scfg);
     for (int i = 0; i < 32; ++i) {
         ssd.submit(Command::write(Lba(i), {sectorFor(1)},
                                   IoCause::Query),
