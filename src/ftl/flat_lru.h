@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Index-based intrusive LRU over a dense key universe.
+ *
+ * The FTL's hot caches (DRAM data cache keyed by PPN, map cache keyed
+ * by translation segment) have keys that are small dense integers
+ * bounded by the device geometry. A node-based
+ * unordered_map + std::list LRU pays a hash lookup, pointer chasing,
+ * and a list-node allocation per touch; this structure instead keeps
+ * one flat vector of {prev, next} links indexed directly by the key,
+ * so every operation is O(1) array arithmetic with no hashing and no
+ * allocation after init().
+ *
+ * Trade-off: memory is proportional to the universe, not the
+ * residency (~9 bytes per possible key). That is the right trade for
+ * geometry-bounded universes (pages, segments); it would be wrong for
+ * sparse 64-bit key spaces.
+ */
+
+#ifndef CHECKIN_FTL_FLAT_LRU_H_
+#define CHECKIN_FTL_FLAT_LRU_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+/** O(1), allocation-free LRU over keys in [0, universe). */
+class FlatLru
+{
+  public:
+    FlatLru() = default;
+
+    /**
+     * Size the link table for keys in [0, @p universe) with at most
+     * @p capacity resident entries. Discards any previous contents.
+     * A zero capacity disables the cache (nothing is ever resident).
+     */
+    void
+    init(std::uint64_t universe, std::size_t capacity)
+    {
+        assert(universe < kNil);
+        nodes_.assign(universe, Node{});
+        capacity_ = capacity;
+        head_ = kNil;
+        tail_ = kNil;
+        count_ = 0;
+    }
+
+    /** Drop every resident entry (links are kept allocated). */
+    void
+    clear()
+    {
+        std::uint32_t cur = head_;
+        while (cur != kNil) {
+            const std::uint32_t next = nodes_[cur].next;
+            nodes_[cur] = Node{};
+            cur = next;
+        }
+        head_ = kNil;
+        tail_ = kNil;
+        count_ = 0;
+    }
+
+    /** True when @p key is resident. */
+    bool
+    contains(std::uint64_t key) const
+    {
+        return nodes_[key].resident;
+    }
+
+    /**
+     * Move @p key to the MRU position if resident.
+     * @retval true the key was resident (and is now MRU).
+     */
+    bool
+    touch(std::uint64_t key)
+    {
+        if (!nodes_[key].resident)
+            return false;
+        moveToFront(std::uint32_t(key));
+        return true;
+    }
+
+    /**
+     * Make @p key resident at the MRU position, evicting the LRU
+     * entry if the cache is full. Touches instead when already
+     * resident.
+     * @return the evicted key, or kInvalidAddr when nothing was
+     *         evicted (also when capacity is zero: nothing inserted).
+     */
+    std::uint64_t
+    insert(std::uint64_t key)
+    {
+        if (capacity_ == 0)
+            return kInvalidAddr;
+        if (nodes_[key].resident) {
+            moveToFront(std::uint32_t(key));
+            return kInvalidAddr;
+        }
+        std::uint64_t evicted = kInvalidAddr;
+        if (count_ >= capacity_) {
+            evicted = tail_;
+            eraseLinked(tail_);
+        }
+        Node &n = nodes_[key];
+        n.resident = true;
+        n.prev = kNil;
+        n.next = head_;
+        if (head_ != kNil)
+            nodes_[head_].prev = std::uint32_t(key);
+        head_ = std::uint32_t(key);
+        if (tail_ == kNil)
+            tail_ = head_;
+        ++count_;
+        return evicted;
+    }
+
+    /** Drop @p key if resident (e.g. invalidation by erase). */
+    void
+    erase(std::uint64_t key)
+    {
+        if (nodes_[key].resident)
+            eraseLinked(std::uint32_t(key));
+    }
+
+    /** Resident entry count. */
+    std::size_t size() const { return count_; }
+
+    /** Configured capacity (0 = disabled). */
+    std::size_t capacity() const { return capacity_; }
+
+    /** LRU key (kInvalidAddr when empty); exposed for tests. */
+    std::uint64_t
+    lruKey() const
+    {
+        return tail_ == kNil ? kInvalidAddr : tail_;
+    }
+
+  private:
+    static constexpr std::uint32_t kNil = ~std::uint32_t{0};
+
+    struct Node
+    {
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+        bool resident = false;
+    };
+
+    void
+    unlink(std::uint32_t key)
+    {
+        Node &n = nodes_[key];
+        if (n.prev != kNil)
+            nodes_[n.prev].next = n.next;
+        else
+            head_ = n.next;
+        if (n.next != kNil)
+            nodes_[n.next].prev = n.prev;
+        else
+            tail_ = n.prev;
+    }
+
+    void
+    moveToFront(std::uint32_t key)
+    {
+        if (head_ == key)
+            return;
+        unlink(key);
+        Node &n = nodes_[key];
+        n.prev = kNil;
+        n.next = head_;
+        nodes_[head_].prev = key;
+        head_ = key;
+    }
+
+    void
+    eraseLinked(std::uint32_t key)
+    {
+        unlink(key);
+        nodes_[key] = Node{};
+        --count_;
+    }
+
+    std::vector<Node> nodes_;
+    std::uint32_t head_ = kNil;
+    std::uint32_t tail_ = kNil;
+    std::size_t count_ = 0;
+    std::size_t capacity_ = 0;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_FTL_FLAT_LRU_H_

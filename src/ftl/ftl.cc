@@ -61,8 +61,8 @@ Ftl::Ftl(NandFlash &nand, const FtlConfig &cfg)
     logicalUnits_ = std::uint64_t(double(nc.totalBytes()) *
                                   cfg_.exportedRatio) /
                     cfg_.mappingUnitBytes;
-    cacheCapacityPages_ =
-        std::size_t(cfg_.dataCacheBytes / nc.pageBytes);
+    dataCache_.init(nc.totalPages(),
+                    std::size_t(cfg_.dataCacheBytes / nc.pageBytes));
     if (cfg_.mapCacheBytes > 0) {
         const std::uint64_t seg_bytes =
             std::uint64_t(cfg_.mapEntriesPerFetch) *
@@ -73,6 +73,7 @@ Ftl::Ftl(NandFlash &nand, const FtlConfig &cfg)
         // Capacity >= table: everything resident, no miss modeling.
         mapSegCapacity_ =
             cap >= total_segs ? 0 : std::size_t(cap);
+        mapCache_.init(total_segs, mapSegCapacity_);
     }
     map_.assign(logicalUnits_, kInvalidAddr);
     open_.assign(std::size_t(kStreamCount) * nc.dieCount(),
@@ -81,6 +82,10 @@ Ftl::Ftl(NandFlash &nand, const FtlConfig &cfg)
     slotInfo_.assign(total_slots, SlotInfo{});
     sectors_.assign(total_slots * sectorsPerUnit_, SectorData{});
     slotOob_.assign(total_slots, OobEntry{});
+    // Rare >2-reference CoW chains hash into refOverflow_; reserve a
+    // geometry-derived bucket count so warmup never rehashes.
+    refOverflow_.reserve(
+        std::size_t(std::max<std::uint64_t>(64, total_slots / 1024)));
 
     // Intern the hot-path counters once; per-event updates are then
     // plain array indexing (no per-write string construction).
@@ -136,20 +141,12 @@ Ftl::mapAccess(Lpn lpn, Tick earliest)
     if (mapSegCapacity_ == 0)
         return earliest;
     const std::uint64_t seg = lpn / cfg_.mapEntriesPerFetch;
-    auto it = mapSegIndex_.find(seg);
-    if (it != mapSegIndex_.end()) {
-        mapSegLru_.splice(mapSegLru_.begin(), mapSegLru_,
-                          it->second);
+    if (mapCache_.touch(seg)) {
         stats_.add(sMapCacheHits_);
         return earliest;
     }
     stats_.add(sMapCacheMisses_);
-    mapSegLru_.push_front(seg);
-    mapSegIndex_[seg] = mapSegLru_.begin();
-    if (mapSegLru_.size() > mapSegCapacity_) {
-        mapSegIndex_.erase(mapSegLru_.back());
-        mapSegLru_.pop_back();
-    }
+    mapCache_.insert(seg);
     // Fetch the segment's translation page from flash; the die is
     // determined by where the map stream last persisted it — model
     // as a hash spread over the array.
@@ -170,35 +167,19 @@ Ftl::mapAccessRange(Lpn first, Lpn last, Tick earliest)
 bool
 Ftl::isCached(Ppn ppn) const
 {
-    return cacheIndex_.find(ppn) != cacheIndex_.end();
+    return dataCache_.contains(ppn);
 }
 
 void
 Ftl::cacheInsert(Ppn ppn)
 {
-    if (cacheCapacityPages_ == 0)
-        return;
-    auto it = cacheIndex_.find(ppn);
-    if (it != cacheIndex_.end()) {
-        cacheLru_.splice(cacheLru_.begin(), cacheLru_, it->second);
-        return;
-    }
-    cacheLru_.push_front(ppn);
-    cacheIndex_[ppn] = cacheLru_.begin();
-    if (cacheLru_.size() > cacheCapacityPages_) {
-        cacheIndex_.erase(cacheLru_.back());
-        cacheLru_.pop_back();
-    }
+    dataCache_.insert(ppn);
 }
 
 void
 Ftl::cacheEvict(Ppn ppn)
 {
-    auto it = cacheIndex_.find(ppn);
-    if (it == cacheIndex_.end())
-        return;
-    cacheLru_.erase(it->second);
-    cacheIndex_.erase(it);
+    dataCache_.erase(ppn);
 }
 
 bool
@@ -744,8 +725,7 @@ Ftl::rebuildFromPowerLoss()
     std::fill(map_.begin(), map_.end(), kInvalidAddr);
     slotInfo_.assign(slotInfo_.size(), SlotInfo{});
     refOverflow_.clear();
-    cacheLru_.clear();
-    cacheIndex_.clear();
+    dataCache_.clear();
     dirtyMapBytes_ = 0;
     // Suppress map-flush writes while replaying OOB.
     inMapFlush_ = true;

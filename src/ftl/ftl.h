@@ -15,11 +15,11 @@
 #include <array>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <unordered_map>
 #include <vector>
 
 #include "ftl/block_manager.h"
+#include "ftl/flat_lru.h"
 #include "ftl/ftl_config.h"
 #include "ftl/ftl_types.h"
 #include "nand/nand_flash.h"
@@ -343,18 +343,15 @@ class Ftl
     bool inGc_ = false;
     bool inMapFlush_ = false;
 
-    // DRAM data cache: LRU list of resident PPNs.
-    std::size_t cacheCapacityPages_ = 0;
-    std::list<Ppn> cacheLru_;
-    std::unordered_map<Ppn, std::list<Ppn>::iterator> cacheIndex_;
+    // DRAM data cache: flat intrusive LRU over the PPN universe
+    // (O(1) touch/insert/evict, no hashing on the event hot path).
+    FlatLru dataCache_;
 
-    // Map cache: LRU of translation segments (0 capacity = all
-    // resident). Segment = mapEntriesPerFetch consecutive LPNs.
+    // Map cache: flat intrusive LRU of translation segments (0
+    // capacity = all resident, model disabled). Segment =
+    // mapEntriesPerFetch consecutive LPNs.
     std::size_t mapSegCapacity_ = 0;
-    std::list<std::uint64_t> mapSegLru_;
-    std::unordered_map<std::uint64_t,
-                       std::list<std::uint64_t>::iterator>
-        mapSegIndex_;
+    FlatLru mapCache_;
     ProgramObserver onProgram_;
     StatRegistry stats_;
 

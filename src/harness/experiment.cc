@@ -234,6 +234,13 @@ runExperiment(const ExperimentConfig &cfg)
                 double(r.journalPayloadBytes);
     }
 
+    // Kernel health counters: clamped (past-tick) schedules are
+    // silent model bugs, so they ride along in every artifact bundle.
+    metrics.set(metrics.counter("sim.clampedSchedules"),
+                eq.clampedSchedules());
+    metrics.set(metrics.counter("sim.dispatchedEvents"),
+                eq.dispatched());
+
     if (want_artifacts) {
         metrics.importStats(ssd.nand().stats());
         metrics.importStats(ssd.ftl().stats());

@@ -1,40 +1,189 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace checkin {
 
+namespace {
+
+/** Comparator adapter for the std::upper_bound in insertActive. */
+struct DispatchesBefore
+{
+    template <typename E>
+    bool
+    operator()(const E &a, const E &b) const
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+};
+
+/**
+ * Trim threshold for the active window's consumed prefix: an
+ * in-window schedule first drops already-dispatched events when more
+ * than this many have accumulated, so long same-window cascades reuse
+ * storage instead of growing the vector without bound.
+ */
+constexpr std::size_t kActiveTrim = 4096;
+
+} // namespace
+
+void
+EventQueue::insertActive(Event ev)
+{
+    if (activeIdx_ >= kActiveTrim) {
+        active_.erase(active_.begin(),
+                      active_.begin() +
+                          std::ptrdiff_t(activeIdx_));
+        activeIdx_ = 0;
+    }
+    // The new event carries the largest seq, so among equal ticks it
+    // lands last: upper_bound over the undispatched suffix keeps the
+    // FIFO-per-tick contract. The common cases degenerate to O(1):
+    // a tick at/past every remaining event appends at the end.
+    const auto pos =
+        std::upper_bound(active_.begin() +
+                             std::ptrdiff_t(activeIdx_),
+                         active_.end(), ev, DispatchesBefore{});
+    active_.insert(pos, std::move(ev));
+}
+
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
     assert(cb && "null event callback");
-    if (when < now_)
+    if (when < now_) {
         when = now_;
-    events_.push(Event{when, nextSeq_++, std::move(cb)});
+        ++clamped_;
+    }
+    Event ev{when, nextSeq_++, std::move(cb)};
+    ++pending_;
+    if (when < windowEnd()) {
+        // Includes ticks behind windowStart_ (possible after runUntil
+        // peeked ahead): the active window absorbs everything below
+        // its end, so wheel buckets behind the window stay empty.
+        insertActive(std::move(ev));
+    } else if (when < wheelLimit()) {
+        const std::size_t b = bucketOf(when);
+        wheel_[b].push_back(std::move(ev));
+        markBucket(b);
+        ++wheelCount_;
+    } else {
+        overflow_.push_back(std::move(ev));
+        std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+    }
 }
 
 Tick
 EventQueue::nextEventTick() const
 {
-    if (events_.empty())
-        return kInvalidAddr;
-    return events_.top().when;
+    if (pending_ == 0)
+        return kInvalidTick;
+    if (activeIdx_ < active_.size())
+        return active_[activeIdx_].when;
+    // Cold path (active window drained): scan the far tiers. Only
+    // harness edges and tests peek here; dispatch itself refills.
+    Tick best = kInvalidTick;
+    for (const std::vector<Event> &bucket : wheel_) {
+        for (const Event &ev : bucket)
+            best = std::min(best, ev.when);
+    }
+    if (!overflow_.empty())
+        best = std::min(best, overflow_.front().when);
+    return best;
+}
+
+std::size_t
+EventQueue::nextOccupiedDistance(std::size_t start) const
+{
+    // Distances partition into word-aligned segments: the iteration
+    // at distance i covers buckets (start+i) .. end-of-word, so the
+    // whole circle is swept in at most kBucketCount/64 + 1 probes.
+    // Distance kBucketCount (bucket `start` itself, holding only
+    // later-rotation events) is a valid answer.
+    for (std::size_t i = 1; i <= kBucketCount;) {
+        const std::size_t b = (start + i) & (kBucketCount - 1);
+        const std::uint64_t word = wheelBits_[b >> 6] >> (b & 63);
+        if (word != 0)
+            return i + std::size_t(std::countr_zero(word));
+        i += 64 - (b & 63);
+    }
+    return 0;
+}
+
+bool
+EventQueue::refill()
+{
+    active_.clear();
+    activeIdx_ = 0;
+    while (pending_ > 0) {
+        // Next window: the earlier of the first wheel bucket holding
+        // any event and the overflow top's window. Buckets multiplex
+        // rotations, so a probed bucket may hold only later-rotation
+        // events — the harvest below filters and the loop advances.
+        Tick next = kInvalidTick;
+        if (wheelCount_ > 0) {
+            const std::size_t dist =
+                nextOccupiedDistance(bucketOf(windowStart_));
+            assert(dist > 0 &&
+                   "wheelCount_ > 0 but no occupied bucket");
+            next = windowStart_ + Tick(dist) * kBucketTicks;
+        }
+        if (!overflow_.empty()) {
+            next = std::min(
+                next, alignDown(overflow_.front().when,
+                                kBucketTicks));
+        }
+        assert(next != kInvalidTick && "pending events unaccounted");
+        windowStart_ = next;
+        const Tick end = windowEnd();
+
+        std::vector<Event> &bucket = wheel_[bucketOf(next)];
+        std::size_t keep = 0;
+        for (Event &ev : bucket) {
+            if (ev.when < end) {
+                active_.push_back(std::move(ev));
+                --wheelCount_;
+            } else {
+                bucket[keep++] = std::move(ev);
+            }
+        }
+        bucket.resize(keep);
+        if (keep == 0)
+            unmarkBucket(bucketOf(next));
+        while (!overflow_.empty() &&
+               overflow_.front().when < end) {
+            std::pop_heap(overflow_.begin(), overflow_.end(),
+                          Later{});
+            active_.push_back(std::move(overflow_.back()));
+            overflow_.pop_back();
+        }
+        if (!active_.empty()) {
+            std::sort(active_.begin(), active_.end(),
+                      DispatchesBefore{});
+            return true;
+        }
+    }
+    return false;
 }
 
 bool
 EventQueue::step()
 {
-    if (events_.empty())
+    if (activeIdx_ >= active_.size() && !refill())
         return false;
-    // priority_queue::top() returns const&; move via const_cast is the
-    // standard idiom for pop-with-move and is safe because the element
-    // is removed immediately afterwards.
-    Event ev = std::move(const_cast<Event &>(events_.top()));
-    events_.pop();
-    now_ = ev.when;
+    // Move the callback out before invoking: the callback may
+    // schedule into the active window and reallocate the vector.
+    Event &slot = active_[activeIdx_];
+    Callback cb = std::move(slot.cb);
+    now_ = slot.when;
+    ++activeIdx_;
+    --pending_;
     ++dispatched_;
-    ev.cb();
+    cb();
     return true;
 }
 
@@ -51,13 +200,36 @@ std::uint64_t
 EventQueue::runUntil(Tick limit)
 {
     std::uint64_t n = 0;
-    while (!events_.empty() && events_.top().when <= limit) {
+    while (true) {
+        if (activeIdx_ >= active_.size() && !refill())
+            break;
+        if (active_[activeIdx_].when > limit)
+            break;
         step();
         ++n;
     }
-    if (now_ < limit && events_.empty())
+    if (now_ < limit && pending_ == 0)
         now_ = limit;
     return n;
+}
+
+void
+EventQueue::clear()
+{
+    // Swap with fresh containers: dropping n events costs O(n)
+    // destructor calls and releases the storage wholesale; a queue
+    // that is refilled afterwards regrows on demand.
+    std::vector<Event>().swap(active_);
+    activeIdx_ = 0;
+    for (std::vector<Event> &bucket : wheel_) {
+        if (!bucket.empty())
+            std::vector<Event>().swap(bucket);
+    }
+    std::vector<Event>().swap(overflow_);
+    wheelBits_.fill(0);
+    wheelCount_ = 0;
+    pending_ = 0;
+    windowStart_ = alignDown(now_, kBucketTicks);
 }
 
 } // namespace checkin

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Small-buffer-optimized, move-only callback for the DES hot path.
+ *
+ * Every simulated command completion, checkpoint step, and client op
+ * is one scheduled callback, so the callback representation decides
+ * whether the kernel touches the allocator per event. std::function
+ * only inlines ~16 bytes of captures on mainstream ABIs; the common
+ * "this + a key + a bound continuation" lambda is ~40-56 bytes and
+ * heap-allocates on every schedule. InlineCallback stores captures up
+ * to kInlineBytes directly inside the event, falling back to the heap
+ * only for oversized or throwing-move captures (counted, and
+ * optionally a compile error — see below).
+ *
+ * Contract differences from std::function, on purpose:
+ *  - move-only (events are scheduled once and dispatched once);
+ *  - no target_type/target introspection;
+ *  - invoking an empty callback is undefined (asserted in debug).
+ *
+ * Diagnostics:
+ *  - InlineCallback::heapFallbacks() counts heap-constructed
+ *    callbacks process-wide (relaxed atomic: exact under single
+ *    threads, approximate-but-race-free across sweep workers).
+ *  - Defining CHECKIN_EVENT_INLINE_STRICT turns every heap fallback
+ *    into a static_assert naming the offending capture size, for
+ *    hunting regressions after kernel or engine changes.
+ */
+
+#ifndef CHECKIN_SIM_INLINE_EVENT_H_
+#define CHECKIN_SIM_INLINE_EVENT_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace checkin {
+
+namespace detail {
+
+/** Dependent-false helper so static_assert fires per instantiation. */
+template <typename T>
+struct AlwaysFalse : std::false_type
+{
+};
+
+/** Process-wide count of callbacks that spilled to the heap. */
+inline std::atomic<std::uint64_t> g_inline_event_heap_fallbacks{0};
+
+} // namespace detail
+
+/** Move-only callback with inline storage for small captures. */
+class InlineCallback
+{
+  public:
+    /**
+     * Inline capture capacity. Sized for the repo's largest hot
+     * lambda: [this, key, value_bytes, cb] with a std::function
+     * continuation is 56 bytes on LP64 (8 + 8 + 8 + 32).
+     */
+    static constexpr std::size_t kInlineBytes = 56;
+
+    /** Strictest capture alignment the inline buffer supports. */
+    static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+    /** True when callable @p F stores inline (no allocation). */
+    template <typename F>
+    static constexpr bool fitsInline =
+        sizeof(F) <= kInlineBytes && alignof(F) <= kInlineAlign &&
+        std::is_nothrow_move_constructible_v<F>;
+
+    InlineCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<!std::is_same_v<
+                  std::decay_t<F>, InlineCallback>>>
+    InlineCallback(F &&fn) // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_invocable_r_v<void, Fn &>,
+                      "event callback must be invocable as void()");
+        if constexpr (fitsInline<Fn>) {
+            ::new (storage()) Fn(std::forward<F>(fn));
+            ops_ = &kInlineOps<Fn>;
+        } else {
+#ifdef CHECKIN_EVENT_INLINE_STRICT
+            static_assert(
+                detail::AlwaysFalse<Fn>::value,
+                "event callback capture does not fit inline "
+                "(see sizeof(Fn) in the instantiation trace); "
+                "shrink the capture or raise "
+                "InlineCallback::kInlineBytes");
+#endif
+            ::new (storage()) Fn *(new Fn(std::forward<F>(fn)));
+            ops_ = &kHeapOps<Fn>;
+            detail::g_inline_event_heap_fallbacks.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept
+        : ops_(other.ops_)
+    {
+        if (ops_ != nullptr)
+            relocateFrom(other);
+        other.ops_ = nullptr;
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            ops_ = other.ops_;
+            if (ops_ != nullptr)
+                relocateFrom(other);
+            other.ops_ = nullptr;
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Invoke the held callable (must not be empty). */
+    void
+    operator()()
+    {
+        assert(ops_ != nullptr && "invoking empty InlineCallback");
+        ops_->invoke(storage());
+    }
+
+    /** Destroy the held callable (if any); leaves *this empty. */
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            if (!ops_->noopDestroy)
+                ops_->destroy(storage());
+            ops_ = nullptr;
+        }
+    }
+
+    /** True when the held callable lives in the inline buffer. */
+    bool
+    isInline() const noexcept
+    {
+        return ops_ != nullptr && ops_->inlineStored;
+    }
+
+    /** Process-wide heap-fallback constructions since start. */
+    static std::uint64_t
+    heapFallbacks() noexcept
+    {
+        return detail::g_inline_event_heap_fallbacks.load(
+            std::memory_order_relaxed);
+    }
+
+  private:
+    /** Manual vtable: one static instance per erased callable type. */
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move-construct dst from src, then destroy src's value. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *storage) noexcept;
+        bool inlineStored;
+        /**
+         * Relocation is a plain buffer copy: trivially copyable
+         * inline callables, and every heap callable (the buffer
+         * holds only the owning pointer). Lets moves skip the
+         * indirect relocate call — events move several times
+         * between calendar tiers, so this is hot.
+         */
+        bool trivialRelocate;
+        /** Destruction is a no-op (trivial inline callables). */
+        bool noopDestroy;
+    };
+
+    template <typename Fn>
+    static constexpr Ops kInlineOps = {
+        [](void *s) { (*static_cast<Fn *>(s))(); },
+        [](void *dst, void *src) noexcept {
+            ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+            static_cast<Fn *>(src)->~Fn();
+        },
+        [](void *s) noexcept { static_cast<Fn *>(s)->~Fn(); },
+        true,
+        std::is_trivially_copyable_v<Fn>,
+        std::is_trivially_destructible_v<Fn>,
+    };
+
+    template <typename Fn>
+    static constexpr Ops kHeapOps = {
+        [](void *s) { (**static_cast<Fn **>(s))(); },
+        [](void *dst, void *src) noexcept {
+            ::new (dst) Fn *(*static_cast<Fn **>(src));
+        },
+        [](void *s) noexcept { delete *static_cast<Fn **>(s); },
+        false,
+        true,
+        false,
+    };
+
+    /** Pre: ops_ == other.ops_ != nullptr and other holds a value. */
+    void
+    relocateFrom(InlineCallback &other) noexcept
+    {
+        if (ops_->trivialRelocate)
+            std::memcpy(buf_, other.buf_, sizeof(buf_));
+        else
+            ops_->relocate(storage(), other.storage());
+    }
+
+    void *storage() noexcept { return buf_; }
+
+    const Ops *ops_ = nullptr;
+    alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_SIM_INLINE_EVENT_H_

@@ -25,6 +25,9 @@ using Ppn = std::uint64_t;
 /** Sentinel for "no address". */
 inline constexpr std::uint64_t kInvalidAddr = ~std::uint64_t{0};
 
+/** Sentinel for "no time" (e.g. next event of an empty queue). */
+inline constexpr Tick kInvalidTick = ~Tick{0};
+
 /** One host sector in bytes; the classic 512 B block-device unit. */
 inline constexpr std::uint64_t kSectorBytes = 512;
 

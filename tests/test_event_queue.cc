@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -19,7 +21,7 @@ TEST(EventQueue, StartsEmptyAtTickZero)
     EXPECT_TRUE(eq.empty());
     EXPECT_EQ(eq.pending(), 0u);
     EXPECT_FALSE(eq.step());
-    EXPECT_EQ(eq.nextEventTick(), kInvalidAddr);
+    EXPECT_EQ(eq.nextEventTick(), kInvalidTick);
 }
 
 TEST(EventQueue, DispatchesInTimeOrder)
@@ -63,9 +65,36 @@ TEST(EventQueue, SchedulingInThePastClampsToNow)
     eq.schedule(100, [] {});
     eq.step();
     Tick seen = 0;
+    EXPECT_EQ(eq.clampedSchedules(), 0u);
     eq.schedule(50, [&] { seen = eq.now(); });
     eq.run();
     EXPECT_EQ(seen, 100u);
+    // Clamps are counted so silent model bugs surface in artifacts.
+    EXPECT_EQ(eq.clampedSchedules(), 1u);
+    eq.schedule(100, [] {}); // exactly now: not a clamp
+    eq.run();
+    EXPECT_EQ(eq.clampedSchedules(), 1u);
+}
+
+TEST(EventQueue, CrossTierOrderingSpansWheelAndOverflow)
+{
+    // Ticks straddling the active window, several wheel buckets, and
+    // the far-future overflow heap must still dispatch in (tick, seq)
+    // order, including events hopping tiers as the window advances.
+    EventQueue eq;
+    std::vector<Tick> order;
+    const Tick w = EventQueue::kBucketTicks;
+    const Tick far =
+        w * Tick(EventQueue::kBucketCount) * 3; // overflow tier
+    const std::vector<Tick> ticks = {
+        far + 17, 3,       w - 1, w,     w + 1,   5 * w,
+        far,      far - w, 0,     2 * w, far + 17};
+    for (Tick t : ticks)
+        eq.schedule(t, [&order, &eq] { order.push_back(eq.now()); });
+    eq.run();
+    std::vector<Tick> expect = ticks;
+    std::stable_sort(expect.begin(), expect.end());
+    EXPECT_EQ(order, expect);
 }
 
 TEST(EventQueue, ScheduleAfterIsRelative)
@@ -141,7 +170,7 @@ TEST(EventQueue, ClearReleasesStorageAndKeepsClock)
     EXPECT_EQ(eq.pending(), 0u);
     EXPECT_EQ(eq.now(), 5u);
     EXPECT_EQ(eq.dispatched(), 1u);
-    EXPECT_EQ(eq.nextEventTick(), kInvalidAddr);
+    EXPECT_EQ(eq.nextEventTick(), kInvalidTick);
     EXPECT_EQ(fired, 1);
     // The queue is reusable after clear(): scheduling and dispatch
     // behave as on a fresh queue at the same clock.
