@@ -47,11 +47,11 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     printHeader("Ablation", "Check-In design choices, YCSB-A "
                             "zipfian, 64 threads");
 
-    ExperimentConfig base = figureScale();
+    ExperimentConfig base = presets::paper();
     base.engine.mode = CheckpointMode::CheckIn;
     base.engine.checkpointInterval = 25 * kMsec;
     base.engine.checkpointJournalBytes = 2 * kMiB;

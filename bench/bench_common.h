@@ -22,6 +22,7 @@
 
 #include "harness/config_dump.h"
 #include "harness/experiment.h"
+#include "harness/presets.h"
 #include "harness/run_export.h"
 #include "harness/sweep.h"
 #include "harness/table.h"
@@ -34,22 +35,6 @@ inline const std::vector<CheckpointMode> kAllModes = {
     CheckpointMode::Baseline, CheckpointMode::IscA,
     CheckpointMode::IscB, CheckpointMode::IscC,
     CheckpointMode::CheckIn};
-
-/**
- * Default experiment scale used by the figure benches: a scaled-down
- * device (128 MiB) and store so checkpoint/GC dynamics appear within
- * simulation-friendly run lengths. All configurations share it.
- */
-inline ExperimentConfig
-figureScale()
-{
-    ExperimentConfig c = ExperimentConfig::smallScale();
-    c.engine.checkpointInterval = 200 * kMsec;
-    c.engine.checkpointJournalBytes = 6 * kMiB;
-    c.workload.operationCount = 20'000;
-    c.threads = 32;
-    return c;
-}
 
 inline void
 printHeader(const char *figure, const char *what)

@@ -29,6 +29,7 @@
 #include "sim/event_queue.h"
 #include "sim/inline_event.h"
 #include "sim/rng.h"
+#include "ssd/ssd.h"
 
 // ----------------------------------------------------------------
 // Allocation accounting: count every global operator new so the two
@@ -82,7 +83,6 @@ namespace checkin {
 namespace {
 
 using bench::BenchReport;
-using bench::figureScale;
 using bench::modeName;
 using bench::printHeader;
 
@@ -307,7 +307,7 @@ fullStack(BenchReport &report, bool quick)
     printHeader("Full-stack timing",
                 "fig08-style experiment wall time through the new "
                 "kernel (YCSB-WO, zipfian)");
-    ExperimentConfig cfg = figureScale();
+    ExperimentConfig cfg = presets::paper();
     cfg.workload = WorkloadSpec::wo();
     cfg.workload.distribution = Distribution::Zipfian;
     if (quick)
@@ -315,6 +315,10 @@ fullStack(BenchReport &report, bool quick)
 
     Table t({"mode", "wall ms", "sim ops/s", "avg lat us",
              "nand programs"});
+    // Gate, not just a metric: a full experiment issues every
+    // command type, so any Ssd::Completion (or event callback) that
+    // outgrows the inline buffer shows up here as a heap fallback.
+    const std::uint64_t fb_before = Ssd::Completion::heapFallbacks();
     for (const CheckpointMode mode :
          {CheckpointMode::Baseline, CheckpointMode::CheckIn}) {
         cfg.engine.mode = mode;
@@ -325,6 +329,8 @@ fullStack(BenchReport &report, bool quick)
                 std::chrono::steady_clock::now() - t0)
                 .count();
         r.raw["kernel.fullstackWallMs"] = std::uint64_t(ms);
+        r.raw["kernel.ssdHeapFallbacks"] =
+            Ssd::Completion::heapFallbacks() - fb_before;
         t.addRow({modeName(mode), Table::num(ms, 1),
                   Table::num(r.throughputOps, 0),
                   Table::num(r.avgLatencyUs, 1),
@@ -332,6 +338,16 @@ fullStack(BenchReport &report, bool quick)
         report.add(std::string("fullstack_") + modeName(mode), r);
     }
     std::printf("%s", t.render().c_str());
+    const std::uint64_t fb =
+        Ssd::Completion::heapFallbacks() - fb_before;
+    if (fb != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %llu completion/event callbacks fell "
+                     "back to the heap during the full-stack runs\n",
+                     (unsigned long long)fb);
+        std::exit(1);
+    }
+    std::printf("\nssd completion heap fallbacks: 0 (asserted)\n");
 }
 
 } // namespace

@@ -170,7 +170,7 @@ BM_SsdWriteCommandPath(benchmark::State &state)
     for (auto _ : state) {
         ssd.submit(Command::write(rng.nextBounded(span), payload,
                                   IoCause::Query),
-                   [](Tick) {});
+                   [](const CmdResult &) {});
         eq.run();
     }
     state.counters["gc"] =

@@ -18,7 +18,7 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     printHeader("Extension", "full YCSB suite, 64 threads");
 
     const WorkloadSpec specs[] = {
@@ -31,7 +31,7 @@ main(int argc, char **argv)
     std::vector<SweepPoint> points;
     for (const WorkloadSpec &spec : specs) {
         for (CheckpointMode mode : modes) {
-            ExperimentConfig c = figureScale();
+            ExperimentConfig c = presets::paper();
             c.engine.mode = mode;
             c.workload = spec;
             c.workload.operationCount = 20'000;

@@ -24,7 +24,7 @@ namespace {
 ExperimentConfig
 baseCfg(Distribution dist, std::uint32_t threads)
 {
-    ExperimentConfig c = figureScale();
+    ExperimentConfig c = presets::paper();
     c.engine.mode = CheckpointMode::Baseline;
     c.workload = WorkloadSpec::wo();
     c.workload.distribution = dist;
@@ -142,7 +142,7 @@ partC(BenchReport &report, const SweepOptions &opts)
 {
     printHeader("Fig 3(c)", "query latency during checkpointing vs "
                             "average (baseline, YCSB-A zipfian)");
-    ExperimentConfig c = figureScale();
+    ExperimentConfig c = presets::paper();
     c.engine.mode = CheckpointMode::Baseline;
     c.workload = WorkloadSpec::a();
     c.threads = 32;
@@ -173,7 +173,7 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     BenchReport report("fig03_motivation");
     partA(report, opts);
     partB(report, opts);

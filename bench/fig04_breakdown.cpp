@@ -22,12 +22,12 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     printHeader("Fig 4 (analogue)",
                 "checkpoint phase breakdown, YCSB-A zipfian, 64 "
                 "threads, queries locked");
 
-    ExperimentConfig base = figureScale();
+    ExperimentConfig base = presets::paper();
     base.engine.lockQueriesDuringCheckpoint = true;
     base.engine.checkpointInterval = 25 * kMsec;
     base.engine.checkpointJournalBytes = 3 * kMiB;

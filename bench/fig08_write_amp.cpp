@@ -23,7 +23,7 @@ namespace {
 ExperimentConfig
 baseCfg()
 {
-    ExperimentConfig c = figureScale();
+    ExperimentConfig c = presets::paper();
     c.workload = WorkloadSpec::wo();
     c.workload.distribution = Distribution::Zipfian;
     return c;
@@ -154,7 +154,7 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     BenchReport report("fig08_write_amp");
     partA(report, opts);
     partB(report, opts);

@@ -16,11 +16,11 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     const std::vector<Distribution> dists{Distribution::Uniform,
                                           Distribution::Zipfian};
 
-    ExperimentConfig base = figureScale();
+    ExperimentConfig base = presets::paper();
     base.workload = WorkloadSpec::a();
     base.workload.operationCount = 40'000;
     base.threads = 128;

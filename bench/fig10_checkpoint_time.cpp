@@ -18,12 +18,12 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     printHeader("Fig 10", "checkpointing time (ms) vs threads, "
                           "YCSB-A zipfian, queries locked during "
                           "checkpoint");
 
-    ExperimentConfig base = figureScale();
+    ExperimentConfig base = presets::paper();
     base.engine.lockQueriesDuringCheckpoint = true;
     base.workload = WorkloadSpec::a();
 

@@ -28,7 +28,7 @@ runWorkload(const WorkloadSpec &wl, BenchReport &report,
     std::vector<SweepPoint> points;
     for (std::uint32_t threads : thread_axis) {
         for (CheckpointMode mode : kAllModes) {
-            ExperimentConfig c = figureScale();
+            ExperimentConfig c = presets::paper();
             c.engine.mode = mode;
             // A modest checkpoint duty cycle, as with the paper's
             // 60 s interval: checkpoints recur (timer or threshold)
@@ -80,7 +80,7 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     BenchReport report("fig11_throughput_latency");
     runWorkload(WorkloadSpec::a(), report, opts);
     runWorkload(WorkloadSpec::f(), report, opts);

@@ -17,11 +17,11 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     printHeader("Fig 12", "checkpoint-interval sensitivity, YCSB-A "
                           "zipfian, 64 threads");
 
-    ExperimentConfig base = figureScale();
+    ExperimentConfig base = presets::paper();
     base.engine.checkpointJournalBytes = 7 * kMiB;
     base.workload = WorkloadSpec::a();
     base.workload.operationCount = 60'000;

@@ -53,7 +53,7 @@ partA(BenchReport &report, const SweepOptions &opts)
                              "YCSB-A zipfian, 64 threads");
     const std::vector<std::uint32_t> units{512u, 1024u, 2048u,
                                            4096u};
-    ExperimentConfig base = figureScale();
+    ExperimentConfig base = presets::paper();
     // Model the full-scale device's metadata-processing pressure as
     // serialized per-unit CPU time. (The library also has a
     // locality-aware map-cache model, FtlConfig::mapCacheBytes, but
@@ -102,7 +102,7 @@ partB(BenchReport &report, const SweepOptions &opts)
                 "device space overhead of Check-In vs ISC-C (flash "
                 "bytes consumed for the same workload), record-size "
                 "patterns P1..P4");
-    ExperimentConfig base = figureScale();
+    ExperimentConfig base = presets::paper();
     base.workload = WorkloadSpec::wo();
     base.workload.operationCount = 15'000;
     base.threads = 32;
@@ -163,7 +163,7 @@ int
 main(int argc, char **argv)
 {
     const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     BenchReport report("fig13_mapping_unit");
     partA(report, opts);
     partB(report, opts);

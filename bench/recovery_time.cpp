@@ -29,7 +29,7 @@ struct Probe
 Probe
 measure(CheckpointMode mode, std::uint64_t updates)
 {
-    ExperimentConfig base = ExperimentConfig::smallScale();
+    ExperimentConfig base = presets::small();
     SimContext ctx;
     EventQueue &eq = ctx.events();
     FtlConfig ftl_cfg = base.ftl;
@@ -71,7 +71,7 @@ measure(CheckpointMode mode, std::uint64_t updates)
 int
 main()
 {
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     printHeader("Recovery (extension)",
                 "crash-recovery time vs un-checkpointed updates");
     Table t({"updates", "mode", "replayed logs", "recovery ms"});

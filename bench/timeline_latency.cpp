@@ -26,7 +26,7 @@ namespace {
 void
 runTimeline(CheckpointMode mode)
 {
-    ExperimentConfig cfg = figureScale();
+    ExperimentConfig cfg = presets::paper();
     cfg.engine.mode = mode;
     cfg.workload = WorkloadSpec::a();
     cfg.workload.operationCount = 60'000;
@@ -89,7 +89,7 @@ runTimeline(CheckpointMode mode)
 int
 main()
 {
-    printConfigOnce(figureScale());
+    printConfigOnce(presets::paper());
     runTimeline(CheckpointMode::Baseline);
     runTimeline(CheckpointMode::CheckIn);
     printPaperNote("the baseline's latency plateaus coincide with "

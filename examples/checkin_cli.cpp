@@ -19,6 +19,7 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/presets.h"
 
 namespace {
 
@@ -89,7 +90,7 @@ int
 main(int argc, char **argv)
 {
     using namespace checkin;
-    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    ExperimentConfig cfg = presets::small();
     cfg.workload = WorkloadSpec::a();
     bool csv = false;
     std::uint64_t device_mib = 128;

@@ -9,6 +9,7 @@
 #include <map>
 
 #include "harness/experiment.h"
+#include "harness/presets.h"
 #include "harness/table.h"
 
 int
@@ -29,7 +30,7 @@ main(int argc, char **argv)
          {CheckpointMode::Baseline, CheckpointMode::IscA,
           CheckpointMode::IscB, CheckpointMode::IscC,
           CheckpointMode::CheckIn}) {
-        ExperimentConfig cfg = ExperimentConfig::smallScale();
+        ExperimentConfig cfg = presets::small();
         cfg.engine.mode = mode;
         cfg.workload = WorkloadSpec::wo();
         cfg.workload.operationCount = ops;

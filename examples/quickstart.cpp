@@ -7,12 +7,13 @@
 #include <cstdio>
 
 #include "harness/experiment.h"
+#include "harness/presets.h"
 
 int
 main()
 {
     using namespace checkin;
-    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    ExperimentConfig cfg = presets::small();
     cfg.engine.mode = CheckpointMode::CheckIn;
     cfg.workload = WorkloadSpec::a();
     cfg.workload.operationCount = 10'000;

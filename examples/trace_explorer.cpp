@@ -19,6 +19,7 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/presets.h"
 #include "obs/trace.h"
 
 namespace {
@@ -47,7 +48,7 @@ int
 main(int argc, char **argv)
 {
     using namespace checkin;
-    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    ExperimentConfig cfg = presets::small();
     cfg.obs.traceEnabled = true;
     cfg.obs.artifactDir = argc > 1 ? argv[1] : "trace-out";
     cfg.engine.mode = argc > 2 ? parseMode(argv[2])

@@ -21,6 +21,7 @@
 
 #include "engine/kv_engine.h"
 #include "harness/experiment.h"
+#include "harness/presets.h"
 #include "sim/event_queue.h"
 #include "sim/sim_context.h"
 #include "ssd/ssd.h"
@@ -142,7 +143,7 @@ cmdReplay(int argc, char **argv)
     for (const auto &op : trace.ops())
         max_key = std::max(max_key, op.key);
 
-    ExperimentConfig base = ExperimentConfig::smallScale();
+    ExperimentConfig base = presets::small();
     base.engine.mode = mode;
     base.engine.recordCount = max_key + 1;
     SimContext ctx;

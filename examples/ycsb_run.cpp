@@ -16,6 +16,7 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/presets.h"
 
 namespace {
 
@@ -61,7 +62,7 @@ int
 main(int argc, char **argv)
 {
     using namespace checkin;
-    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    ExperimentConfig cfg = presets::small();
     cfg.engine.mode = argc > 1 ? parseMode(argv[1])
                                : CheckpointMode::CheckIn;
     cfg.workload = argc > 2 ? parseWorkload(argv[2])

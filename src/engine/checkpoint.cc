@@ -24,16 +24,12 @@ checkpointModeName(CheckpointMode mode)
 CowPair
 CheckpointStrategy::pairFor(const JmtEntry &entry) const
 {
-    CowPair p;
-    p.src = layout_.journalChunkLba(entry.half, entry.chunkOff);
-    p.srcChunkShift =
-        std::uint32_t(entry.chunkOff % kChunksPerSector);
-    p.dst = layout_.targetLba(entry.key);
-    p.chunks = entry.chunks;
-    p.version = entry.version;
-    p.forceCopy = entry.type == LogType::Merged ||
-                  entry.type == LogType::Partial;
-    return p;
+    return CowPair::make(
+        layout_.journalChunkLba(entry.half, entry.chunkOff),
+        std::uint32_t(entry.chunkOff % kChunksPerSector),
+        layout_.targetLba(entry.key), entry.chunks, entry.version,
+        /*force_copy=*/entry.type == LogType::Merged ||
+            entry.type == LogType::Partial);
 }
 
 std::unique_ptr<CheckpointStrategy>
@@ -69,9 +65,9 @@ struct FanOut
     CheckpointStrategy::DoneCb done;
 
     void
-    complete(Tick t)
+    complete(const CmdResult &r)
     {
-        last = std::max(last, t);
+        last = std::max(last, r.require());
         assert(outstanding > 0);
         if (--outstanding == 0)
             done(last);
@@ -108,7 +104,9 @@ HostCheckpoint::run(const std::vector<JmtEntry> &entries, DoneCb done)
                 e.version);
             self->stats_.add("engine.ckptHostWriteSectors", w.nsect);
             self->ssd_.submit(std::move(w),
-                              [wjob](Tick t) { wjob->complete(t); });
+                              [wjob](const CmdResult &r) {
+                                  wjob->complete(r);
+                              });
         }
     };
     job->outstanding = entries.size();
@@ -129,8 +127,9 @@ HostCheckpoint::run(const std::vector<JmtEntry> &entries, DoneCb done)
         Command r = Command::read(p.src, p.srcSectors(),
                                   IoCause::Checkpoint);
         stats_.add("engine.ckptHostReadSectors", r.nsect);
-        ssd_.submit(std::move(r),
-                    [job](Tick t) { job->complete(t); });
+        ssd_.submit(std::move(r), [job](const CmdResult &res) {
+            job->complete(res);
+        });
     }
 }
 
@@ -146,13 +145,9 @@ SingleCowCheckpoint::run(const std::vector<JmtEntry> &entries,
     job->outstanding = entries.size();
     job->done = std::move(done);
     for (const JmtEntry &e : entries) {
-        Command c;
-        c.type = CmdType::CowSingle;
-        c.cause = IoCause::Checkpoint;
-        c.pairs = {pairFor(e)};
         stats_.add("engine.ckptCowCommands");
-        ssd_.submit(std::move(c),
-                    [job](Tick t) { job->complete(t); });
+        ssd_.submit(Command::cowSingle(pairFor(e)),
+                    [job](const CmdResult &r) { job->complete(r); });
     }
 }
 
@@ -169,20 +164,19 @@ MultiCowCheckpoint::run(const std::vector<JmtEntry> &entries,
     std::vector<Command> cmds;
     for (std::size_t i = 0; i < entries.size();
          i += cfg_.maxPairsPerCommand) {
-        Command c;
-        c.type = CmdType::CowMulti;
-        c.cause = IoCause::Checkpoint;
         const std::size_t end = std::min(
             entries.size(), i + cfg_.maxPairsPerCommand);
+        std::vector<CowPair> pairs;
+        pairs.reserve(end - i);
         for (std::size_t j = i; j < end; ++j)
-            c.pairs.push_back(pairFor(entries[j]));
-        cmds.push_back(std::move(c));
+            pairs.push_back(pairFor(entries[j]));
+        cmds.push_back(Command::cowMulti(std::move(pairs)));
     }
     job->outstanding = cmds.size();
     for (Command &c : cmds) {
         stats_.add("engine.ckptCowCommands");
         ssd_.submit(std::move(c),
-                    [job](Tick t) { job->complete(t); });
+                    [job](const CmdResult &r) { job->complete(r); });
     }
 }
 
@@ -198,20 +192,19 @@ RemapCheckpoint::run(const std::vector<JmtEntry> &entries, DoneCb done)
     std::vector<Command> cmds;
     for (std::size_t i = 0; i < entries.size();
          i += cfg_.maxPairsPerCommand) {
-        Command c;
-        c.type = CmdType::CheckpointRemap;
-        c.cause = IoCause::Checkpoint;
         const std::size_t end = std::min(
             entries.size(), i + cfg_.maxPairsPerCommand);
+        std::vector<CowPair> pairs;
+        pairs.reserve(end - i);
         for (std::size_t j = i; j < end; ++j)
-            c.pairs.push_back(pairFor(entries[j]));
-        cmds.push_back(std::move(c));
+            pairs.push_back(pairFor(entries[j]));
+        cmds.push_back(Command::checkpointRemap(std::move(pairs)));
     }
     job->outstanding = cmds.size();
     for (Command &c : cmds) {
         stats_.add("engine.ckptRemapCommands");
         ssd_.submit(std::move(c),
-                    [job](Tick t) { job->complete(t); });
+                    [job](const CmdResult &r) { job->complete(r); });
     }
 }
 

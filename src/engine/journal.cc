@@ -351,7 +351,8 @@ JournalManager::submitGroup(std::vector<Placed> placed,
     const std::uint64_t group_sectors = s1 - s0; // payload was moved
     ssd_.submit(std::move(cmd),
                 [this, half, submitted, group_sectors,
-                 placed = std::move(placed)](Tick done) {
+                 placed = std::move(placed)](const CmdResult &r) {
+        const Tick done = r.require();
         obs::span(obs::Cat::Engine, kJournalLane,
                   "journal.groupCommit", submitted, done,
                   {{"logs", placed.size()},

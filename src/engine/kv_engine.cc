@@ -230,10 +230,10 @@ KvEngine::doGet(std::uint64_t key, QueryCb cb)
                       st.storedChunks * kChunkBytes);
     ssd_.submit(Command::read(lba, nsect, IoCause::Query),
                 [this, cb = std::move(cb),
-                 ckpt_at_submit](Tick done) {
+                 ckpt_at_submit](const CmdResult &r) {
                     cb(QueryResult{
-                        done, ckpt_at_submit || ckptInProgress_,
-                        true});
+                        r.require(),
+                        ckpt_at_submit || ckptInProgress_, true});
                 });
 }
 
@@ -383,8 +383,8 @@ KvEngine::doScan(std::uint64_t start_key, std::uint32_t count,
     };
     auto job = std::make_shared<Job>();
     job->cb = std::move(cb);
-    auto complete = [this, job, ckpt_at_submit](Tick t) {
-        job->last = std::max(job->last, t);
+    auto complete = [this, job, ckpt_at_submit](const CmdResult &r) {
+        job->last = std::max(job->last, r.require());
         if (--job->outstanding == 0 && job->launched) {
             job->cb(QueryResult{job->last,
                                 ckpt_at_submit || ckptInProgress_,
@@ -507,8 +507,8 @@ KvEngine::trimTombstones(const std::vector<JmtEntry> &tombs,
         stats_.add("engine.ckptTombstoneTrims");
         ssd_.submit(Command::trim(layout_.targetLba(e.key),
                                   layout_.slotSectors),
-                    [job](Tick t) {
-                        job->last = std::max(job->last, t);
+                    [job](const CmdResult &r) {
+                        job->last = std::max(job->last, r.require());
                         if (--job->outstanding == 0)
                             job->cb(job->last);
                     });
@@ -597,8 +597,8 @@ KvEngine::writeCatalog(const std::vector<JmtEntry> &entries,
         stats_.add("engine.catalogSectorsWritten", g);
         ssd_.submit(Command::write(base, std::move(payload),
                                    IoCause::Metadata),
-                    [job](Tick t) {
-                        job->last = std::max(job->last, t);
+                    [job](const CmdResult &r) {
+                        job->last = std::max(job->last, r.require());
                         if (--job->outstanding == 0)
                             job->cb(job->last);
                     });
@@ -608,13 +608,16 @@ KvEngine::writeCatalog(const std::vector<JmtEntry> &entries,
 void
 KvEngine::deleteLogs(std::uint8_t half, std::function<void(Tick)> cb)
 {
-    Command c;
-    c.type = cfg_.mode == CheckpointMode::Baseline
-                 ? CmdType::Trim
-                 : CmdType::DeleteLogs;
-    c.lba = layout_.journalStart[half];
-    c.nsect = layout_.journalSectors;
-    ssd_.submit(std::move(c), std::move(cb));
+    // Baseline has no vendor extension: plain trim of the half.
+    Command c = cfg_.mode == CheckpointMode::Baseline
+                    ? Command::trim(layout_.journalStart[half],
+                                    layout_.journalSectors)
+                    : Command::deleteLogs(layout_.journalStart[half],
+                                          layout_.journalSectors);
+    ssd_.submit(std::move(c),
+                [cb = std::move(cb)](const CmdResult &r) {
+                    cb(r.require());
+                });
 }
 
 void

@@ -1,0 +1,128 @@
+#include "fault/fault_plan.h"
+
+#include "sim/rng.h"
+
+namespace checkin {
+
+namespace {
+
+/** Digest tags; part of the schedule identity, never reorder. */
+constexpr std::uint64_t kKindRead = 1;
+constexpr std::uint64_t kKindProgram = 2;
+constexpr std::uint64_t kKindErase = 3;
+constexpr std::uint64_t kKindPowerLoss = 4;
+
+} // namespace
+
+FaultPlan::FaultPlan(const FaultConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg),
+      readSeed_(mix64(seed ^ mix64(kKindRead))),
+      programSeed_(mix64(seed ^ mix64(kKindProgram))),
+      eraseSeed_(mix64(seed ^ mix64(kKindErase))),
+      digest_(mix64(seed))
+{
+}
+
+double
+FaultPlan::draw(std::uint64_t stream_seed, std::uint64_t n) const
+{
+    // Counter-based, not a stateful generator: decision i never
+    // depends on how many draws other fault classes made before it.
+    const std::uint64_t bits = mix64(stream_seed ^ (n + 1));
+    return static_cast<double>(bits >> 11) *
+           (1.0 / 9007199254740992.0);
+}
+
+double
+FaultPlan::scaled(double p, std::uint64_t erase_count,
+                  std::uint64_t max_pe) const
+{
+    if (cfg_.wearFactor <= 0.0 || max_pe == 0)
+        return p;
+    const double wear = static_cast<double>(erase_count) /
+                        static_cast<double>(max_pe);
+    const double s = p * (1.0 + cfg_.wearFactor * wear);
+    return s < 1.0 ? s : 1.0;
+}
+
+void
+FaultPlan::fold(std::uint64_t kind, std::uint64_t addr,
+                std::uint64_t outcome)
+{
+    digest_ = mix64(digest_ ^ (kind << 56) ^ mix64(addr) ^ outcome);
+}
+
+std::uint32_t
+FaultPlan::readFaults(Ppn ppn, std::uint64_t erase_count,
+                      std::uint64_t max_pe)
+{
+    if (!cfg_.enabled || cfg_.readBitErrorProb <= 0.0)
+        return 0;
+    if (cfg_.maxReadFaults != 0 &&
+        counters_.faultyReads >= cfg_.maxReadFaults)
+        return 0;
+    const double p =
+        scaled(cfg_.readBitErrorProb, erase_count, max_pe);
+    // Each sensing attempt fails independently; the first success
+    // ends the sequence. More than readRetryMax failures exhausts
+    // the ECC retry budget: the page is uncorrectable.
+    std::uint32_t fails = 0;
+    while (fails <= cfg_.readRetryMax &&
+           draw(readSeed_, nRead_++) < p)
+        ++fails;
+    if (fails == 0)
+        return 0;
+    ++counters_.faultyReads;
+    if (fails > cfg_.readRetryMax) {
+        counters_.readRetries += cfg_.readRetryMax;
+        ++counters_.uncorrectableReads;
+    } else {
+        counters_.readRetries += fails;
+    }
+    fold(kKindRead, ppn, fails);
+    return fails;
+}
+
+bool
+FaultPlan::programFails(Ppn ppn, std::uint64_t erase_count,
+                        std::uint64_t max_pe)
+{
+    if (!cfg_.enabled || cfg_.programFailProb <= 0.0)
+        return false;
+    if (cfg_.maxProgramFails != 0 &&
+        counters_.programFails >= cfg_.maxProgramFails)
+        return false;
+    const double p =
+        scaled(cfg_.programFailProb, erase_count, max_pe);
+    if (draw(programSeed_, nProgram_++) >= p)
+        return false;
+    ++counters_.programFails;
+    fold(kKindProgram, ppn, 1);
+    return true;
+}
+
+bool
+FaultPlan::eraseFails(std::uint64_t pbn, std::uint64_t erase_count,
+                      std::uint64_t max_pe)
+{
+    if (!cfg_.enabled || cfg_.eraseFailProb <= 0.0)
+        return false;
+    if (cfg_.maxEraseFails != 0 &&
+        counters_.eraseFails >= cfg_.maxEraseFails)
+        return false;
+    const double p = scaled(cfg_.eraseFailProb, erase_count, max_pe);
+    if (draw(eraseSeed_, nErase_++) >= p)
+        return false;
+    ++counters_.eraseFails;
+    fold(kKindErase, pbn, 1);
+    return true;
+}
+
+void
+FaultPlan::recordPowerLoss(Tick tick)
+{
+    ++counters_.powerLosses;
+    fold(kKindPowerLoss, tick, counters_.powerLosses);
+}
+
+} // namespace checkin

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Seed-deterministic fault injection plan.
+ *
+ * A FaultPlan is the single source of hardware misbehavior for one
+ * simulated run: NAND read bit errors (with an ECC read-retry model),
+ * program failures, erase failures, and an optionally scheduled
+ * sudden power loss. It is owned by the harness, registered on the
+ * run's SimContext, and consulted by NandFlash at every media
+ * operation; the FTL and SSD front-end only ever see the *outcomes*
+ * (NandStatus codes) and implement the consequences — bad-block
+ * retirement, live-data remap, command retry/backoff.
+ *
+ * Determinism contract: every decision is drawn as
+ * mix64(stream seed ^ decision index), so the full fault schedule is
+ * a pure function of (config, seed) and of the order of media ops —
+ * which is itself deterministic per run. Identical seed + config
+ * therefore yield a byte-identical schedule regardless of how many
+ * sweep workers run concurrently; digest() folds every decision into
+ * one value so tests can assert exactly that.
+ *
+ * The plan is intentionally layered *below* nand_types.h: it speaks
+ * Ppn/Tick (sim/types.h) and raw block numbers, so checkin_fault
+ * depends only on checkin_sim and every upper layer can link it.
+ */
+
+#ifndef CHECKIN_FAULT_FAULT_PLAN_H_
+#define CHECKIN_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace checkin {
+
+/** Knobs for one run's fault plan; all off by default. */
+struct FaultConfig
+{
+    /** Master switch; when false the plan never injects anything. */
+    bool enabled = false;
+
+    /** Per-read probability that the first page sense fails ECC. */
+    double readBitErrorProb = 0.0;
+
+    /**
+     * Read-retry budget of the ECC model: a read whose sensing keeps
+     * failing after this many re-reads is uncorrectable and surfaces
+     * as NandStatus::Uncorrectable to the FTL.
+     */
+    std::uint32_t readRetryMax = 4;
+
+    /** Extra die-busy time charged per failed sensing attempt. */
+    Tick readRetryLatency = 25 * kUsec;
+
+    /** Per-program probability of a program (tPROG) failure. */
+    double programFailProb = 0.0;
+
+    /** Per-erase probability of an erase (tBERS) failure. */
+    double eraseFailProb = 0.0;
+
+    /**
+     * Wear skew: effective fault probability is scaled by
+     * (1 + wearFactor * eraseCount / maxPeCycles), so hot blocks fail
+     * first, like real NAND end-of-life behavior.
+     */
+    double wearFactor = 0.0;
+
+    /** Caps on injected faults; 0 means unlimited. Deterministic
+     *  tests use cap=1 with probability 1 to force exactly one. */
+    std::uint64_t maxReadFaults = 0;
+    std::uint64_t maxProgramFails = 0;
+    std::uint64_t maxEraseFails = 0;
+
+    /**
+     * Explicitly scheduled sudden power loss (kInvalidTick: none).
+     * Consumed by the crash-consistency oracle, which cuts power the
+     * moment simulated time reaches this tick — including mid-way
+     * through a multi-CoW checkpoint.
+     */
+    Tick powerLossTick = kInvalidTick;
+};
+
+/** Counters for everything a plan injected (and its consequences). */
+struct FaultCounters
+{
+    /** Reads that needed at least one retry sense. */
+    std::uint64_t faultyReads = 0;
+    /** Total extra sensing attempts across all reads. */
+    std::uint64_t readRetries = 0;
+    /** Reads that exhausted the ECC retry budget. */
+    std::uint64_t uncorrectableReads = 0;
+    std::uint64_t programFails = 0;
+    std::uint64_t eraseFails = 0;
+    std::uint64_t powerLosses = 0;
+};
+
+/** One run's deterministic fault schedule. Never shared. */
+class FaultPlan
+{
+  public:
+    /** SimContext::deriveSeed stream id for the plan's RNG. */
+    static constexpr std::uint64_t kSeedStream = 0xFA01;
+
+    FaultPlan(const FaultConfig &cfg, std::uint64_t seed);
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /**
+     * Number of failed sensing attempts for a page read. 0 is a
+     * clean read; values in [1, readRetryMax] recover after that
+     * many retries; readRetryMax + 1 means uncorrectable.
+     */
+    std::uint32_t readFaults(Ppn ppn, std::uint64_t erase_count,
+                             std::uint64_t max_pe);
+
+    /** True when this program op fails. */
+    bool programFails(Ppn ppn, std::uint64_t erase_count,
+                      std::uint64_t max_pe);
+
+    /** True when this erase op fails. */
+    bool eraseFails(std::uint64_t pbn, std::uint64_t erase_count,
+                    std::uint64_t max_pe);
+
+    /** Fold a sudden power loss into the schedule digest. */
+    void recordPowerLoss(Tick tick);
+
+    const FaultCounters &counters() const { return counters_; }
+
+    /**
+     * Rolling digest of every decision the plan ever made
+     * (kind, address, outcome). Two runs with identical seed +
+     * config and identical media-op order have identical digests.
+     */
+    std::uint64_t digest() const { return digest_; }
+
+  private:
+    /** Deterministic uniform draw in [0, 1) for decision @p n. */
+    double draw(std::uint64_t stream_seed, std::uint64_t n) const;
+
+    /** Wear-scaled probability for the given erase count. */
+    double scaled(double p, std::uint64_t erase_count,
+                  std::uint64_t max_pe) const;
+
+    void fold(std::uint64_t kind, std::uint64_t addr,
+              std::uint64_t outcome);
+
+    FaultConfig cfg_;
+    std::uint64_t readSeed_;
+    std::uint64_t programSeed_;
+    std::uint64_t eraseSeed_;
+    std::uint64_t nRead_ = 0;
+    std::uint64_t nProgram_ = 0;
+    std::uint64_t nErase_ = 0;
+    FaultCounters counters_;
+    std::uint64_t digest_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_FAULT_FAULT_PLAN_H_

@@ -86,20 +86,53 @@ BlockManager::release(Pbn pbn, std::uint32_t erase_count)
 }
 
 void
+BlockManager::retire(Pbn pbn, std::uint32_t erase_count)
+{
+    switch (state_[pbn]) {
+    case State::Bad:
+        return;
+    case State::Free: {
+        auto &pool = pools_[dieOf(pbn)];
+        const auto erased = pool.erase({erase_count, pbn});
+        assert(erased == 1 && "free block missing from its pool");
+        (void)erased;
+        --totalFree_;
+        break;
+    }
+    case State::Active:
+        for (auto &slot : active_) {
+            if (slot == pbn)
+                slot = kInvalidAddr;
+        }
+        break;
+    case State::Closed:
+        break;
+    }
+    state_[pbn] = State::Bad;
+    ++totalBad_;
+}
+
+void
 BlockManager::resetForRebuild(
     const std::vector<std::uint32_t> &erase_counts,
-    const std::vector<bool> &closed)
+    const std::vector<bool> &closed,
+    const std::vector<bool> &bad)
 {
     assert(erase_counts.size() == state_.size());
     assert(closed.size() == state_.size());
+    assert(bad.size() == state_.size());
     for (auto &pool : pools_)
         pool.clear();
     std::fill(active_.begin(), active_.end(), kInvalidAddr);
     std::fill(valid_.begin(), valid_.end(), 0);
     totalValid_ = 0;
     totalFree_ = 0;
+    totalBad_ = 0;
     for (Pbn b = 0; b < state_.size(); ++b) {
-        if (closed[b]) {
+        if (bad[b]) {
+            state_[b] = State::Bad;
+            ++totalBad_;
+        } else if (closed[b]) {
             state_[b] = State::Closed;
         } else {
             state_[b] = State::Free;

@@ -23,16 +23,17 @@ namespace checkin {
 
 /**
  * Tracks every erase block's lifecycle (FREE -> ACTIVE -> CLOSED ->
- * FREE) and per-block valid-slot counts; implements wear-aware
- * allocation (lowest erase count first, per die) and greedy GC
- * victim selection (fewest valid slots).
+ * FREE, or any state -> BAD on retirement) and per-block valid-slot
+ * counts; implements wear-aware allocation (lowest erase count
+ * first, per die) and greedy GC victim selection (fewest valid
+ * slots).
  *
  * Purely functional bookkeeping: no NAND access, no timing.
  */
 class BlockManager
 {
   public:
-    enum class State : std::uint8_t { Free, Active, Closed };
+    enum class State : std::uint8_t { Free, Active, Closed, Bad };
 
     /**
      * @param total_blocks blocks in the device.
@@ -67,6 +68,19 @@ class BlockManager
     /** Return an erased block to its die's free pool. */
     void release(Pbn pbn, std::uint32_t erase_count);
 
+    /**
+     * Retire @p pbn after a program or erase failure: the block
+     * leaves circulation permanently (never allocated, never a GC
+     * victim). Works from any state — a Free block is pulled from
+     * its pool, an Active block is detached from its stream slot, a
+     * Closed block simply flips. Valid-slot counts are kept: the
+     * caller migrates the survivors and invalidates them as it goes.
+     */
+    void retire(Pbn pbn, std::uint32_t erase_count);
+
+    /** Number of retired (bad) blocks device-wide. */
+    std::uint32_t badBlocks() const { return totalBad_; }
+
     /** Number of free blocks device-wide. */
     std::uint32_t freeBlocks() const { return totalFree_; }
 
@@ -90,13 +104,15 @@ class BlockManager
 
     /**
      * Power-loss rebuild: forget all state and reinitialize from the
-     * surviving flash facts — per-block erase counts and whether the
+     * surviving flash facts — per-block erase counts, whether the
      * block holds programmed pages (-> CLOSED) or is erased
-     * (-> FREE). Valid counts restart at zero; the caller re-adds
-     * them while replaying OOB.
+     * (-> FREE), and the firmware's persistent defect list
+     * (@p bad -> BAD, overriding both). Valid counts restart at
+     * zero; the caller re-adds them while replaying OOB.
      */
     void resetForRebuild(const std::vector<std::uint32_t> &erase_counts,
-                         const std::vector<bool> &closed);
+                         const std::vector<bool> &closed,
+                         const std::vector<bool> &bad);
 
     State state(Pbn pbn) const { return state_[pbn]; }
     std::uint32_t validCount(Pbn pbn) const { return valid_[pbn]; }
@@ -120,6 +136,7 @@ class BlockManager
     std::vector<Pbn> active_;
     std::uint64_t totalValid_ = 0;
     std::uint32_t totalFree_ = 0;
+    std::uint32_t totalBad_ = 0;
 };
 
 } // namespace checkin

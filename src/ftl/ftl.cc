@@ -76,6 +76,7 @@ Ftl::Ftl(NandFlash &nand, const FtlConfig &cfg)
         mapCache_.init(total_segs, mapSegCapacity_);
     }
     map_.assign(logicalUnits_, kInvalidAddr);
+    badBlock_.assign(nc.totalBlocks(), 0);
     open_.assign(std::size_t(kStreamCount) * nc.dieCount(),
                  OpenPage{});
     const std::uint64_t total_slots = nc.totalPages() * slotsPerPage_;
@@ -218,20 +219,108 @@ Ftl::programOpenPage(Stream stream, std::uint32_t die, Tick earliest)
     }
     pageSeq_[ppn] = nextProgramSeq_++;
     content.seq = pageSeq_[ppn];
-    const Tick done = nand_.program(ppn, std::move(content), earliest);
+    const NandResult done =
+        nand_.program(ppn, std::move(content), earliest);
     // Request-to-completion view of sealing the open page (the die
     // lanes in Cat::Nand show the physical occupancy).
     obs::span(obs::Cat::Ftl, kFtlLane + 1 + die, "ftl.program",
-              earliest, done, {{"ppn", ppn}});
-    cacheInsert(ppn);
+              earliest, done.tick, {{"ppn", ppn}});
     if (onProgram_)
-        onProgram_(done);
+        onProgram_(done.tick);
     op.ppn = kInvalidAddr;
     op.nextSlot = 0;
+
+    if (!done.ok()) {
+        // tPROG failure. The page's data still sits in the
+        // SPOR-protected buffer (the shadows), so nothing is lost;
+        // the page itself is consumed and unreadable, and the whole
+        // block leaves circulation.
+        pageSeq_[ppn] = 0;
+        stats_.add("ftl.programFails");
+        handleProgramFail(ppn, done.tick);
+        return;
+    }
+    cacheInsert(ppn);
 
     const NandConfig &nc = nand_.config();
     if (ppn % nc.pagesPerBlock == nc.pagesPerBlock - 1)
         bm_.closeActive(stream, die);
+}
+
+void
+Ftl::handleProgramFail(Ppn failed_ppn, Tick now)
+{
+    const NandConfig &nc = nand_.config();
+    const Pbn bad = failed_ppn / nc.pagesPerBlock;
+    badBlock_[bad] = 1;
+    // Retire before migrating: the block must be out of the free
+    // pool and detached from its stream before allocateSlot runs, or
+    // migration could land new data back in it.
+    bm_.retire(bad, nand_.eraseCount(bad));
+    stats_.add("ftl.retiredBlocks");
+    obs::instant(obs::Cat::Ftl, kFtlLane, "ftl.badBlock", now,
+                 {{"pbn", bad}, {"ppn", failed_ppn}});
+
+    // Rescue every live slot of the retired block. The sector/OOB
+    // shadows mirror what was (or was about to be) programmed, so
+    // the rewrite sources from the SPOR-protected buffer; pages
+    // other than the failed one charge a NAND read like GC
+    // migration. A nested program failure during migration retires
+    // another block and terminates the same way.
+    const Ppn first = layout_.firstPpnOfBlock(bad);
+    Tick last_read = now;
+    for (std::uint32_t p = 0; p < nc.pagesPerBlock; ++p) {
+        const Ppn ppn = first + p;
+        bool any_valid = false;
+        for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+            if (slotInfo_[slotOf(ppn, s)].nrefs > 0) {
+                any_valid = true;
+                break;
+            }
+        }
+        if (!any_valid)
+            continue;
+        if (ppn != failed_ppn && nand_.isProgrammed(ppn) &&
+            !isCached(ppn)) {
+            const NandResult r = nand_.read(ppn, now);
+            last_read = std::max(last_read, r.tick);
+            if (!r.ok())
+                stats_.add("ftl.internalReadErrors");
+            stats_.add(sGcPageReads_);
+        }
+        for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+            const SlotId old_slot = slotOf(ppn, s);
+            if (slotInfo_[old_slot].nrefs == 0)
+                continue;
+            std::vector<SectorData> payload(sectorsPerUnit_);
+            for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k)
+                payload[k] = sectors_[old_slot * sectorsPerUnit_ + k];
+            const OobEntry oob = slotOob_[old_slot];
+            std::vector<Lpn> refs;
+            refs.reserve(slotInfo_[old_slot].nrefs);
+            forEachRef(old_slot,
+                       [&refs](Lpn lpn) { refs.push_back(lpn); });
+
+            const SlotId ns = allocateSlot(Stream::Gc, last_read);
+            for (std::uint32_t k = 0; k < sectorsPerUnit_; ++k)
+                sectors_[ns * sectorsPerUnit_ + k] = payload[k];
+            slotOob_[ns] = oob;
+            for (Lpn lpn : refs) {
+                map_[lpn] = ns;
+                addRef(ns, lpn);
+                touchMapEntry(last_read);
+            }
+            slotInfo_[old_slot] = SlotInfo{};
+            refOverflow_.erase(old_slot);
+            bm_.invalidate(bad);
+            stats_.add("ftl.badBlockMigratedSlots");
+            stats_.add(sSlotWrites_);
+            stats_.add(sSlotWritesBy_[std::size_t(IoCause::Gc)]);
+        }
+    }
+    assert(bm_.validCount(bad) == 0);
+    for (std::uint32_t p = 0; p < nc.pagesPerBlock; ++p)
+        cacheEvict(first + p);
 }
 
 SlotId
@@ -389,8 +478,17 @@ Ftl::readSlotPages(const std::vector<SlotId> &slots, IoCause cause,
             stats_.add(sCacheHits_);
             continue;
         }
-        done = std::max(done, nand_.read(p, earliest));
-        cacheInsert(p);
+        const NandResult r = nand_.read(p, earliest);
+        done = std::max(done, r.tick);
+        if (r.ok()) {
+            cacheInsert(p);
+        } else {
+            // Not cached on purpose: a front-end retry must re-read
+            // the NAND (and may then succeed), not hit a cache
+            // entry that was never filled.
+            ++pendingReadErrors_;
+            stats_.add("ftl.uncorrectableReads");
+        }
         stats_.add(sPageReadsBy_[std::size_t(cause)]);
         stats_.add(sPageReads_);
     }
@@ -458,6 +556,7 @@ Ftl::writeSectors(Lba lba, std::uint32_t nsect, const SectorData *data,
         } else {
             slotOob_[slot] = OobEntry{u, version, kInvalidAddr};
         }
+        slotOob_[slot].writeSeq = nextWriteSeq_++;
         mapLpn(u, slot);
         touchMapEntry(earliest);
         stats_.add(sSlotWrites_);
@@ -621,8 +720,12 @@ Ftl::reclaimBlock(Pbn victim, Tick earliest)
         if (!any_valid)
             continue;
         if (!isCached(ppn)) {
-            last_read =
-                std::max(last_read, nand_.read(ppn, earliest));
+            // Device-internal read: an uncorrectable result is
+            // recovered from the shadows (counted, not surfaced).
+            const NandResult r = nand_.read(ppn, earliest);
+            last_read = std::max(last_read, r.tick);
+            if (!r.ok())
+                stats_.add("ftl.internalReadErrors");
             stats_.add(sGcPageReads_);
         }
         for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
@@ -661,13 +764,26 @@ Ftl::reclaimBlock(Pbn victim, Tick earliest)
     assert(bm_.validCount(victim) == 0);
     // Valid data now sits in the SPOR-protected GC open page, so the
     // erase may proceed as soon as the reads are done.
-    const Tick erased = nand_.eraseBlock(victim, last_read);
-    obs::span(obs::Cat::Ftl, kFtlLane, "ftl.gc", earliest, erased,
-              {{"victim", victim}});
+    const NandResult erased = nand_.eraseBlock(victim, last_read);
+    obs::span(obs::Cat::Ftl, kFtlLane, "ftl.gc", earliest,
+              erased.tick, {{"victim", victim}});
     for (std::uint32_t p = 0; p < nand_.config().pagesPerBlock; ++p)
         cacheEvict(first + p);
     stats_.add("gc.erases");
-    bm_.release(victim, nand_.eraseCount(victim));
+    if (erased.ok()) {
+        bm_.release(victim, nand_.eraseCount(victim));
+    } else {
+        // tBERS failure: the stale contents stay in the cells and
+        // the block leaves circulation. Every live slot was already
+        // migrated, so no data consequence — the stale copies are
+        // superseded by the migrated ones (newer program sequence)
+        // should a power-loss rebuild ever scan them.
+        badBlock_[victim] = 1;
+        bm_.retire(victim, nand_.eraseCount(victim));
+        stats_.add("ftl.retiredBlocks");
+        obs::instant(obs::Cat::Ftl, kFtlLane, "ftl.badBlock",
+                     erased.tick, {{"pbn", victim}});
+    }
 }
 
 bool
@@ -730,18 +846,41 @@ Ftl::rebuildFromPowerLoss()
     // Suppress map-flush writes while replaying OOB.
     inMapFlush_ = true;
 
-    // 2. Block states from the surviving flash facts.
+    // 2. Block states from the surviving flash facts, plus the
+    //    firmware's persistent defect list (bad blocks stay bad).
     std::vector<std::uint32_t> erase_counts(nc.totalBlocks());
     std::vector<bool> closed(nc.totalBlocks());
+    std::vector<bool> bad(nc.totalBlocks());
     for (Pbn b = 0; b < nc.totalBlocks(); ++b) {
         erase_counts[b] = nand_.eraseCount(b);
         closed[b] = nand_.nextProgramPage(b) > 0;
+        bad[b] = badBlock_[b] != 0;
     }
-    bm_.resetForRebuild(erase_counts, closed);
+    bm_.resetForRebuild(erase_counts, closed, bad);
 
-    // 3. Restore the sector/OOB shadows from NAND and collect the
-    //    programmed pages in program order.
-    std::vector<std::pair<std::uint64_t, Ppn>> ordered;
+    // 3. Restore the sector/OOB shadows from NAND and collect every
+    //    readable slot with its replay rank: host-write order first
+    //    (program order lies across the power cut — the capacitor
+    //    flush seals per-die open pages in die order, not write
+    //    order), program order second so that after an erase failure
+    //    the migrated copy of a write beats its stale original.
+    struct Replay
+    {
+        std::uint64_t writeSeq;
+        std::uint64_t pageSeq;
+        SlotId slot;
+
+        bool
+        operator<(const Replay &o) const
+        {
+            if (writeSeq != o.writeSeq)
+                return writeSeq < o.writeSeq;
+            if (pageSeq != o.pageSeq)
+                return pageSeq < o.pageSeq;
+            return slot < o.slot;
+        }
+    };
+    std::vector<Replay> ordered;
     for (Ppn p = 0; p < nc.totalPages(); ++p) {
         if (!nand_.isProgrammed(p)) {
             for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
@@ -755,6 +894,13 @@ Ftl::rebuildFromPowerLoss()
             continue;
         }
         const PageContent &content = nand_.peek(p);
+        // A page whose program failed is consumed but holds nothing
+        // readable (empty tokens/OOB); its shadows reset like an
+        // unprogrammed page and it contributes no mappings.
+        const bool readable =
+            content.slotTokens.size() >=
+            std::size_t(slotsPerPage_) * sectorsPerUnit_ *
+                kChunksPerSector;
         for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
             const SlotId slot = slotOf(p, s);
             slotOob_[slot] = s < content.oob.size()
@@ -765,17 +911,29 @@ Ftl::rebuildFromPowerLoss()
                 sectors_[slot * sectorsPerUnit_ +
                          k / kChunksPerSector]
                     .chunks[k % kChunksPerSector] =
-                    content.slotTokens[(s * sectorsPerUnit_ *
-                                        kChunksPerSector) +
-                                       k];
+                    readable
+                        ? content.slotTokens[(s * sectorsPerUnit_ *
+                                              kChunksPerSector) +
+                                             k]
+                        : 0;
             }
         }
         pageSeq_[p] = content.seq;
-        ordered.push_back({content.seq, p});
+        if (readable) {
+            for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
+                const SlotId slot = slotOf(p, s);
+                if (slotOob_[slot].lpn != kInvalidAddr) {
+                    ordered.push_back(Replay{
+                        slotOob_[slot].writeSeq, content.seq, slot});
+                }
+            }
+        }
+        nextProgramSeq_ =
+            std::max(nextProgramSeq_, content.seq + 1);
     }
     std::sort(ordered.begin(), ordered.end());
 
-    // 4. Replay write-origin mappings in program order (newest
+    // 4. Replay write-origin mappings in host-write order (newest
     //    version of an LPN wins) and collect checkpoint-target
     //    candidates from journal-slot annotations.
     struct Candidate
@@ -784,21 +942,17 @@ Ftl::rebuildFromPowerLoss()
         SlotId slot = kInvalidAddr;
     };
     std::unordered_map<Lpn, Candidate> targets;
-    for (const auto &[seq, ppn] : ordered) {
-        for (std::uint32_t s = 0; s < slotsPerPage_; ++s) {
-            const SlotId slot = slotOf(ppn, s);
-            const OobEntry &oob = slotOob_[slot];
-            if (oob.lpn == kInvalidAddr)
-                continue;
-            mapLpn(oob.lpn, slot);
-            ++report.slotsRecovered;
-            if (oob.targetLpn != kInvalidAddr &&
-                oob.targetLpn != oob.lpn) {
-                Candidate &c = targets[oob.targetLpn];
-                if (oob.version >= c.version) {
-                    c.version = oob.version;
-                    c.slot = slot;
-                }
+    for (const Replay &r : ordered) {
+        const OobEntry &oob = slotOob_[r.slot];
+        mapLpn(oob.lpn, r.slot);
+        ++report.slotsRecovered;
+        nextWriteSeq_ = std::max(nextWriteSeq_, oob.writeSeq + 1);
+        if (oob.targetLpn != kInvalidAddr &&
+            oob.targetLpn != oob.lpn) {
+            Candidate &c = targets[oob.targetLpn];
+            if (oob.version >= c.version) {
+                c.version = oob.version;
+                c.slot = r.slot;
             }
         }
     }

@@ -165,6 +165,21 @@ class Ftl
     const BlockManager &blockManager() const { return bm_; }
     NandFlash &nand() { return nand_; }
 
+    /**
+     * Uncorrectable host-path read errors since the last call, and
+     * reset the counter. The SSD front-end drains this after every
+     * command: a nonzero count on a host read triggers the
+     * retry/backoff loop (the page is deliberately *not* cached, so
+     * a retry re-reads the NAND and may succeed).
+     */
+    std::uint32_t
+    takeReadErrors()
+    {
+        const std::uint32_t n = pendingReadErrors_;
+        pendingReadErrors_ = 0;
+        return n;
+    }
+
     /** Register the program-completion observer (SSD backpressure). */
     void setProgramObserver(ProgramObserver obs)
     {
@@ -312,6 +327,14 @@ class Ftl
     void reclaimBlock(Pbn victim, Tick earliest);
 
     /**
+     * Consequence of a program (tPROG) failure on @p failed_ppn:
+     * retire the whole block, migrate its live slots to fresh slots
+     * (data comes from the SPOR-protected shadows, so nothing is
+     * lost), and record it in the persistent defect list.
+     */
+    void handleProgramFail(Ppn failed_ppn, Tick now);
+
+    /**
      * Static wear leveling: when the block-wear spread exceeds the
      * configured threshold, relocate the coldest (least-worn) closed
      * block so its underlying cells re-enter circulation.
@@ -339,9 +362,18 @@ class Ftl
     std::array<std::uint32_t, kStreamCount> rot_{};
 
     std::uint64_t nextProgramSeq_ = 1;
+    /** Host-write order counter stamped into slot OOB (see
+     *  OobEntry::writeSeq); the power-loss rebuild replay order. */
+    std::uint64_t nextWriteSeq_ = 1;
     std::uint64_t dirtyMapBytes_ = 0;
     bool inGc_ = false;
     bool inMapFlush_ = false;
+
+    /** Firmware defect list (flash-resident in a real device): bad
+     *  blocks survive power loss and stay retired across rebuilds. */
+    std::vector<char> badBlock_;
+    /** Uncorrectable host-path reads awaiting takeReadErrors(). */
+    std::uint32_t pendingReadErrors_ = 0;
 
     // DRAM data cache: flat intrusive LRU over the PPN universe
     // (O(1) touch/insert/evict, no hashing on the event hot path).

@@ -32,27 +32,6 @@ ExperimentConfig::resolvedMappingUnit() const
     return 512;
 }
 
-ExperimentConfig
-ExperimentConfig::smallScale()
-{
-    ExperimentConfig c;
-    c.nand.channels = 4;
-    c.nand.diesPerChannel = 2;
-    c.nand.blocksPerPlane = 64;
-    c.nand.pagesPerBlock = 64;
-    // 4 * 2 * 64 * 64 * 4 KiB = 128 MiB raw. The DRAM data cache is
-    // scaled with the device (Table I's 64 MiB : TB-class device).
-    c.ftl.dataCacheBytes = 4 * kMiB;
-    c.engine.recordCount = 4000;
-    c.engine.maxValueBytes = 4096;
-    c.engine.journalHalfBytes = 8 * kMiB;
-    c.engine.checkpointJournalBytes = 2 * kMiB;
-    c.engine.checkpointInterval = 25 * kMsec;
-    c.workload.operationCount = 20'000;
-    c.threads = 32;
-    return c;
-}
-
 namespace {
 
 /** Snapshot every stat registry into one prefixed map. */
@@ -122,6 +101,13 @@ runExperiment(const ExperimentConfig &cfg)
     obs::MetricsRegistry metrics;
     ctx.setMetrics(&metrics);
     SimContextScope active(ctx);
+
+    // The fault plan must exist before the device: the Ssd wires it
+    // into the NAND at construction. Its seed derives from the run
+    // seed, so the schedule is part of the run identity.
+    FaultPlan faults(cfg.faults,
+                     ctx.deriveSeed(FaultPlan::kSeedStream));
+    ctx.setFaults(&faults);
 
     EventQueue &eq = ctx.events();
     FtlConfig ftl_cfg = cfg.ftl;
@@ -200,6 +186,29 @@ runExperiment(const ExperimentConfig &cfg)
 
     const auto after = collectStats(ssd, engine);
     r.raw = after;
+    // Fault-plan outcome: counters, wear skew, and the schedule
+    // digest ride along in the raw map so sweeps and the oracle can
+    // assert fault determinism from exported artifacts alone.
+    {
+        const FaultCounters &fc = faults.counters();
+        r.raw["fault.faultyReads"] = fc.faultyReads;
+        r.raw["fault.readRetries"] = fc.readRetries;
+        r.raw["fault.uncorrectableReads"] = fc.uncorrectableReads;
+        r.raw["fault.programFails"] = fc.programFails;
+        r.raw["fault.eraseFails"] = fc.eraseFails;
+        r.raw["fault.powerLosses"] = fc.powerLosses;
+        r.raw["fault.digest"] = faults.digest();
+        r.raw["nand.eraseSkew"] =
+            ssd.nand().maxEraseCount() - ssd.nand().minEraseCount();
+        metrics.set(metrics.counter("fault.digest"),
+                    faults.digest());
+        metrics.set(metrics.counter("fault.uncorrectableReads"),
+                    fc.uncorrectableReads);
+        metrics.set(metrics.counter("fault.programFails"),
+                    fc.programFails);
+        metrics.set(metrics.counter("fault.eraseFails"),
+                    fc.eraseFails);
+    }
     r.nandReads = delta(after, before, "nand.reads");
     r.nandPrograms = delta(after, before, "nand.programs");
     r.nandErases = delta(after, before, "nand.erases");

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "engine/engine_config.h"
+#include "fault/fault_plan.h"
 #include "ftl/ftl_config.h"
 #include "nand/nand_config.h"
 #include "obs/artifacts.h"
@@ -32,6 +33,14 @@ struct ExperimentConfig
     EngineConfig engine;
     WorkloadSpec workload;
     std::uint32_t threads = 32;
+
+    /**
+     * Fault injection for this run (off by default). When enabled,
+     * runExperiment builds a FaultPlan seeded from the run's
+     * SimContext and installs it before the device is constructed,
+     * so the fault schedule is part of the run identity.
+     */
+    FaultConfig faults;
 
     /**
      * Root seed of the run's SimContext (run identity). 0 (the
@@ -54,9 +63,6 @@ struct ExperimentConfig
 
     /** Resolve the mapping unit for the configured mode. */
     std::uint32_t resolvedMappingUnit() const;
-
-    /** A small configuration preset sized for fast simulation. */
-    static ExperimentConfig smallScale();
 };
 
 /** Metrics of one experiment run (deltas exclude the initial load). */

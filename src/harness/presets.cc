@@ -1,0 +1,53 @@
+#include "harness/presets.h"
+
+namespace checkin::presets {
+
+ExperimentConfig
+small()
+{
+    ExperimentConfig c;
+    c.nand.channels = 4;
+    c.nand.diesPerChannel = 2;
+    c.nand.blocksPerPlane = 64;
+    c.nand.pagesPerBlock = 64;
+    // 4 * 2 * 64 * 64 * 4 KiB = 128 MiB raw. The DRAM data cache is
+    // scaled with the device (Table I's 64 MiB : TB-class device).
+    c.ftl.dataCacheBytes = 4 * kMiB;
+    c.engine.recordCount = 4000;
+    c.engine.maxValueBytes = 4096;
+    c.engine.journalHalfBytes = 8 * kMiB;
+    c.engine.checkpointJournalBytes = 2 * kMiB;
+    c.engine.checkpointInterval = 25 * kMsec;
+    c.workload.operationCount = 20'000;
+    c.threads = 32;
+    return c;
+}
+
+ExperimentConfig
+paper()
+{
+    ExperimentConfig c = small();
+    c.engine.checkpointInterval = 200 * kMsec;
+    c.engine.checkpointJournalBytes = 6 * kMiB;
+    return c;
+}
+
+ExperimentConfig
+faulty()
+{
+    ExperimentConfig c = small();
+    // Frequent checkpoints widen the mid-checkpoint crash windows
+    // the oracle probes.
+    c.engine.checkpointInterval = 10 * kMsec;
+    c.faults.enabled = true;
+    // Probabilities are per media op and wear-scaled; at this scale
+    // the ECC retry budget recovers nearly all read faults while a
+    // handful of program/erase fails exercise block retirement.
+    c.faults.readBitErrorProb = 5e-4;
+    c.faults.programFailProb = 2e-4;
+    c.faults.eraseFailProb = 1e-3;
+    c.faults.wearFactor = 1.0;
+    return c;
+}
+
+} // namespace checkin::presets

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Named experiment presets shared by benches, tests, and examples.
+ *
+ * Every consumer of a "default" configuration goes through one of
+ * these builders so scale changes happen in exactly one place:
+ *
+ *  - presets::small(): fast-simulation scale (128 MiB device) with
+ *    frequent checkpoints; the default for tests and examples.
+ *  - presets::paper(): the figure-reproduction scale the fig*
+ *    benches run — small() with the paper's checkpoint cadence.
+ *  - presets::faulty(): small() plus an enabled fault plan (read
+ *    bit errors, program/erase fails, wear skew) tuned so the ECC
+ *    and front-end retry budgets absorb most injected faults.
+ */
+
+#ifndef CHECKIN_HARNESS_PRESETS_H_
+#define CHECKIN_HARNESS_PRESETS_H_
+
+#include "harness/experiment.h"
+
+namespace checkin::presets {
+
+/** Small configuration sized for fast simulation. */
+ExperimentConfig small();
+
+/** Figure-reproduction scale used by the fig* benches. */
+ExperimentConfig paper();
+
+/** small() with deterministic fault injection enabled. */
+ExperimentConfig faulty();
+
+} // namespace checkin::presets
+
+#endif // CHECKIN_HARNESS_PRESETS_H_

@@ -23,6 +23,10 @@ NandFlash::NandFlash(const NandConfig &cfg)
     sPrograms_ = stats_.intern("nand.programs");
     sErases_ = stats_.intern("nand.erases");
     sAuxReads_ = stats_.intern("nand.auxReads");
+    sReadRetries_ = stats_.intern("nand.readRetries");
+    sUncorrectable_ = stats_.intern("nand.uncorrectable");
+    sProgramFails_ = stats_.intern("nand.programFails");
+    sEraseFails_ = stats_.intern("nand.eraseFails");
     // Trace lanes: one per die, then one per channel.
     for (std::uint32_t d = 0; d < cfg_.dieCount(); ++d)
         obs::nameLane(obs::Cat::Nand, dieLane(d), dies_[d].name());
@@ -44,18 +48,50 @@ NandFlash::channelOf(Ppn ppn)
     return channels_[layout_.channelIndexOf(ppn)];
 }
 
-Tick
+NandResult
 NandFlash::read(Ppn ppn, Tick earliest)
 {
     assert(ppn < pages_.size());
     stats_.add(sReads_);
+    const Pbn pbn = ppn / cfg_.pagesPerBlock;
+    // Fault decision up front: retries extend the sensing phase, so
+    // the die reservation must cover them before the channel starts.
+    std::uint32_t retries = 0;
+    bool uncorrectable = false;
+    if (faults_ != nullptr) {
+        const std::uint32_t fails = faults_->readFaults(
+            ppn, blocks_[pbn].eraseCount, cfg_.maxPeCycles);
+        if (fails > faults_->config().readRetryMax) {
+            retries = faults_->config().readRetryMax;
+            uncorrectable = true;
+        } else {
+            retries = fails;
+        }
+        if (retries > 0)
+            stats_.add(sReadRetries_, retries);
+    }
     // Array sensing occupies the die, then the data crosses the
     // channel. The channel reservation can only start once sensing is
     // done.
     Resource &die = dieOf(ppn);
     Resource &ch = channelOf(ppn);
+    const Tick sense_time =
+        cfg_.readLatency +
+        (faults_ != nullptr
+             ? retries * faults_->config().readRetryLatency
+             : 0);
     const Tick sense_start = std::max(earliest, die.freeAt());
-    const Tick sensed = die.reserve(earliest, cfg_.readLatency);
+    const Tick sensed = die.reserve(earliest, sense_time);
+    if (uncorrectable) {
+        // ECC gave up: nothing valid to move across the channel.
+        stats_.add(sUncorrectable_);
+        if (obs::traceOn()) {
+            obs::span(obs::Cat::Nand, dieLane(layout_.dieIndexOf(ppn)),
+                      "nand.senseFail", sense_start, sensed,
+                      {{"ppn", ppn}, {"retries", retries}});
+        }
+        return {sensed, NandStatus::Uncorrectable};
+    }
     const Tick xfer_start = std::max(sensed, ch.freeAt());
     const Tick done = ch.reserve(sensed, cfg_.pageTransferTime());
     if (obs::traceOn()) {
@@ -66,10 +102,10 @@ NandFlash::read(Ppn ppn, Tick earliest)
         obs::span(obs::Cat::Nand, channelLane(c), "nand.xfer",
                   xfer_start, done, {{"ppn", ppn}});
     }
-    return done;
+    return {done, NandStatus::Ok};
 }
 
-Tick
+NandResult
 NandFlash::program(Ppn ppn, PageContent content, Tick earliest)
 {
     assert(ppn < pages_.size());
@@ -83,9 +119,17 @@ NandFlash::program(Ppn ppn, PageContent content, Tick earliest)
             std::to_string(blk.nextPage) + ", got " +
             std::to_string(page));
     }
+    const bool failed =
+        faults_ != nullptr &&
+        faults_->programFails(ppn, blk.eraseCount, cfg_.maxPeCycles);
+    // A failed program still consumes the page: the cells are in an
+    // indeterminate state and in-order programming cannot reuse it.
+    // It reads back empty (no valid OOB), so SPOR rebuild skips it.
     blk.nextPage = page + 1;
-    pages_[ppn] = std::move(content);
+    pages_[ppn] = failed ? PageContent{} : std::move(content);
     stats_.add(sPrograms_);
+    if (failed)
+        stats_.add(sProgramFails_);
     // Data crosses the channel first, then the cell program occupies
     // the die.
     Resource &die = dieOf(ppn);
@@ -99,10 +143,12 @@ NandFlash::program(Ppn ppn, PageContent content, Tick earliest)
         const auto c = layout_.channelIndexOf(ppn);
         obs::span(obs::Cat::Nand, channelLane(c), "nand.xfer",
                   xfer_start, loaded, {{"ppn", ppn}});
-        obs::span(obs::Cat::Nand, dieLane(d), "nand.prog",
-                  prog_start, done, {{"ppn", ppn}});
+        obs::span(obs::Cat::Nand, dieLane(d),
+                  failed ? "nand.progFail" : "nand.prog", prog_start,
+                  done, {{"ppn", ppn}});
     }
-    return done;
+    return {done,
+            failed ? NandStatus::ProgramFailed : NandStatus::Ok};
 }
 
 Tick
@@ -126,27 +172,36 @@ NandFlash::chargeAuxRead(std::uint32_t die_index, Tick earliest)
     return done;
 }
 
-Tick
+NandResult
 NandFlash::eraseBlock(Pbn pbn, Tick earliest)
 {
     assert(pbn < blocks_.size());
     Block &blk = blocks_[pbn];
     const Ppn first = layout_.firstPpnOfBlock(pbn);
-    for (std::uint32_t p = 0; p < blk.nextPage; ++p)
-        pages_[first + p] = PageContent{};
-    blk.nextPage = 0;
+    const bool failed =
+        faults_ != nullptr &&
+        faults_->eraseFails(pbn, blk.eraseCount, cfg_.maxPeCycles);
+    if (!failed) {
+        for (std::uint32_t p = 0; p < blk.nextPage; ++p)
+            pages_[first + p] = PageContent{};
+        blk.nextPage = 0;
+    }
+    // The erase attempt consumes a P/E cycle either way.
     ++blk.eraseCount;
     ++totalErases_;
     stats_.add(sErases_);
+    if (failed)
+        stats_.add(sEraseFails_);
     Resource &die = dieOf(first);
     const Tick erase_start = std::max(earliest, die.freeAt());
     const Tick done = die.reserve(earliest, cfg_.eraseLatency);
     if (obs::traceOn()) {
         obs::span(obs::Cat::Nand, dieLane(layout_.dieIndexOf(first)),
-                  "nand.erase", erase_start, done,
+                  failed ? "nand.eraseFail" : "nand.erase",
+                  erase_start, done,
                   {{"pbn", pbn}, {"eraseCount", blk.eraseCount}});
     }
-    return done;
+    return {done, failed ? NandStatus::EraseFailed : NandStatus::Ok};
 }
 
 bool
@@ -185,6 +240,15 @@ NandFlash::maxEraseCount() const
     for (const Block &b : blocks_)
         m = std::max(m, b.eraseCount);
     return m;
+}
+
+std::uint32_t
+NandFlash::minEraseCount() const
+{
+    std::uint32_t m = ~std::uint32_t{0};
+    for (const Block &b : blocks_)
+        m = std::min(m, b.eraseCount);
+    return blocks_.empty() ? 0 : m;
 }
 
 Tick

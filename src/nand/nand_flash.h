@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "nand/nand_config.h"
 #include "nand/nand_types.h"
 #include "obs/trace.h"
@@ -27,9 +28,12 @@ namespace checkin {
  * The flash array. All addresses are flat PPNs/PBNs (see NandLayout).
  *
  * Timing contract: every operation takes the earliest tick the caller
- * could issue it and returns the completion tick, reserving die and
- * channel time in between. Contention therefore appears as later
- * completion ticks, never as failures.
+ * could issue it and returns a NandResult — the completion tick plus
+ * a status — reserving die and channel time in between. Contention
+ * appears as later completion ticks; *faults* (injected by the run's
+ * FaultPlan, if any) appear as non-Ok statuses whose time was still
+ * charged: a failed program occupies the die for the full tPROG, a
+ * retried read senses repeatedly before the data crosses the channel.
  */
 class NandFlash
 {
@@ -39,27 +43,35 @@ class NandFlash
     const NandConfig &config() const { return cfg_; }
     const NandLayout &layout() const { return layout_; }
 
+    /** Install the run's fault plan (nullptr: perfect hardware). */
+    void setFaultPlan(FaultPlan *plan) { faults_ = plan; }
+
     /**
-     * Read a page.
+     * Read a page. Injected bit errors are retried within the ECC
+     * retry budget (extra sensing time per retry); past the budget
+     * the result is Uncorrectable and no data crosses the channel.
      * @param ppn page to read.
      * @param earliest earliest issue tick.
-     * @return completion tick (data available at host side of channel).
+     * @return completion tick (data at host side of channel) + status.
      */
-    Tick read(Ppn ppn, Tick earliest);
+    NandResult read(Ppn ppn, Tick earliest);
 
     /**
      * Program a page. The page must be erased and must be the next
-     * unprogrammed page of its block (NAND in-order rule).
+     * unprogrammed page of its block (NAND in-order rule). A failed
+     * program consumes the page — it stays unreadable (empty OOB)
+     * until the block is erased, and the block should be retired.
      * @param content slot tokens + OOB to persist.
-     * @return completion tick.
+     * @return completion tick + status.
      */
-    Tick program(Ppn ppn, PageContent content, Tick earliest);
+    NandResult program(Ppn ppn, PageContent content, Tick earliest);
 
     /**
-     * Erase a block.
-     * @return completion tick.
+     * Erase a block. A failed erase leaves the previous contents in
+     * place and the block must be retired by the FTL.
+     * @return completion tick + status.
      */
-    Tick eraseBlock(Pbn pbn, Tick earliest);
+    NandResult eraseBlock(Pbn pbn, Tick earliest);
 
     /**
      * Charge the timing of an auxiliary page read on @p die_index
@@ -87,7 +99,12 @@ class NandFlash
     /** Maximum erase count across blocks (wear skew metric). */
     std::uint32_t maxEraseCount() const;
 
-    /** Operation counters: nand.reads / nand.programs / nand.erases. */
+    /** Minimum erase count across blocks (wear skew metric). */
+    std::uint32_t minEraseCount() const;
+
+    /** Operation counters: nand.reads / nand.programs / nand.erases,
+     *  plus fault counters (nand.readRetries / nand.uncorrectable /
+     *  nand.programFails / nand.eraseFails). */
     const StatRegistry &stats() const { return stats_; }
 
     /** Earliest tick at which every die and channel is idle. */
@@ -123,7 +140,12 @@ class NandFlash
     StatId sPrograms_;
     StatId sErases_;
     StatId sAuxReads_;
+    StatId sReadRetries_;
+    StatId sUncorrectable_;
+    StatId sProgramFails_;
+    StatId sEraseFails_;
     std::uint64_t totalErases_ = 0;
+    FaultPlan *faults_ = nullptr;
 };
 
 } // namespace checkin

@@ -17,6 +17,31 @@ namespace checkin {
 /** Flat physical block number across the whole device. */
 using Pbn = std::uint64_t;
 
+/** Outcome of a NAND media operation (see FaultPlan). */
+enum class NandStatus : std::uint8_t
+{
+    Ok = 0,
+    /** Read failed ECC even after exhausting read retries. */
+    Uncorrectable,
+    /** Program (tPROG) failed; the page is consumed and unreadable. */
+    ProgramFailed,
+    /** Erase (tBERS) failed; the block must be retired. */
+    EraseFailed,
+};
+
+/**
+ * Completion tick + outcome of a NAND operation. Time is always
+ * charged — a failed operation occupies the die just as long as a
+ * successful one (longer for reads, which retry-sense first).
+ */
+struct NandResult
+{
+    Tick tick = 0;
+    NandStatus status = NandStatus::Ok;
+
+    bool ok() const { return status == NandStatus::Ok; }
+};
+
 /**
  * Out-of-band record stored alongside a programmed page.
  *
@@ -35,6 +60,16 @@ struct OobEntry
     std::uint64_t version = 0;
     /** Checkpoint target of a journal record (or kInvalidAddr). */
     Lpn targetLpn = kInvalidAddr;
+    /**
+     * Host-write order stamp. Page program sequence alone cannot
+     * order slots after a power cut: the capacitor flush programs the
+     * per-die open pages in die order, so an older write parked in a
+     * higher die would be sequenced after a newer write to the same
+     * LPN in a lower die, and the SPOR replay would resurrect the
+     * stale copy. Rebuild therefore replays mappings in writeSeq
+     * order; GC migration copies the stamp with the slot.
+     */
+    std::uint64_t writeSeq = 0;
 };
 
 /** Structured physical page address. */

@@ -1,26 +1,32 @@
 /**
  * @file
- * Small-buffer-optimized, move-only callback for the DES hot path.
+ * Small-buffer-optimized, move-only callable for the DES hot path.
  *
  * Every simulated command completion, checkpoint step, and client op
  * is one scheduled callback, so the callback representation decides
  * whether the kernel touches the allocator per event. std::function
  * only inlines ~16 bytes of captures on mainstream ABIs; the common
  * "this + a key + a bound continuation" lambda is ~40-56 bytes and
- * heap-allocates on every schedule. InlineCallback stores captures up
- * to kInlineBytes directly inside the event, falling back to the heap
- * only for oversized or throwing-move captures (counted, and
+ * heap-allocates on every schedule. InlineFunction stores captures up
+ * to kInlineBytes directly inside the object, falling back to the
+ * heap only for oversized or throwing-move captures (counted, and
  * optionally a compile error — see below).
+ *
+ * InlineFunction<R(Args...)> is signature-generic so the same storage
+ * strategy serves both the event queue (void()) and the SSD command
+ * completion path (void(const CmdResult &)). InlineCallback remains
+ * the alias used by the kernel.
  *
  * Contract differences from std::function, on purpose:
  *  - move-only (events are scheduled once and dispatched once);
  *  - no target_type/target introspection;
- *  - invoking an empty callback is undefined (asserted in debug).
+ *  - invoking an empty callable is undefined (asserted in debug).
  *
  * Diagnostics:
- *  - InlineCallback::heapFallbacks() counts heap-constructed
- *    callbacks process-wide (relaxed atomic: exact under single
- *    threads, approximate-but-race-free across sweep workers).
+ *  - InlineFunction::heapFallbacks() counts heap-constructed
+ *    callables process-wide across all signatures (relaxed atomic:
+ *    exact under single threads, approximate-but-race-free across
+ *    sweep workers).
  *  - Defining CHECKIN_EVENT_INLINE_STRICT turns every heap fallback
  *    into a static_assert naming the offending capture size, for
  *    hunting regressions after kernel or engine changes.
@@ -48,13 +54,17 @@ struct AlwaysFalse : std::false_type
 {
 };
 
-/** Process-wide count of callbacks that spilled to the heap. */
+/** Process-wide count of callables that spilled to the heap. */
 inline std::atomic<std::uint64_t> g_inline_event_heap_fallbacks{0};
 
 } // namespace detail
 
-/** Move-only callback with inline storage for small captures. */
-class InlineCallback
+template <typename Sig>
+class InlineFunction; // undefined; only the R(Args...) partial below
+
+/** Move-only callable with inline storage for small captures. */
+template <typename R, typename... Args>
+class InlineFunction<R(Args...)>
 {
   public:
     /**
@@ -73,16 +83,17 @@ class InlineCallback
         sizeof(F) <= kInlineBytes && alignof(F) <= kInlineAlign &&
         std::is_nothrow_move_constructible_v<F>;
 
-    InlineCallback() noexcept = default;
+    InlineFunction() noexcept = default;
 
     template <typename F,
               typename = std::enable_if_t<!std::is_same_v<
-                  std::decay_t<F>, InlineCallback>>>
-    InlineCallback(F &&fn) // NOLINT: implicit like std::function
+                  std::decay_t<F>, InlineFunction>>>
+    InlineFunction(F &&fn) // NOLINT: implicit like std::function
     {
         using Fn = std::decay_t<F>;
-        static_assert(std::is_invocable_r_v<void, Fn &>,
-                      "event callback must be invocable as void()");
+        static_assert(std::is_invocable_r_v<R, Fn &, Args...>,
+                      "callable does not match InlineFunction "
+                      "signature");
         if constexpr (fitsInline<Fn>) {
             ::new (storage()) Fn(std::forward<F>(fn));
             ops_ = &kInlineOps<Fn>;
@@ -90,10 +101,10 @@ class InlineCallback
 #ifdef CHECKIN_EVENT_INLINE_STRICT
             static_assert(
                 detail::AlwaysFalse<Fn>::value,
-                "event callback capture does not fit inline "
+                "callable capture does not fit inline "
                 "(see sizeof(Fn) in the instantiation trace); "
                 "shrink the capture or raise "
-                "InlineCallback::kInlineBytes");
+                "InlineFunction::kInlineBytes");
 #endif
             ::new (storage()) Fn *(new Fn(std::forward<F>(fn)));
             ops_ = &kHeapOps<Fn>;
@@ -102,7 +113,7 @@ class InlineCallback
         }
     }
 
-    InlineCallback(InlineCallback &&other) noexcept
+    InlineFunction(InlineFunction &&other) noexcept
         : ops_(other.ops_)
     {
         if (ops_ != nullptr)
@@ -110,8 +121,8 @@ class InlineCallback
         other.ops_ = nullptr;
     }
 
-    InlineCallback &
-    operator=(InlineCallback &&other) noexcept
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
     {
         if (this != &other) {
             reset();
@@ -123,20 +134,20 @@ class InlineCallback
         return *this;
     }
 
-    InlineCallback(const InlineCallback &) = delete;
-    InlineCallback &operator=(const InlineCallback &) = delete;
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
 
-    ~InlineCallback() { reset(); }
+    ~InlineFunction() { reset(); }
 
     /** True when a callable is held. */
     explicit operator bool() const noexcept { return ops_ != nullptr; }
 
     /** Invoke the held callable (must not be empty). */
-    void
-    operator()()
+    R
+    operator()(Args... args)
     {
-        assert(ops_ != nullptr && "invoking empty InlineCallback");
-        ops_->invoke(storage());
+        assert(ops_ != nullptr && "invoking empty InlineFunction");
+        return ops_->invoke(storage(), std::forward<Args>(args)...);
     }
 
     /** Destroy the held callable (if any); leaves *this empty. */
@@ -169,7 +180,7 @@ class InlineCallback
     /** Manual vtable: one static instance per erased callable type. */
     struct Ops
     {
-        void (*invoke)(void *storage);
+        R (*invoke)(void *storage, Args &&...args);
         /** Move-construct dst from src, then destroy src's value. */
         void (*relocate)(void *dst, void *src) noexcept;
         void (*destroy)(void *storage) noexcept;
@@ -188,7 +199,10 @@ class InlineCallback
 
     template <typename Fn>
     static constexpr Ops kInlineOps = {
-        [](void *s) { (*static_cast<Fn *>(s))(); },
+        [](void *s, Args &&...args) -> R {
+            return (*static_cast<Fn *>(s))(
+                std::forward<Args>(args)...);
+        },
         [](void *dst, void *src) noexcept {
             ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
             static_cast<Fn *>(src)->~Fn();
@@ -201,7 +215,10 @@ class InlineCallback
 
     template <typename Fn>
     static constexpr Ops kHeapOps = {
-        [](void *s) { (**static_cast<Fn **>(s))(); },
+        [](void *s, Args &&...args) -> R {
+            return (**static_cast<Fn **>(s))(
+                std::forward<Args>(args)...);
+        },
         [](void *dst, void *src) noexcept {
             ::new (dst) Fn *(*static_cast<Fn **>(src));
         },
@@ -213,7 +230,7 @@ class InlineCallback
 
     /** Pre: ops_ == other.ops_ != nullptr and other holds a value. */
     void
-    relocateFrom(InlineCallback &other) noexcept
+    relocateFrom(InlineFunction &other) noexcept
     {
         if (ops_->trivialRelocate)
             std::memcpy(buf_, other.buf_, sizeof(buf_));
@@ -226,6 +243,9 @@ class InlineCallback
     const Ops *ops_ = nullptr;
     alignas(kInlineAlign) unsigned char buf_[kInlineBytes];
 };
+
+/** The DES kernel's event callback type. */
+using InlineCallback = InlineFunction<void()>;
 
 } // namespace checkin
 

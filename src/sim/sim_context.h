@@ -38,6 +38,8 @@ namespace obs {
 class MetricsRegistry;
 } // namespace obs
 
+class FaultPlan;
+
 /** Everything one simulation instance owns; never shared. */
 class SimContext
 {
@@ -89,6 +91,10 @@ class SimContext
     obs::MetricsRegistry *metrics() const { return metrics_; }
     void setMetrics(obs::MetricsRegistry *m) { metrics_ = m; }
 
+    /** The run's fault plan (nullptr: fault-free hardware). */
+    FaultPlan *faults() const { return faults_; }
+    void setFaults(FaultPlan *f) { faults_ = f; }
+
   private:
     std::uint64_t seed_;
     std::string runName_;
@@ -96,6 +102,7 @@ class SimContext
     Rng rootRng_;
     obs::Tracer *tracer_ = nullptr;
     obs::MetricsRegistry *metrics_ = nullptr;
+    FaultPlan *faults_ = nullptr;
 };
 
 namespace detail {

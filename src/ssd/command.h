@@ -13,6 +13,8 @@
 #define CHECKIN_SSD_COMMAND_H_
 
 #include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "ftl/ftl.h"
@@ -21,6 +23,39 @@
 #include "sim/types.h"
 
 namespace checkin {
+
+/** Host-visible outcome of a command. */
+enum class CmdStatus : std::uint8_t
+{
+    Ok = 0,
+    /** Media error the front-end could not retry away (the NAND
+     *  read stayed uncorrectable past the retry budget). */
+    MediaError,
+};
+
+/** Completion record delivered to a command's submitter. */
+struct CmdResult
+{
+    /** Completion tick (error completions report when the device
+     *  gave up, time for all retries included). */
+    Tick tick = 0;
+    CmdStatus status = CmdStatus::Ok;
+    /** Front-end retry attempts this command consumed. */
+    std::uint32_t retries = 0;
+
+    bool ok() const { return status == CmdStatus::Ok; }
+
+    /** Completion tick; throws when the command failed. */
+    Tick
+    require() const
+    {
+        if (status != CmdStatus::Ok) {
+            throw std::runtime_error(
+                "SSD command failed: unrecoverable media error");
+        }
+        return tick;
+    }
+};
 
 /**
  * One source -> destination copy/remap descriptor.
@@ -62,6 +97,21 @@ struct CowPair
     dstSectors() const
     {
         return std::uint32_t(divCeil(chunks, kChunksPerSector));
+    }
+
+    static CowPair
+    make(Lba src, std::uint32_t src_chunk_shift, Lba dst,
+         std::uint32_t chunks, std::uint64_t version = 0,
+         bool force_copy = false)
+    {
+        CowPair p;
+        p.src = src;
+        p.srcChunkShift = src_chunk_shift;
+        p.dst = dst;
+        p.chunks = chunks;
+        p.version = version;
+        p.forceCopy = force_copy;
+        return p;
     }
 };
 
@@ -135,6 +185,55 @@ struct Command
     {
         Command c;
         c.type = CmdType::Trim;
+        c.lba = lba;
+        c.nsect = nsect;
+        return c;
+    }
+
+    static Command
+    flush()
+    {
+        Command c;
+        c.type = CmdType::Flush;
+        return c;
+    }
+
+    static Command
+    cowSingle(CowPair pair)
+    {
+        Command c;
+        c.type = CmdType::CowSingle;
+        c.cause = IoCause::Checkpoint;
+        c.pairs.push_back(pair);
+        return c;
+    }
+
+    static Command
+    cowMulti(std::vector<CowPair> pairs)
+    {
+        Command c;
+        c.type = CmdType::CowMulti;
+        c.cause = IoCause::Checkpoint;
+        c.pairs = std::move(pairs);
+        return c;
+    }
+
+    static Command
+    checkpointRemap(std::vector<CowPair> pairs)
+    {
+        Command c;
+        c.type = CmdType::CheckpointRemap;
+        c.cause = IoCause::Checkpoint;
+        c.pairs = std::move(pairs);
+        return c;
+    }
+
+    static Command
+    deleteLogs(Lba lba, std::uint64_t nsect)
+    {
+        Command c;
+        c.type = CmdType::DeleteLogs;
+        c.cause = IoCause::Metadata;
         c.lba = lba;
         c.nsect = nsect;
         return c;

@@ -32,6 +32,8 @@ Ssd::Ssd(SimContext &ctx, const NandConfig &nand_cfg,
       ftl_(nand_, ftl_cfg),
       isce_(ftl_, cpu_, cfg_, stats_)
 {
+    // Hostile hardware, if this run has any, comes from the context.
+    nand_.setFaultPlan(ctx.faults());
     ftl_.setProgramObserver([this](Tick done) {
         inflightPrograms_.insert(done);
         // Bound the set: fully drained entries are useless.
@@ -45,6 +47,8 @@ Ssd::Ssd(SimContext &ctx, const NandConfig &nand_cfg,
     }
     sWriteStalls_ = stats_.intern("ssd.writeStalls");
     sQueueFullStalls_ = stats_.intern("ssd.queueFullStalls");
+    sCmdRetries_ = stats_.intern("ssd.cmdRetries");
+    sCmdErrors_ = stats_.intern("ssd.cmdErrors");
     obs::nameLane(obs::Cat::Ssd, kFrontendLane, "frontend");
 }
 
@@ -101,7 +105,7 @@ Ssd::admitCommand(Tick now)
     return admission;
 }
 
-Tick
+CmdResult
 Ssd::processCommand(const Command &cmd)
 {
     stats_.add(sCmd_[std::size_t(cmd.type)]);
@@ -123,14 +127,41 @@ Ssd::processCommand(const Command &cmd)
     // Firmware occupancy of the controller core (decode + lookup).
     obs::span(obs::Cat::Ssd, kFrontendLane, "ssd.fw", fw_start, t);
 
+    CmdResult res;
     switch (cmd.type) {
       case CmdType::Read: {
-        const Tick data_ready = ftl_.readSectors(
+        Tick data_ready = ftl_.readSectors(
             cmd.lba, std::uint32_t(cmd.nsect), cmd.cause, t);
+        // Front-end retry/backoff for uncorrectable NAND reads: the
+        // failed pages were not cached, so each retry re-reads the
+        // media and may succeed where the last attempt did not.
+        std::uint32_t errors = ftl_.takeReadErrors();
+        while (errors > 0 && res.retries < cfg_.readRetryBudget) {
+            ++res.retries;
+            stats_.add(sCmdRetries_);
+            const Tick backoff =
+                data_ready + res.retries * cfg_.retryBackoff;
+            data_ready = std::max(
+                data_ready,
+                ftl_.readSectors(cmd.lba, std::uint32_t(cmd.nsect),
+                                 cmd.cause, backoff));
+            errors = ftl_.takeReadErrors();
+        }
+        if (errors > 0) {
+            stats_.add(sCmdErrors_);
+            obs::instant(obs::Cat::Ssd, kFrontendLane,
+                         "ssd.mediaError", data_ready,
+                         {{"lba", cmd.lba},
+                          {"retries", res.retries}});
+            res.tick = data_ready;
+            res.status = CmdStatus::MediaError;
+            break;
+        }
         // DRAM-buffered data still pays a small device-side access.
         const Tick served =
             data_ready == t ? t + cfg_.dramAccessTime : data_ready;
-        return busTransfer(served, cmd.nsect * kSectorBytes);
+        res.tick = busTransfer(served, cmd.nsect * kSectorBytes);
+        break;
       }
       case CmdType::Write: {
         assert(cmd.payload.size() == cmd.nsect);
@@ -142,54 +173,92 @@ Ssd::processCommand(const Command &cmd)
             cmd.lba, std::uint32_t(cmd.nsect), cmd.payload.data(),
             cmd.cause, landed, cmd.version,
             cmd.unitOob.empty() ? nullptr : cmd.unitOob.data());
-        return applyWriteBackpressure(ack);
+        res.tick = applyWriteBackpressure(ack);
+        break;
       }
       case CmdType::Trim: {
         isce_.invalidateRange(cmd.lba, cmd.nsect);
         ftl_.trimSectors(cmd.lba, cmd.nsect);
-        return t;
+        res.tick = t;
+        break;
       }
       case CmdType::Flush: {
         // Writes are durable at ack (capacitor-backed buffer), so
         // flush only costs the firmware round trip.
-        return t;
+        res.tick = t;
+        break;
       }
       case CmdType::CowSingle:
       case CmdType::CowMulti: {
         const Tick decoded = busTransfer(
             t, cmd.pairs.size() * cfg_.cowDescriptorBytes);
         // Copy-only in-storage checkpointing (no remapping).
-        return isce_.checkpoint(cmd.pairs, decoded, false);
+        res.tick = isce_.checkpoint(cmd.pairs, decoded, false);
+        break;
       }
       case CmdType::CheckpointRemap: {
         const Tick decoded = busTransfer(
             t, cmd.pairs.size() * cfg_.cowDescriptorBytes);
-        return isce_.checkpoint(cmd.pairs, decoded, true);
+        res.tick = isce_.checkpoint(cmd.pairs, decoded, true);
+        break;
       }
       case CmdType::DeleteLogs: {
         ftl_.trimSectors(cmd.lba, cmd.nsect);
         isce_.onLogsDeleted(t);
-        return t;
+        res.tick = t;
+        break;
       }
     }
-    return t;
+    // Uncorrectable reads on device-internal paths (RMW, CoW copies,
+    // GC inside this command) were recovered from the SPOR-protected
+    // shadows; count them, they do not fail the command.
+    const std::uint32_t internal = ftl_.takeReadErrors();
+    if (internal > 0)
+        stats_.add("ssd.internalReadErrors", internal);
+    return res;
 }
 
 void
 Ssd::submit(Command cmd, Completion cb)
 {
-    const Tick done = processCommand(cmd);
-    assert(done >= eq_.now());
-    inflightCommands_.insert(done);
-    eq_.schedule(done, [cb = std::move(cb), done] { cb(done); });
+    const CmdResult res = processCommand(cmd);
+    assert(res.tick >= eq_.now());
+    inflightCommands_.insert(res.tick);
+    // Park the callback in a pooled slot: the scheduled event then
+    // captures {this, idx} (16 bytes), so neither the event nor the
+    // completion ever heap-allocates in steady state.
+    std::uint32_t idx;
+    if (freePending_ != kNoPending) {
+        idx = freePending_;
+        freePending_ = pending_[idx].next;
+    } else {
+        idx = std::uint32_t(pending_.size());
+        pending_.emplace_back();
+    }
+    pending_[idx].cb = std::move(cb);
+    pending_[idx].res = res;
+    eq_.schedule(res.tick,
+                 [this, idx] { completePending(idx); });
+}
+
+void
+Ssd::completePending(std::uint32_t idx)
+{
+    // Move out before invoking: the callback may submit again and
+    // reuse the slot.
+    Completion cb = std::move(pending_[idx].cb);
+    const CmdResult res = pending_[idx].res;
+    pending_[idx].next = freePending_;
+    freePending_ = idx;
+    cb(res);
 }
 
 Tick
 Ssd::submitSync(const Command &cmd)
 {
-    const Tick done = processCommand(cmd);
-    inflightCommands_.insert(done);
-    return done;
+    const CmdResult res = processCommand(cmd);
+    inflightCommands_.insert(res.tick);
+    return res.require();
 }
 
 void
@@ -205,9 +274,13 @@ Ssd::suddenPowerLoss()
     // Capacitor-backed flush of volatile device state (SPOR).
     isce_.flushSmallBuffer(eq_.now());
     ftl_.flushOpenPages(eq_.now());
-    // Firmware RAM (map tables, queues, cache) is gone.
+    // Firmware RAM (map tables, queues, cache) is gone. In-flight
+    // completions die with it (the caller clears the event queue, so
+    // their scheduled deliveries are gone too).
     inflightPrograms_.clear();
     inflightCommands_.clear();
+    pending_.clear();
+    freePending_ = kNoPending;
     return ftl_.rebuildFromPowerLoss();
 }
 

@@ -15,8 +15,8 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <set>
+#include <vector>
 
 #include "ftl/ftl.h"
 #include "ftl/ftl_config.h"
@@ -24,6 +24,7 @@
 #include "nand/nand_flash.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
+#include "sim/inline_event.h"
 #include "sim/resource.h"
 #include "sim/sim_context.h"
 #include "sim/stats.h"
@@ -37,21 +38,30 @@ namespace checkin {
 class Ssd
 {
   public:
-    /** Completion callback; receives the completion tick. */
-    using Completion = std::function<void(Tick)>;
+    /**
+     * Completion callback; receives the command's CmdResult
+     * (completion tick + status + retry count). Inline-stored like
+     * event callbacks, so a submission never heap-allocates for the
+     * callback: the callable itself sits in a pooled pending slot
+     * and the scheduled event captures only {this, slot index}.
+     */
+    using Completion = InlineFunction<void(const CmdResult &)>;
 
     Ssd(SimContext &ctx, const NandConfig &nand_cfg,
         const FtlConfig &ftl_cfg, const SsdConfig &ssd_cfg);
 
     /**
      * Submit a command; @p cb fires through the event queue at the
-     * command's completion tick.
+     * command's completion tick. Commands whose NAND reads stayed
+     * uncorrectable past the retry budget complete with
+     * CmdStatus::MediaError (see CmdResult::require()).
      */
     void submit(Command cmd, Completion cb);
 
     /**
      * Synchronous variant for tests and recovery paths: process the
      * command immediately and return the completion tick.
+     * @throws std::runtime_error on CmdStatus::MediaError.
      */
     Tick submitSync(const Command &cmd);
 
@@ -109,11 +119,14 @@ class Ssd
     }
 
   private:
-    Tick processCommand(const Command &cmd);
+    CmdResult processCommand(const Command &cmd);
     Tick busTransfer(Tick earliest, std::uint64_t bytes);
     Tick applyWriteBackpressure(Tick ack);
     /** Queue-depth admission: tick at which the command may start. */
     Tick admitCommand(Tick now);
+
+    /** Deliver and free pending completion slot @p idx. */
+    void completePending(std::uint32_t idx);
 
     /** Trace lane for front-end events (Cat::Ssd). */
     static constexpr std::uint32_t kFrontendLane = 0;
@@ -132,9 +145,23 @@ class Ssd
     std::array<StatId, kCmdTypeCount> sCmd_;
     StatId sWriteStalls_;
     StatId sQueueFullStalls_;
+    StatId sCmdRetries_;
+    StatId sCmdErrors_;
     Isce isce_;
     std::multiset<Tick> inflightPrograms_;
     std::multiset<Tick> inflightCommands_;
+
+    /** In-flight completion slot: pooled so the scheduled event only
+     *  captures {this, index} and stays inline. */
+    struct Pending
+    {
+        Completion cb;
+        CmdResult res;
+        std::uint32_t next = 0; //!< free-list link when unused
+    };
+    static constexpr std::uint32_t kNoPending = ~std::uint32_t{0};
+    std::vector<Pending> pending_;
+    std::uint32_t freePending_ = kNoPending;
 };
 
 } // namespace checkin

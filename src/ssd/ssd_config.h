@@ -57,6 +57,17 @@ struct SsdConfig
      * the buffer fills. 0 disables deferral (immediate copies).
      */
     std::uint32_t smallBufferSectors = 512;
+
+    /**
+     * Front-end retry budget for host reads whose NAND reads stayed
+     * uncorrectable: the command is re-issued to the FTL this many
+     * times (with backoff) before completing with
+     * CmdStatus::MediaError.
+     */
+    std::uint32_t readRetryBudget = 3;
+
+    /** Firmware backoff before front-end retry attempt n (n * this). */
+    Tick retryBackoff = 100 * kUsec;
 };
 
 } // namespace checkin

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.h"
+#include "harness/presets.h"
 #include "harness/table.h"
 
 namespace checkin {
@@ -33,7 +34,7 @@ TEST(TablePrinter, NumberFormatting)
 
 TEST(Harness, SmallScalePresetIsRunnable)
 {
-    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    ExperimentConfig cfg = presets::small();
     cfg.workload.operationCount = 1000;
     cfg.threads = 8;
     const RunResult r = runExperiment(cfg);
@@ -64,7 +65,7 @@ TEST(Harness, JournalSpaceOverheadMath)
 
 TEST(Harness, DeterministicForSameConfig)
 {
-    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    ExperimentConfig cfg = presets::small();
     cfg.workload.operationCount = 2000;
     cfg.threads = 8;
     const RunResult a = runExperiment(cfg);
@@ -79,7 +80,7 @@ TEST(Harness, DeterministicForSameConfig)
 
 TEST(Harness, SeedChangesTheRun)
 {
-    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    ExperimentConfig cfg = presets::small();
     cfg.workload.operationCount = 2000;
     cfg.threads = 8;
     const RunResult a = runExperiment(cfg);

@@ -11,6 +11,7 @@
 #include <tuple>
 
 #include "harness/experiment.h"
+#include "harness/presets.h"
 
 namespace checkin {
 namespace {
@@ -18,7 +19,7 @@ namespace {
 ExperimentConfig
 tinyConfig(CheckpointMode mode, const WorkloadSpec &wl)
 {
-    ExperimentConfig c = ExperimentConfig::smallScale();
+    ExperimentConfig c = presets::small();
     c.engine.mode = mode;
     c.engine.recordCount = 2000;
     c.workload = wl;

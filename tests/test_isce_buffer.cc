@@ -53,7 +53,7 @@ class IsceBuffer : public ::testing::Test
     {
         ssd_->submit(Command::write(src, {sector(base)},
                                     IoCause::Journal),
-                     [](Tick) {});
+                     [](const CmdResult &) {});
         eq_.run();
     }
 
@@ -61,15 +61,10 @@ class IsceBuffer : public ::testing::Test
     void
     checkpointSmall(Lba src, Lba dst, std::uint32_t chunks = 2)
     {
-        Command c;
-        c.type = CmdType::CheckpointRemap;
-        CowPair p;
-        p.src = src;
-        p.dst = dst;
-        p.chunks = chunks;
-        p.forceCopy = true;
-        c.pairs = {p};
-        ssd_->submit(std::move(c), [](Tick) {});
+        ssd_->submit(Command::checkpointRemap({CowPair::make(
+                         src, 0, dst, chunks, /*version=*/0,
+                         /*force_copy=*/true)}),
+                     [](const CmdResult &) {});
         eq_.run();
     }
 
@@ -140,7 +135,7 @@ TEST_F(IsceBuffer, HostWriteInvalidatesBufferedEntry)
     writeJournalRecord(0, 5);
     checkpointSmall(0, 100);
     ssd_->submit(Command::write(100, {sector(77)}, IoCause::Query),
-                 [](Tick) {});
+                 [](const CmdResult &) {});
     eq_.run();
     EXPECT_EQ(ssd_->isce().bufferedSectors(), 0u);
     SectorData out;
@@ -152,7 +147,7 @@ TEST_F(IsceBuffer, TrimInvalidatesBufferedEntry)
 {
     writeJournalRecord(0, 5);
     checkpointSmall(0, 100);
-    ssd_->submit(Command::trim(100, 1), [](Tick) {});
+    ssd_->submit(Command::trim(100, 1), [](const CmdResult &) {});
     eq_.run();
     EXPECT_EQ(ssd_->isce().bufferedSectors(), 0u);
     SectorData out;
@@ -166,14 +161,9 @@ TEST_F(IsceBuffer, RemapSupersedesBufferedEntry)
     checkpointSmall(0, 100);
     // Now a FULL (whole-unit) newer version remaps onto the target.
     writeJournalRecord(8, 9);
-    Command c;
-    c.type = CmdType::CheckpointRemap;
-    CowPair p;
-    p.src = 8;
-    p.dst = 100;
-    p.chunks = 4;
-    c.pairs = {p};
-    ssd_->submit(std::move(c), [](Tick) {});
+    ssd_->submit(
+        Command::checkpointRemap({CowPair::make(8, 0, 100, 4)}),
+        [](const CmdResult &) {});
     eq_.run();
     EXPECT_EQ(ssd_->isce().bufferedSectors(), 0u);
     SectorData out;
@@ -187,11 +177,8 @@ TEST_F(IsceBuffer, SurvivesJournalSourceDeletion)
     // journal logs afterwards must not lose the data (SPOR DRAM).
     writeJournalRecord(0, 5);
     checkpointSmall(0, 100);
-    Command del;
-    del.type = CmdType::DeleteLogs;
-    del.lba = 0;
-    del.nsect = 8;
-    ssd_->submit(std::move(del), [](Tick) {});
+    ssd_->submit(Command::deleteLogs(0, 8),
+                 [](const CmdResult &) {});
     eq_.run();
     SectorData out;
     ssd_->peek(100, 1, &out);
@@ -222,16 +209,10 @@ TEST_F(IsceBuffer, DisabledBufferCopiesImmediately)
     EventQueue &eq = ctx.events();
     Ssd ssd(ctx, smallNand(), fcfg, scfg);
     ssd.submit(Command::write(0, {sector(5)}, IoCause::Journal),
-               [](Tick) {});
-    Command c;
-    c.type = CmdType::CheckpointRemap;
-    CowPair p;
-    p.src = 0;
-    p.dst = 100;
-    p.chunks = 2;
-    p.forceCopy = true;
-    c.pairs = {p};
-    ssd.submit(std::move(c), [](Tick) {});
+               [](const CmdResult &) {});
+    ssd.submit(Command::checkpointRemap({CowPair::make(
+                   0, 0, 100, 2, /*version=*/0, /*force_copy=*/true)}),
+               [](const CmdResult &) {});
     eq.run();
     EXPECT_EQ(ssd.isce().bufferedSectors(), 0u);
     EXPECT_GT(ssd.ftl().stats().get("ftl.slotWrites.checkpoint"),

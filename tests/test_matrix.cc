@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "harness/experiment.h"
+#include "harness/presets.h"
 
 namespace checkin {
 namespace {
@@ -17,7 +18,7 @@ namespace {
 ExperimentConfig
 sweepConfig()
 {
-    ExperimentConfig c = ExperimentConfig::smallScale();
+    ExperimentConfig c = presets::small();
     c.engine.recordCount = 1500;
     c.workload = WorkloadSpec::a();
     c.workload.operationCount = 4'000;

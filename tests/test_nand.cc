@@ -118,7 +118,7 @@ TEST(NandFlash, TimingReadIsSenseThenTransfer)
     NandFlash nand(cfg);
     nand.program(0, contentWith(1), 0);
     const Tick idle = nand.allIdleAt();
-    const Tick done = nand.read(0, idle);
+    const Tick done = nand.read(0, idle).tick;
     EXPECT_EQ(done, idle + cfg.readLatency + cfg.pageTransferTime());
 }
 
@@ -129,8 +129,8 @@ TEST(NandFlash, TimingSameDieSerializes)
     nand.program(0, contentWith(1), 0);
     nand.program(1, contentWith(2), 0);
     const Tick idle = nand.allIdleAt();
-    const Tick r1 = nand.read(0, idle);
-    const Tick r2 = nand.read(1, idle);
+    const Tick r1 = nand.read(0, idle).tick;
+    const Tick r2 = nand.read(1, idle).tick;
     // Same die: second read waits for the first sense to finish.
     EXPECT_GE(r2, r1);
     EXPECT_GE(r2, idle + 2 * cfg.readLatency);
@@ -146,8 +146,8 @@ TEST(NandFlash, TimingDifferentDiesOverlap)
     nand.program(0, contentWith(1), 0);
     nand.program(other_die_page, contentWith(2), 0);
     const Tick idle = nand.allIdleAt();
-    const Tick r1 = nand.read(0, idle);
-    const Tick r2 = nand.read(other_die_page, idle);
+    const Tick r1 = nand.read(0, idle).tick;
+    const Tick r2 = nand.read(other_die_page, idle).tick;
     // Different die and channel: fully parallel.
     EXPECT_EQ(r1, r2);
 }

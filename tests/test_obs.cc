@@ -13,6 +13,7 @@
 #include <string>
 
 #include "harness/experiment.h"
+#include "harness/presets.h"
 #include "harness/run_export.h"
 #include "obs/artifacts.h"
 #include "obs/json.h"
@@ -231,7 +232,7 @@ namespace {
 ExperimentConfig
 tinyTracedConfig(const std::string &artifact_dir)
 {
-    ExperimentConfig cfg = ExperimentConfig::smallScale();
+    ExperimentConfig cfg = presets::small();
     cfg.workload.operationCount = 1200;
     cfg.threads = 8;
     cfg.obs.traceEnabled = true;

@@ -64,14 +64,17 @@ TEST_F(SsdTest, WriteThenReadCompletesViaEventQueue)
 {
     bool write_done = false;
     ssd_->submit(Command::write(0, sectors(1, 8), IoCause::Query),
-                 [&](Tick) { write_done = true; });
+                 [&](const CmdResult &) { write_done = true; });
     eq_.run();
     ASSERT_TRUE(write_done);
 
     bool read_done = false;
     Tick read_tick = 0;
     ssd_->submit(Command::read(0, 8),
-                 [&](Tick t) { read_done = true; read_tick = t; });
+                 [&](const CmdResult &r) {
+                     read_done = true;
+                     read_tick = r.require();
+                 });
     eq_.run();
     ASSERT_TRUE(read_done);
     EXPECT_GT(read_tick, 0u);
@@ -86,9 +89,9 @@ TEST_F(SsdTest, CompletionsAreOrderedPerResource)
 {
     std::vector<int> order;
     ssd_->submit(Command::write(0, sectors(1, 4), IoCause::Query),
-                 [&](Tick) { order.push_back(1); });
+                 [&](const CmdResult &) { order.push_back(1); });
     ssd_->submit(Command::write(8, sectors(2, 4), IoCause::Query),
-                 [&](Tick) { order.push_back(2); });
+                 [&](const CmdResult &) { order.push_back(2); });
     eq_.run();
     EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
@@ -96,8 +99,8 @@ TEST_F(SsdTest, CompletionsAreOrderedPerResource)
 TEST_F(SsdTest, TrimDiscardsData)
 {
     ssd_->submit(Command::write(0, sectors(5, 4), IoCause::Query),
-                 [](Tick) {});
-    ssd_->submit(Command::trim(0, 4), [](Tick) {});
+                 [](const CmdResult &) {});
+    ssd_->submit(Command::trim(0, 4), [](const CmdResult &) {});
     eq_.run();
     std::vector<SectorData> out(4);
     ssd_->peek(0, 4, out.data());
@@ -108,16 +111,10 @@ TEST_F(SsdTest, TrimDiscardsData)
 TEST_F(SsdTest, CowSingleCopiesRecord)
 {
     ssd_->submit(Command::write(0, sectors(3, 2), IoCause::Journal),
-                 [](Tick) {});
-    Command cow;
-    cow.type = CmdType::CowSingle;
-    CowPair p;
-    p.src = 0;
-    p.srcChunkShift = 0;
-    p.dst = 100;
-    p.chunks = 8; // two full sectors
-    cow.pairs = {p};
-    ssd_->submit(std::move(cow), [](Tick) {});
+                 [](const CmdResult &) {});
+    // Two full sectors.
+    ssd_->submit(Command::cowSingle(CowPair::make(0, 0, 100, 8)),
+                 [](const CmdResult &) {});
     eq_.run();
     std::vector<SectorData> out(2);
     ssd_->peek(100, 2, out.data());
@@ -134,16 +131,9 @@ TEST_F(SsdTest, CowChunkShiftExtractsSubSectorRecord)
     // Record of 2 chunks starting at chunk 1 of sector 0.
     auto payload = sectors(9, 1);
     ssd_->submit(Command::write(0, {payload[0]}, IoCause::Journal),
-                 [](Tick) {});
-    Command cow;
-    cow.type = CmdType::CowSingle;
-    CowPair p;
-    p.src = 0;
-    p.srcChunkShift = 1;
-    p.dst = 100;
-    p.chunks = 2;
-    cow.pairs = {p};
-    ssd_->submit(std::move(cow), [](Tick) {});
+                 [](const CmdResult &) {});
+    ssd_->submit(Command::cowSingle(CowPair::make(0, 1, 100, 2)),
+                 [](const CmdResult &) {});
     eq_.run();
     std::vector<SectorData> out(1);
     ssd_->peek(100, 1, out.data());
@@ -156,19 +146,14 @@ TEST_F(SsdTest, CowChunkShiftExtractsSubSectorRecord)
 TEST_F(SsdTest, CheckpointRemapUsesMappingNotCopies)
 {
     ssd_->submit(Command::write(0, sectors(4, 1), IoCause::Journal),
-                 [](Tick) {});
+                 [](const CmdResult &) {});
     eq_.run();
     const std::uint64_t writes_before =
         ssd_->ftl().stats().get("ftl.slotWrites");
-    Command ckpt;
-    ckpt.type = CmdType::CheckpointRemap;
-    CowPair p;
-    p.src = 0;
-    p.srcChunkShift = 0;
-    p.dst = 100;
-    p.chunks = 4; // exactly one 512 B unit
-    ckpt.pairs = {p};
-    ssd_->submit(std::move(ckpt), [](Tick) {});
+    // Exactly one 512 B unit.
+    ssd_->submit(
+        Command::checkpointRemap({CowPair::make(0, 0, 100, 4)}),
+        [](const CmdResult &) {});
     eq_.run();
     EXPECT_EQ(ssd_->ftl().stats().get("ftl.remaps"), 1u);
     EXPECT_EQ(ssd_->ftl().stats().get("ftl.slotWrites"),
@@ -181,17 +166,12 @@ TEST_F(SsdTest, CheckpointRemapUsesMappingNotCopies)
 TEST_F(SsdTest, CheckpointRemapFallsBackToCopyWhenUnaligned)
 {
     ssd_->submit(Command::write(0, sectors(4, 2), IoCause::Journal),
-                 [](Tick) {});
+                 [](const CmdResult &) {});
     eq_.run();
-    Command ckpt;
-    ckpt.type = CmdType::CheckpointRemap;
-    CowPair p;
-    p.src = 0;
-    p.srcChunkShift = 2; // sub-sector start: cannot remap
-    p.dst = 100;
-    p.chunks = 4;
-    ckpt.pairs = {p};
-    ssd_->submit(std::move(ckpt), [](Tick) {});
+    // Sub-sector start: cannot remap.
+    ssd_->submit(
+        Command::checkpointRemap({CowPair::make(0, 2, 100, 4)}),
+        [](const CmdResult &) {});
     eq_.run();
     EXPECT_EQ(ssd_->ftl().stats().get("ftl.remaps"), 0u);
     EXPECT_GT(ssd_->ftl().stats().get("ftl.slotWrites.checkpoint"),
@@ -201,17 +181,13 @@ TEST_F(SsdTest, CheckpointRemapFallsBackToCopyWhenUnaligned)
 TEST_F(SsdTest, ForceCopyOverridesRemapEligibility)
 {
     ssd_->submit(Command::write(0, sectors(4, 1), IoCause::Journal),
-                 [](Tick) {});
+                 [](const CmdResult &) {});
     eq_.run();
-    Command ckpt;
-    ckpt.type = CmdType::CheckpointRemap;
-    CowPair p;
-    p.src = 0;
-    p.dst = 100;
-    p.chunks = 4;
-    p.forceCopy = true; // merged-record flag
-    ckpt.pairs = {p};
-    ssd_->submit(std::move(ckpt), [](Tick) {});
+    // forceCopy is the merged-record flag.
+    ssd_->submit(Command::checkpointRemap({CowPair::make(
+                     0, 0, 100, 4, /*version=*/0,
+                     /*force_copy=*/true)}),
+                 [](const CmdResult &) {});
     eq_.run();
     EXPECT_EQ(ssd_->ftl().stats().get("ftl.remaps"), 0u);
 }
@@ -219,12 +195,9 @@ TEST_F(SsdTest, ForceCopyOverridesRemapEligibility)
 TEST_F(SsdTest, DeleteLogsTrimsAndCountsDeallocation)
 {
     ssd_->submit(Command::write(0, sectors(1, 8), IoCause::Journal),
-                 [](Tick) {});
-    Command del;
-    del.type = CmdType::DeleteLogs;
-    del.lba = 0;
-    del.nsect = 8;
-    ssd_->submit(std::move(del), [](Tick) {});
+                 [](const CmdResult &) {});
+    ssd_->submit(Command::deleteLogs(0, 8),
+                 [](const CmdResult &) {});
     eq_.run();
     std::vector<SectorData> out(8);
     ssd_->peek(0, 8, out.data());
@@ -242,7 +215,7 @@ TEST_F(SsdTest, ReadLatencyExceedsFlashRead)
     EventQueue &eq = ctx.events();
     Ssd ssd(ctx, smallNand(), ftl_cfg, SsdConfig{});
     ssd.submit(Command::write(0, sectors(1, 1), IoCause::Query),
-               [](Tick) {});
+               [](const CmdResult &) {});
     eq.run();
     // Force the open page out so the read touches flash.
     ssd.ftl().flushOpenPages(eq.now());
@@ -250,7 +223,7 @@ TEST_F(SsdTest, ReadLatencyExceedsFlashRead)
     eq.run();
     const Tick start = eq.now();
     Tick done = 0;
-    ssd.submit(Command::read(0, 1), [&](Tick t) { done = t; });
+    ssd.submit(Command::read(0, 1), [&](const CmdResult &r) { done = r.require(); });
     eq.run();
     EXPECT_GE(done - start, smallNand().readLatency);
 }
@@ -258,12 +231,12 @@ TEST_F(SsdTest, ReadLatencyExceedsFlashRead)
 TEST_F(SsdTest, DataCacheServesRecentWrites)
 {
     ssd_->submit(Command::write(0, sectors(1, 8), IoCause::Query),
-                 [](Tick) {});
+                 [](const CmdResult &) {});
     eq_.run();
     ssd_->ftl().flushOpenPages(eq_.now());
     const std::uint64_t flash_reads =
         ssd_->nand().stats().get("nand.reads");
-    ssd_->submit(Command::read(0, 8), [](Tick) {});
+    ssd_->submit(Command::read(0, 8), [](const CmdResult &) {});
     eq_.run();
     // Served from the device DRAM cache: no flash read happened.
     EXPECT_EQ(ssd_->nand().stats().get("nand.reads"), flash_reads);
@@ -283,7 +256,9 @@ TEST_F(SsdTest, WriteBackpressureKicksInUnderBurst)
     for (int i = 0; i < 64; ++i) {
         ssd.submit(Command::write(Lba(i) * 8, sectors(i, 8),
                                   IoCause::Query),
-                   [&](Tick t) { last = std::max(last, t); });
+                   [&](const CmdResult &r) {
+                       last = std::max(last, r.require());
+                   });
     }
     eq.run();
     // With only 4 buffer pages, the later acks must wait for program
@@ -294,10 +269,10 @@ TEST_F(SsdTest, WriteBackpressureKicksInUnderBurst)
 
 TEST_F(SsdTest, CommandStatsTracked)
 {
-    ssd_->submit(Command::read(0, 1), [](Tick) {});
+    ssd_->submit(Command::read(0, 1), [](const CmdResult &) {});
     ssd_->submit(Command::write(0, sectors(1, 1), IoCause::Query),
-                 [](Tick) {});
-    ssd_->submit(Command::trim(0, 1), [](Tick) {});
+                 [](const CmdResult &) {});
+    ssd_->submit(Command::trim(0, 1), [](const CmdResult &) {});
     eq_.run();
     EXPECT_EQ(ssd_->stats().get("ssd.cmd.read"), 1u);
     EXPECT_EQ(ssd_->stats().get("ssd.cmd.write"), 1u);

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/presets.h"
 #include "harness/run_export.h"
 #include "harness/sweep.h"
 
@@ -22,7 +23,7 @@ namespace {
 ExperimentConfig
 smallCfg()
 {
-    ExperimentConfig c = ExperimentConfig::smallScale();
+    ExperimentConfig c = presets::small();
     c.workload.operationCount = 1'200;
     c.threads = 4;
     return c;

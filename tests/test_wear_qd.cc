@@ -111,14 +111,14 @@ TEST(QueueDepth, AdmissionStallsBeyondDepth)
     for (int i = 0; i < 8; ++i)
         payload[i] = sectorFor(std::uint64_t(i));
     ssd.submit(Command::write(0, payload, IoCause::Query),
-               [](Tick) {});
+               [](const CmdResult &) {});
     eq.run();
     ssd.ftl().flushOpenPages(eq.now());
     eq.schedule(ssd.quiesceTick(), [] {});
     eq.run();
     // A burst of 64 reads against depth 4 must stall admissions.
     for (int i = 0; i < 64; ++i)
-        ssd.submit(Command::read(Lba(i % 8), 1), [](Tick) {});
+        ssd.submit(Command::read(Lba(i % 8), 1), [](const CmdResult &) {});
     eq.run();
     EXPECT_GT(ssd.stats().get("ssd.queueFullStalls"), 0u);
 }
@@ -134,7 +134,7 @@ TEST(QueueDepth, DeepQueueDoesNotStallLightLoad)
     for (int i = 0; i < 32; ++i) {
         ssd.submit(Command::write(Lba(i), {sectorFor(1)},
                                   IoCause::Query),
-                   [](Tick) {});
+                   [](const CmdResult &) {});
         eq.run();
     }
     EXPECT_EQ(ssd.stats().get("ssd.queueFullStalls"), 0u);
