@@ -10,6 +10,7 @@
 #define CHECKIN_BENCH_BENCH_COMMON_H_
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -67,6 +68,41 @@ inline const char *
 modeName(CheckpointMode m)
 {
     return checkpointModeName(m);
+}
+
+/**
+ * The sweep outcome carrying @p label. Aborts loudly when the sweep
+ * has no such point: positional indexing into a sweep silently
+ * misattributes rows when an axis is reordered, so benches must look
+ * points up by the label the grid generated.
+ */
+inline const SweepOutcome &
+outcomeByLabel(const std::vector<SweepOutcome> &outcomes,
+               const std::string &label)
+{
+    for (const SweepOutcome &o : outcomes) {
+        if (o.label == label)
+            return o;
+    }
+    std::fprintf(stderr,
+                 "fatal: no sweep outcome labeled '%s' (have:",
+                 label.c_str());
+    for (const SweepOutcome &o : outcomes)
+        std::fprintf(stderr, " '%s'", o.label.c_str());
+    std::fprintf(stderr, ")\n");
+    std::abort();
+}
+
+/** Tail dwell per stage summed over all op classes. */
+inline std::array<Tick, obs::kStageCount>
+tailStageTotals(const obs::AttributionSummary &s)
+{
+    std::array<Tick, obs::kStageCount> tot{};
+    for (const obs::ClassBreakdown &cb : s.tailPerClass) {
+        for (std::size_t st = 0; st < obs::kStageCount; ++st)
+            tot[st] += cb.dwell[st];
+    }
+    return tot;
 }
 
 /**

@@ -319,6 +319,11 @@ fullStack(BenchReport &report, bool quick)
     // command type, so any Ssd::Completion (or event callback) that
     // outgrows the inline buffer shows up here as a heap fallback.
     const std::uint64_t fb_before = Ssd::Completion::heapFallbacks();
+    // Second gate: an installed-but-disabled attribution collector
+    // must stay untouched through whole runs — the probes compile to
+    // a pointer + flag check, never a token acquire or an allocation.
+    obs::AttributionCollector attr_guard;
+    obs::AttributionScope attr_scope(&attr_guard);
     for (const CheckpointMode mode :
          {CheckpointMode::Baseline, CheckpointMode::CheckIn}) {
         cfg.engine.mode = mode;
@@ -347,7 +352,18 @@ fullStack(BenchReport &report, bool quick)
                      (unsigned long long)fb);
         std::exit(1);
     }
+    if (attr_guard.poolSize() != 0 || attr_guard.liveTokens() != 0 ||
+        attr_guard.storageBytes() != 0) {
+        std::fprintf(stderr,
+                     "FAIL: disabled attribution collector was "
+                     "touched (pool %zu, live %zu, bytes %llu)\n",
+                     attr_guard.poolSize(), attr_guard.liveTokens(),
+                     (unsigned long long)attr_guard.storageBytes());
+        std::exit(1);
+    }
     std::printf("\nssd completion heap fallbacks: 0 (asserted)\n");
+    std::printf("disabled-attribution storage/tokens: 0 "
+                "(asserted)\n");
 }
 
 } // namespace

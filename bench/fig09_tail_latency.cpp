@@ -24,6 +24,8 @@ main(int argc, char **argv)
     base.workload = WorkloadSpec::a();
     base.workload.operationCount = 40'000;
     base.threads = 128;
+    // Per-op stage attribution feeds the tail-breakdown table below.
+    base.obs.attributionEnabled = true;
 
     SweepGrid grid(base);
     std::vector<SweepGrid::Value> dist_values;
@@ -46,29 +48,77 @@ main(int argc, char **argv)
     const std::vector<SweepOutcome> outcomes =
         runBenchSweep(grid.points(), opts, report);
 
-    std::size_t i = 0;
     for (Distribution dist : dists) {
+        const std::string prefix =
+            std::string(distributionName(dist)) + "-";
         printHeader("Fig 9", (std::string("tail latency, YCSB-A, ") +
                               distributionName(dist) +
                               " distribution, 128 threads")
                                  .c_str());
         Table t({"mode", "avg us", "p99 us", "p99.9 us",
                  "p99.99 us"});
-        const std::size_t first = i;
-        for (std::size_t m = 0; m < kAllModes.size(); ++m, ++i) {
-            const auto &h = outcomes[i].result.client.all;
-            t.addRow({modeName(kAllModes[m]),
+        for (CheckpointMode mode : kAllModes) {
+            const SweepOutcome &o =
+                outcomeByLabel(outcomes, prefix + modeName(mode));
+            const auto &h = o.result.client.all;
+            t.addRow({modeName(mode),
                       Table::num(h.mean() / 1e3, 1),
                       Table::num(double(h.quantile(0.99)) / 1e3, 1),
                       Table::num(double(h.quantile(0.999)) / 1e3, 1),
                       Table::num(double(h.quantile(0.9999)) / 1e3,
                                  1)});
-            report.add(outcomes[i].label, outcomes[i].result);
+            report.add(o.label, o.result);
         }
         std::printf("%s", t.render().c_str());
-        const auto &base_r = outcomes[first + 0].result;
-        const auto &iscc_r = outcomes[first + 3].result;
-        const auto &ours_r = outcomes[first + 4].result;
+
+        // Where the tail ops spend their time, per mode: share of
+        // the tail dwell attributed to each pipeline stage.
+        std::array<bool, obs::kStageCount> used{};
+        for (CheckpointMode mode : kAllModes) {
+            const auto tot = tailStageTotals(
+                outcomeByLabel(outcomes, prefix + modeName(mode))
+                    .result.attribution);
+            for (std::size_t s = 0; s < obs::kStageCount; ++s)
+                used[s] = used[s] || tot[s] > 0;
+        }
+        std::vector<std::string> cols{"mode", "tail ops"};
+        for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+            if (used[s])
+                cols.push_back(
+                    std::string(obs::stageName(obs::Stage(s))) +
+                    " %");
+        }
+        Table attr_t(cols);
+        for (CheckpointMode mode : kAllModes) {
+            const obs::AttributionSummary &sum =
+                outcomeByLabel(outcomes, prefix + modeName(mode))
+                    .result.attribution;
+            const auto tot = tailStageTotals(sum);
+            Tick all = 0;
+            for (const Tick d : tot)
+                all += d;
+            std::vector<std::string> row{
+                modeName(mode), std::to_string(sum.tailOps)};
+            for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+                if (used[s])
+                    row.push_back(Table::num(
+                        all == 0 ? 0.0
+                                 : 100.0 * double(tot[s]) /
+                                       double(all),
+                        1));
+            }
+            attr_t.addRow(row);
+        }
+        std::printf("\ntail-op stage attribution "
+                    "(>= p%g of end-to-end latency):\n%s",
+                    100.0 * base.obs.attrTailQuantile,
+                    attr_t.render().c_str());
+        const auto &base_r =
+            outcomeByLabel(outcomes, prefix + "Baseline").result;
+        const auto &iscc_r =
+            outcomeByLabel(outcomes, prefix + "ISC-C").result;
+        const auto &ours_r =
+            outcomeByLabel(outcomes, prefix + "Check-In").result;
         const double red999 =
             1.0 - double(ours_r.client.all.quantile(0.999)) /
                       double(base_r.client.all.quantile(0.999));

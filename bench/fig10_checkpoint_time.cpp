@@ -26,6 +26,8 @@ main(int argc, char **argv)
     ExperimentConfig base = presets::paper();
     base.engine.lockQueriesDuringCheckpoint = true;
     base.workload = WorkloadSpec::a();
+    // The per-checkpoint phase timeline feeds the breakdown below.
+    base.obs.attributionEnabled = true;
 
     const std::vector<std::uint32_t> thread_axis{4, 8, 16, 32,
                                                  64, 128};
@@ -54,18 +56,53 @@ main(int argc, char **argv)
 
     Table t({"threads", "Baseline", "ISC-A", "ISC-B", "ISC-C",
              "Check-In"});
-    std::size_t i = 0;
     for (std::uint32_t threads : thread_axis) {
+        const std::string prefix =
+            "t" + std::to_string(threads) + "-";
         std::vector<std::string> row{
             Table::num(std::uint64_t(threads))};
-        for (std::size_t m = 0; m < kAllModes.size(); ++m, ++i) {
-            const RunResult &r = outcomes[i].result;
-            row.push_back(Table::num(r.avgCheckpointMs, 2));
-            report.add(outcomes[i].label, r);
+        for (CheckpointMode mode : kAllModes) {
+            const SweepOutcome &o =
+                outcomeByLabel(outcomes, prefix + modeName(mode));
+            row.push_back(Table::num(o.result.avgCheckpointMs, 2));
+            report.add(o.label, o.result);
         }
         t.addRow(std::move(row));
     }
     std::printf("%s", t.render().c_str());
+
+    // Per-phase breakdown of the checkpoints at the paper's headline
+    // thread count, from the attribution subsystem's timeline.
+    printHeader("Fig 10", "per-checkpoint phase breakdown, "
+                          "128 threads (averages across the run's "
+                          "checkpoints)");
+    Table phases({"mode", "ckpts", "data ms", "meta ms", "delete ms",
+                  "CoW cmds", "remapped", "copied"});
+    for (CheckpointMode mode : kAllModes) {
+        const RunResult &r =
+            outcomeByLabel(outcomes,
+                           "t128-" + std::string(modeName(mode)))
+                .result;
+        const std::size_t n = r.checkpointTimeline.size();
+        double data = 0.0, meta = 0.0, del = 0.0;
+        std::uint64_t cow = 0, remapped = 0, copied = 0;
+        for (const obs::CheckpointStat &c : r.checkpointTimeline) {
+            data += double(c.dataDoneTick - c.startTick);
+            meta += double(c.metaDoneTick - c.dataDoneTick);
+            del += double(c.endTick - c.metaDoneTick);
+            cow += c.cowCommands;
+            remapped += c.remappedPairs;
+            copied += c.copiedPairs;
+        }
+        const double per = n == 0 ? 0.0 : 1.0 / double(n);
+        phases.addRow({modeName(mode), Table::num(std::uint64_t(n)),
+                       Table::num(data * per / double(kMsec), 2),
+                       Table::num(meta * per / double(kMsec), 2),
+                       Table::num(del * per / double(kMsec), 2),
+                       Table::num(cow), Table::num(remapped),
+                       Table::num(copied)});
+    }
+    std::printf("%s", phases.render().c_str());
     printPaperNote("checkpoint time grows with threads for the "
                    "copy-based schemes; Check-In stays nearly flat.");
     return 0;

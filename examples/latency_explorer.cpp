@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Run an attributed experiment and explain where the latency went.
+ *
+ * Runs a short YCSB workload with per-op latency attribution enabled,
+ * writes the artifact bundle (attribution.json, checkpoints.json,
+ * metrics, summary), and prints:
+ *  - the per-class stage breakdown of all ops,
+ *  - the tail-op attribution (which stages make the slow ops slow),
+ *  - the flight recorder's slowest ops with their full timelines,
+ *  - the per-checkpoint phase timeline.
+ *
+ * Usage: latency_explorer [out_dir] [mode] [ops]
+ *   out_dir: artifact directory (default "latency-out")
+ *   mode:    baseline | isc-a | isc-b | isc-c | checkin (default)
+ *   ops:     operation count (default 8000)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/presets.h"
+#include "obs/attribution.h"
+
+namespace {
+
+checkin::CheckpointMode
+parseMode(const std::string &s)
+{
+    using checkin::CheckpointMode;
+    if (s == "baseline")
+        return CheckpointMode::Baseline;
+    if (s == "isc-a")
+        return CheckpointMode::IscA;
+    if (s == "isc-b")
+        return CheckpointMode::IscB;
+    if (s == "isc-c")
+        return CheckpointMode::IscC;
+    if (s == "checkin")
+        return CheckpointMode::CheckIn;
+    std::fprintf(stderr, "unknown mode '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+void
+printBreakdown(const char *title,
+               const std::array<checkin::obs::ClassBreakdown,
+                                checkin::obs::kOpClassCount> &classes)
+{
+    using namespace checkin;
+    std::printf("%s\n", title);
+    for (std::size_t c = 0; c < obs::kOpClassCount; ++c) {
+        const obs::ClassBreakdown &cb = classes[c];
+        if (cb.ops == 0)
+            continue;
+        const Tick total = cb.totalTicks();
+        std::printf("  %-7s %8llu ops, avg %8.1f us\n",
+                    obs::opClassName(obs::OpClass(c)),
+                    (unsigned long long)cb.ops,
+                    double(total) / double(cb.ops) / double(kUsec));
+        for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+            if (cb.dwell[s] == 0)
+                continue;
+            std::printf("    %-16s %6.1f %%\n",
+                        obs::stageName(obs::Stage(s)),
+                        100.0 * double(cb.dwell[s]) /
+                            double(total));
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace checkin;
+    ExperimentConfig cfg = presets::small();
+    cfg.obs.attributionEnabled = true;
+    cfg.obs.artifactDir = argc > 1 ? argv[1] : "latency-out";
+    cfg.engine.mode = argc > 2 ? parseMode(argv[2])
+                               : CheckpointMode::CheckIn;
+    cfg.workload = WorkloadSpec::a();
+    cfg.workload.operationCount =
+        argc > 3 ? std::uint64_t(std::atoll(argv[3])) : 8'000;
+    // Low byte threshold so even the short default run crosses a few
+    // checkpoints and the timeline section has something to show.
+    cfg.engine.checkpointJournalBytes = 256 * kKiB;
+    cfg.threads = 16;
+    cfg.obs.runName = std::string("latency-") +
+                      checkpointModeName(cfg.engine.mode);
+
+    // Install the collector here so the records survive the run:
+    // runExperiment reuses an enabled ambient collector instead of
+    // creating its own (which would be gone once it returns).
+    obs::AttributionCollector attr;
+    attr.setEnabled(true);
+    obs::AttributionScope scope(&attr);
+    const RunResult r = runExperiment(cfg);
+
+    std::printf("=== attributed %s run, %llu ops ===\n\n",
+                checkpointModeName(cfg.engine.mode),
+                (unsigned long long)r.client.opsCompleted);
+    printBreakdown("all ops, per class:", r.attribution.perClass);
+    std::printf("\ntail (>= p%g, %llu ops at >= %.1f us):\n",
+                100.0 * r.attribution.tailQuantile,
+                (unsigned long long)r.attribution.tailOps,
+                double(r.attribution.tailThresholdTicks) /
+                    double(kUsec));
+    printBreakdown("", r.attribution.tailPerClass);
+
+    std::printf("\nflight recorder (slowest %zu ops):\n",
+                attr.flightRecorder().size());
+    for (const obs::OpRecord &rec : attr.flightRecorder().slowest()) {
+        std::printf("  %-7s issued %12llu  latency %8.1f us:",
+                    obs::opClassName(rec.cls),
+                    (unsigned long long)rec.issued,
+                    double(rec.latency()) / double(kUsec));
+        for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+            if (rec.dwell[s] == 0)
+                continue;
+            std::printf(" %s=%.1fus",
+                        obs::stageName(obs::Stage(s)),
+                        double(rec.dwell[s]) / double(kUsec));
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\ncheckpoint timeline (%zu checkpoints):\n",
+                r.checkpointTimeline.size());
+    for (const obs::CheckpointStat &c : r.checkpointTimeline) {
+        std::printf("  #%llu %-13s data %7.2f ms, meta %6.2f ms, "
+                    "delete %6.2f ms | %llu entries "
+                    "(%llu full / %llu partial / %llu merged / "
+                    "%llu raw), %llu CoW cmds, %llu remapped, "
+                    "%llu copied\n",
+                    (unsigned long long)c.seq,
+                    obs::ckptTriggerName(c.trigger),
+                    double(c.dataDoneTick - c.startTick) /
+                        double(kMsec),
+                    double(c.metaDoneTick - c.dataDoneTick) /
+                        double(kMsec),
+                    double(c.endTick - c.metaDoneTick) /
+                        double(kMsec),
+                    (unsigned long long)c.entries,
+                    (unsigned long long)c.fullRecords,
+                    (unsigned long long)c.partialRecords,
+                    (unsigned long long)c.mergedRecords,
+                    (unsigned long long)c.rawRecords,
+                    (unsigned long long)c.cowCommands,
+                    (unsigned long long)c.remappedPairs,
+                    (unsigned long long)c.copiedPairs);
+    }
+
+    if (!r.artifacts.empty()) {
+        std::printf("\nartifacts in %s:\n", r.artifacts.dir.c_str());
+        for (const std::string &f : r.artifacts.files)
+            std::printf("  %s\n", f.c_str());
+    }
+    return 0;
+}

@@ -76,7 +76,8 @@ JournalManager::append(std::uint64_t key, std::uint32_t version,
                        std::uint32_t value_bytes, CommitCb cb)
 {
     buffer_.push_back(Pending{key, version, value_bytes,
-                              std::move(cb)});
+                              std::move(cb), 1,
+                              obs::attrCurrentOp()});
     startFlush();
 }
 
@@ -95,7 +96,8 @@ JournalManager::appendBatch(std::vector<BatchRecord> records)
     for (BatchRecord &r : records) {
         buffer_.push_back(Pending{
             r.key, r.version, r.valueBytes, std::move(r.cb),
-            head ? std::uint32_t(records.size()) : 1u});
+            head ? std::uint32_t(records.size()) : 1u,
+            obs::attrCurrentOp()});
         head = false;
     }
     stats_.add("engine.transactions");
@@ -151,6 +153,7 @@ JournalManager::startFlush()
         for (auto it = group.rbegin(); it != group.rend(); ++it)
             buffer_.push_front(std::move(*it));
         stalledForSpace_ = true;
+        stallStart_ = eq_.now();
         stats_.add("engine.journalStalls");
         obs::instant(obs::Cat::Engine, kJournalLane, "journal.stall",
                      eq_.now(), {{"bufferedLogs", buffer_.size()}});
@@ -349,6 +352,16 @@ JournalManager::submitGroup(std::vector<Placed> placed,
     }
     const Tick submitted = eq_.now();
     const std::uint64_t group_sectors = s1 - s0; // payload was moved
+    // Latency attribution: the group members' ops are replayed after
+    // the (synchronous) command processing below, so collect them now
+    // before `placed` moves into the completion. The completion lambda
+    // itself must not grow (Ssd::Completion inline-storage budget).
+    std::vector<obs::OpToken> member_ops;
+    if (obs::attributionOn()) {
+        member_ops.reserve(placed.size());
+        for (const Placed &pl : placed)
+            member_ops.push_back(pl.pending.op);
+    }
     ssd_.submit(std::move(cmd),
                 [this, half, submitted, group_sectors,
                  placed = std::move(placed)](const CmdResult &r) {
@@ -387,6 +400,24 @@ JournalManager::submitGroup(std::vector<Placed> placed,
             startFlush();
         }
     });
+    if (!member_ops.empty()) {
+        // Every stage boundary of the flush is known once the
+        // (synchronous) command processing above returned. Charge
+        // each member op's buffered wait — split around any space
+        // stall it sat through — then replay the device-stage
+        // segments captured for this command. All marks are monotone,
+        // so ops appended after the stall skip its window and a
+        // multi-record op absorbs repeats as no-ops.
+        obs::AttributionCollector *a = obs::installedAttribution();
+        for (obs::OpToken op : member_ops) {
+            if (op == obs::kNoOpToken)
+                continue;
+            a->mark(op, obs::Stage::JournalWait, stallStart_);
+            a->mark(op, obs::Stage::CheckpointStall, stallEnd_);
+            a->mark(op, obs::Stage::JournalWait, submitted);
+            a->applyCmdTo(op);
+        }
+    }
 }
 
 std::vector<JmtEntry>
@@ -403,6 +434,8 @@ JournalManager::beginCheckpoint()
     assert(appendChunk_[active_] == 0);
     // Resume flushing: the switch both clears any space stall and
     // ends the quiesce window that held buffered appends back.
+    if (stalledForSpace_)
+        stallEnd_ = eq_.now();
     stalledForSpace_ = false;
     startFlush();
     return snapshot;

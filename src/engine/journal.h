@@ -22,6 +22,7 @@
 
 #include "engine/engine_config.h"
 #include "engine/layout.h"
+#include "obs/attribution.h"
 #include "sim/event_queue.h"
 #include "sim/sim_context.h"
 #include "sim/stats.h"
@@ -175,6 +176,8 @@ class JournalManager
         CommitCb cb;
         /** Records in this batch (set on the head; 1 for singles). */
         std::uint32_t batchLen = 1;
+        /** Latency-attribution op the record belongs to. */
+        obs::OpToken op = obs::kNoOpToken;
     };
 
     struct Placed
@@ -207,6 +210,10 @@ class JournalManager
     std::deque<Pending> buffer_;
     bool flushInFlight_ = false;
     bool stalledForSpace_ = false;
+    /** Last space-stall window (attribution: records buffered across
+     *  it charge the window to CheckpointStall, not JournalWait). */
+    Tick stallStart_ = 0;
+    Tick stallEnd_ = 0;
     std::function<void()> quiesceCb_;
 
     std::uint8_t active_ = 0;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "engine/record.h"
+#include "obs/attribution.h"
 #include "obs/trace.h"
 
 namespace checkin {
@@ -16,6 +17,14 @@ namespace {
 
 /** Trace lane for checkpoint events (Cat::Engine). */
 constexpr std::uint32_t kCkptLane = 1;
+
+/** Sum of the device counters behind CheckpointStat::cowCommands. */
+std::uint64_t
+cowCommandCount(const StatRegistry &ds)
+{
+    return ds.get("ssd.cmd.cowSingle") + ds.get("ssd.cmd.cowMulti") +
+           ds.get("ssd.cmd.checkpointRemap");
+}
 
 } // namespace
 
@@ -30,7 +39,9 @@ KvEngine::KvEngine(SimContext &ctx, Ssd &ssd, const EngineConfig &cfg)
       journal_(ctx, ssd, layout_, cfg_, stats_),
       strategy_(CheckpointStrategy::create(ssd, layout_, cfg_, stats_))
 {
-    journal_.setPressureCallback([this] { requestCheckpoint(); });
+    journal_.setPressureCallback([this] {
+        requestCheckpoint(obs::CkptTrigger::SpacePressure);
+    });
     obs::nameLane(obs::Cat::Engine, kCkptLane, "checkpoint");
 }
 
@@ -99,7 +110,7 @@ KvEngine::start()
 void
 KvEngine::onCheckpointTimer()
 {
-    requestCheckpoint();
+    requestCheckpoint(obs::CkptTrigger::Timer);
     if (cfg_.checkpointInterval > 0)
         eq_.scheduleAfter(cfg_.checkpointInterval,
                           [this] { onCheckpointTimer(); });
@@ -127,11 +138,18 @@ KvEngine::drainDeferred()
 void
 KvEngine::get(std::uint64_t key, QueryCb cb)
 {
-    auto task = [this, key, cb = std::move(cb)]() mutable {
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, key, op, cb = std::move(cb)]() mutable {
+        // A deferred task ran later than scheduled; the gap was spent
+        // behind the checkpoint lock (monotone no-op otherwise).
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
         doGet(key, std::move(cb));
     };
     if (maybeDefer(task))
         return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
     eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
 }
 
@@ -139,11 +157,17 @@ void
 KvEngine::update(std::uint64_t key, std::uint32_t value_bytes,
                  QueryCb cb)
 {
-    auto task = [this, key, value_bytes, cb = std::move(cb)]() mutable {
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, key, value_bytes, op,
+                 cb = std::move(cb)]() mutable {
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
         doUpdate(key, value_bytes, std::move(cb));
     };
     if (maybeDefer(task))
         return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
     eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
 }
 
@@ -151,9 +175,14 @@ void
 KvEngine::readModifyWrite(std::uint64_t key,
                           std::uint32_t value_bytes, QueryCb cb)
 {
-    get(key, [this, key, value_bytes,
+    const obs::OpToken op = obs::attrCurrentOp();
+    get(key, [this, key, value_bytes, op,
               cb = std::move(cb)](const QueryResult &r1) mutable {
         const bool first_during = r1.duringCheckpoint;
+        // The continuation runs from a completion callback where the
+        // ambient current op is gone; re-scope it so the update leg
+        // attributes to the same op.
+        obs::AttrOpScope attr_scope(op);
         update(key, value_bytes,
                [cb = std::move(cb),
                 first_during](const QueryResult &r2) {
@@ -167,11 +196,16 @@ KvEngine::readModifyWrite(std::uint64_t key,
 void
 KvEngine::erase(std::uint64_t key, QueryCb cb)
 {
-    auto task = [this, key, cb = std::move(cb)]() mutable {
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, key, op, cb = std::move(cb)]() mutable {
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
         doErase(key, std::move(cb));
     };
     if (maybeDefer(task))
         return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
     eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
 }
 
@@ -179,12 +213,17 @@ void
 KvEngine::scan(std::uint64_t start_key, std::uint32_t count,
                QueryCb cb)
 {
-    auto task = [this, start_key, count,
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, start_key, count, op,
                  cb = std::move(cb)]() mutable {
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
         doScan(start_key, count, std::move(cb));
     };
     if (maybeDefer(task))
         return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
     eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
 }
 
@@ -263,7 +302,7 @@ KvEngine::doUpdate(std::uint64_t key, std::uint32_t value_bytes,
             if (!ckptInProgress_ &&
                 journal_.activeJournalBytes() >=
                     cfg_.checkpointJournalBytes) {
-                requestCheckpoint();
+                requestCheckpoint(obs::CkptTrigger::JournalBytes);
             }
             cb(QueryResult{done,
                            ckpt_at_submit || ckptInProgress_, true});
@@ -273,9 +312,12 @@ KvEngine::doUpdate(std::uint64_t key, std::uint32_t value_bytes,
 void
 KvEngine::updateBatch(std::vector<BatchOp> ops, QueryCb cb)
 {
-    auto task = [this, ops = std::move(ops),
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, ops = std::move(ops), op,
                  cb = std::move(cb)]() mutable {
         assert(!ops.empty());
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
         const bool ckpt_at_submit = ckptInProgress_;
         struct TxnState
         {
@@ -317,7 +359,8 @@ KvEngine::updateBatch(std::vector<BatchOp> ops, QueryCb cb)
                         if (!ckptInProgress_ &&
                             journal_.activeJournalBytes() >=
                                 cfg_.checkpointJournalBytes) {
-                            requestCheckpoint();
+                            requestCheckpoint(
+                                obs::CkptTrigger::JournalBytes);
                         }
                         txn->cb(QueryResult{
                             txn->last,
@@ -330,6 +373,8 @@ KvEngine::updateBatch(std::vector<BatchOp> ops, QueryCb cb)
     };
     if (maybeDefer(task))
         return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
     eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
 }
 
@@ -356,7 +401,7 @@ KvEngine::doErase(std::uint64_t key, QueryCb cb)
             if (!ckptInProgress_ &&
                 journal_.activeJournalBytes() >=
                     cfg_.checkpointJournalBytes) {
-                requestCheckpoint();
+                requestCheckpoint(obs::CkptTrigger::JournalBytes);
             }
             cb(QueryResult{done,
                            ckpt_at_submit || ckptInProgress_, true});
@@ -438,7 +483,7 @@ KvEngine::doScan(std::uint64_t start_key, std::uint32_t count,
 }
 
 void
-KvEngine::requestCheckpoint()
+KvEngine::requestCheckpoint(obs::CkptTrigger reason)
 {
     if (ckptInProgress_) {
         pendingCkptRequest_ = true;
@@ -450,6 +495,9 @@ KvEngine::requestCheckpoint()
         pendingCkptRequest_ = true;
         return;
     }
+    // The request that actually starts the checkpoint names it;
+    // coalesced earlier requests re-fire as Backlog.
+    ckptRec_.trigger = reason;
     startCheckpoint();
 }
 
@@ -469,6 +517,38 @@ KvEngine::startCheckpoint()
         auto entries = std::make_shared<std::vector<JmtEntry>>(
             journal_.beginCheckpoint());
         stats_.add("engine.ckptLatestEntries", entries->size());
+        if (obs::attributionOn()) {
+            const obs::CkptTrigger reason = ckptRec_.trigger;
+            ckptRec_ = obs::CheckpointStat{};
+            ckptRec_.trigger = reason;
+            ckptRec_.seq = ckptSeq_;
+            ckptRec_.startTick = ckptStart_;
+            for (const JmtEntry &e : *entries) {
+                ++ckptRec_.entries;
+                if (e.payloadBytes == 0)
+                    ++ckptRec_.tombstones;
+                switch (e.type) {
+                  case LogType::Raw: ++ckptRec_.rawRecords; break;
+                  case LogType::Full: ++ckptRec_.fullRecords; break;
+                  case LogType::Partial:
+                    ++ckptRec_.partialRecords;
+                    break;
+                  case LogType::Merged:
+                    ++ckptRec_.mergedRecords;
+                    break;
+                }
+            }
+            // Device-counter baselines; finishCheckpoint() turns
+            // them into per-checkpoint deltas.
+            const StatRegistry &ds = ssd_.stats();
+            ckptRec_.cowCommands = cowCommandCount(ds);
+            ckptRec_.remappedPairs = ds.get("isce.remappedPairs");
+            ckptRec_.remappedUnits = ds.get("isce.remappedUnits");
+            ckptRec_.copiedPairs = ds.get("isce.copiedPairs");
+            ckptRec_.copiedChunks = ds.get("isce.copiedChunks");
+            ckptRec_.bufferedSmallRecords =
+                ds.get("isce.bufferedSmallRecords");
+        }
         const std::uint8_t half = journal_.activeHalf() ^ 1;
         // Tombstones do not move data; they trim their targets.
         auto values = std::make_shared<std::vector<JmtEntry>>();
@@ -629,12 +709,33 @@ KvEngine::finishCheckpoint(std::uint8_t half, Tick t)
     stats_.add("engine.ckptTicks", t - ckptStart_);
     obs::span(obs::Cat::Engine, kCkptLane, "checkpoint", ckptStart_,
               t, {{"half", half}});
+    if (obs::attributionOn()) {
+        ckptRec_.dataDoneTick = ckptDataDone_;
+        ckptRec_.metaDoneTick = ckptMetaDone_;
+        ckptRec_.endTick = t;
+        const StatRegistry &ds = ssd_.stats();
+        ckptRec_.cowCommands =
+            cowCommandCount(ds) - ckptRec_.cowCommands;
+        ckptRec_.remappedPairs =
+            ds.get("isce.remappedPairs") - ckptRec_.remappedPairs;
+        ckptRec_.remappedUnits =
+            ds.get("isce.remappedUnits") - ckptRec_.remappedUnits;
+        ckptRec_.copiedPairs =
+            ds.get("isce.copiedPairs") - ckptRec_.copiedPairs;
+        ckptRec_.copiedChunks =
+            ds.get("isce.copiedChunks") - ckptRec_.copiedChunks;
+        ckptRec_.bufferedSmallRecords =
+            ds.get("isce.bufferedSmallRecords") -
+            ckptRec_.bufferedSmallRecords;
+        obs::attrNoteCheckpoint(ckptRec_);
+    }
+    ++ckptSeq_;
     drainDeferred();
     const bool threshold_hit =
         journal_.activeJournalBytes() >= cfg_.checkpointJournalBytes;
     if (pendingCkptRequest_ || threshold_hit) {
         pendingCkptRequest_ = false;
-        requestCheckpoint();
+        requestCheckpoint(obs::CkptTrigger::Backlog);
     }
 }
 

@@ -20,6 +20,8 @@
 #include "engine/journal.h"
 #include "engine/keymap.h"
 #include "engine/layout.h"
+#include "obs/attribution.h"
+#include "obs/flight_recorder.h"
 #include "sim/event_queue.h"
 #include "sim/sim_context.h"
 #include "sim/stats.h"
@@ -115,8 +117,10 @@ class KvEngine
     // ------------------------------------------------------------------
     // Checkpoint control
     // ------------------------------------------------------------------
-    /** Start a checkpoint now if possible, else mark one pending. */
-    void requestCheckpoint();
+    /** Start a checkpoint now if possible, else mark one pending.
+     *  @p reason is recorded in the checkpoint phase timeline. */
+    void requestCheckpoint(
+        obs::CkptTrigger reason = obs::CkptTrigger::Manual);
     bool checkpointInProgress() const { return ckptInProgress_; }
     /** Completed checkpoint durations, in ticks. */
     const std::vector<Tick> &
@@ -201,6 +205,11 @@ class KvEngine
     Tick ckptDataDone_ = 0; //!< data movement (strategy+trims) end
     Tick ckptMetaDone_ = 0; //!< catalog persistence end
     std::vector<Tick> ckptDurations_;
+    /** In-flight checkpoint's phase-timeline record (attribution);
+     *  device counters hold their start-of-checkpoint baselines
+     *  until finishCheckpoint() turns them into deltas. */
+    obs::CheckpointStat ckptRec_;
+    std::uint64_t ckptSeq_ = 0;
     std::deque<std::function<void()>> deferred_;
 };
 

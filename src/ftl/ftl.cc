@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/attribution.h"
 #include "sim/rng.h"
 
 namespace checkin {
@@ -153,6 +154,9 @@ Ftl::mapAccess(Lpn lpn, Tick earliest)
     // as a hash spread over the array.
     const auto die = std::uint32_t(mix64(seg) %
                                    nand_.config().dieCount());
+    // The aux read's NAND occupancy is map-fetch time from the op's
+    // point of view.
+    obs::AttrStageScope attr_map(obs::Stage::FtlMap);
     return nand_.chargeAuxRead(die, earliest);
 }
 
@@ -252,6 +256,8 @@ Ftl::handleProgramFail(Ppn failed_ppn, Tick now)
 {
     const NandConfig &nc = nand_.config();
     const Pbn bad = failed_ppn / nc.pagesPerBlock;
+    // Rescue migration is reclaim work on the op's critical path.
+    obs::AttrStageScope attr_gc(obs::Stage::GcStall);
     badBlock_[bad] = 1;
     // Retire before migrating: the block must be out of the free
     // pool and detached from its stream before allocateSlot runs, or
@@ -693,6 +699,9 @@ Ftl::gcOnce(Tick earliest, bool background)
 
     stats_.add("gc.invocations");
     stats_.add(background ? "gc.background" : "gc.inline");
+    // Inline GC inside a host command is a stall on that op's path;
+    // background GC runs with no active command and marks nothing.
+    obs::AttrStageScope attr_gc(obs::Stage::GcStall);
     obs::instant(obs::Cat::Ftl, kFtlLane, "gc.victim", earliest,
                  {{"victim", victim},
                   {"valid", bm_.validCount(victim)},

@@ -98,6 +98,23 @@ runExperiment(const ExperimentConfig &cfg)
         }
     }
     ctx.setTracer(tracer);
+
+    // Same reuse discipline for the latency-attribution collector:
+    // an enabled ambient collector (installed by the caller) keeps
+    // the op records; otherwise a run-local one serves the run.
+    obs::AttributionCollector own_attr;
+    obs::AttributionCollector *attr = nullptr;
+    if (cfg.obs.attributionEnabled) {
+        if (obs::attributionOn()) {
+            attr = obs::installedAttribution();
+        } else {
+            own_attr.setEnabled(true);
+            attr = &own_attr;
+        }
+        attr->setFlightRecorderK(cfg.obs.attrFlightRecorderK);
+    }
+    ctx.setAttribution(attr);
+
     obs::MetricsRegistry metrics;
     ctx.setMetrics(&metrics);
     SimContextScope active(ctx);
@@ -132,6 +149,8 @@ runExperiment(const ExperimentConfig &cfg)
         // covers exactly the measured run.
         tracer->clear();
     }
+    if (attr != nullptr)
+        attr->clearForMeasurement();
 
     const bool want_artifacts = !cfg.obs.artifactDir.empty();
 
@@ -250,6 +269,50 @@ runExperiment(const ExperimentConfig &cfg)
     metrics.set(metrics.counter("sim.dispatchedEvents"),
                 eq.dispatched());
 
+    if (attr != nullptr) {
+        r.attribution = attr->summary(cfg.obs.attrTailQuantile);
+        r.checkpointTimeline = attr->checkpoints();
+
+        // Surface the breakdown in the metrics registry: total dwell
+        // per stage as counters, per-class x per-stage latency
+        // histograms built from the retained op records.
+        metrics.set(metrics.counter("attr.ops"),
+                    r.attribution.totalOps);
+        metrics.set(metrics.counter("attr.tailOps"),
+                    r.attribution.tailOps);
+        for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+            Tick total = 0;
+            for (const obs::ClassBreakdown &c :
+                 r.attribution.perClass) {
+                total += c.dwell[s];
+            }
+            if (total > 0) {
+                metrics.set(
+                    metrics.counter(
+                        std::string("attr.dwell.") +
+                        obs::stageName(obs::Stage(s))),
+                    total);
+            }
+        }
+        obs::MetricId ids[obs::kOpClassCount][obs::kStageCount];
+        bool have[obs::kOpClassCount][obs::kStageCount] = {};
+        for (const obs::OpRecord &rec : attr->ops()) {
+            const auto c = std::size_t(rec.cls);
+            for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+                if (rec.dwell[s] == 0)
+                    continue;
+                if (!have[c][s]) {
+                    ids[c][s] = metrics.histogram(
+                        std::string("attr.") +
+                        obs::opClassName(rec.cls) + "." +
+                        obs::stageName(obs::Stage(s)));
+                    have[c][s] = true;
+                }
+                metrics.observe(ids[c][s], rec.dwell[s]);
+            }
+        }
+    }
+
     if (want_artifacts) {
         metrics.importStats(ssd.nand().stats());
         metrics.importStats(ssd.ftl().stats());
@@ -262,6 +325,13 @@ runExperiment(const ExperimentConfig &cfg)
         writer.writeText("metrics.json", metrics.toJson());
         writer.writeText("metrics.csv", metrics.scalarsCsv());
         writer.writeText("series.csv", metrics.seriesCsv());
+        if (attr != nullptr) {
+            writer.writeText(
+                "attribution.json",
+                attr->toJson(cfg.obs.attrTailQuantile));
+            writer.writeText("checkpoints.json",
+                             attr->checkpointsJson());
+        }
         writer.writeText("summary.json", runResultJson(r));
         r.artifacts = writer.bundle();
     }

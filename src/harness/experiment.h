@@ -17,6 +17,7 @@
 #include "ftl/ftl_config.h"
 #include "nand/nand_config.h"
 #include "obs/artifacts.h"
+#include "obs/attribution.h"
 #include "sim/histogram.h"
 #include "ssd/ssd_config.h"
 #include "workload/client.h"
@@ -121,6 +122,13 @@ struct RunResult
 
     /** Artifact files written for this run (empty unless requested). */
     obs::ArtifactBundle artifacts;
+
+    /** Per-op latency attribution (enabled=false unless
+     *  cfg.obs.attributionEnabled was set). */
+    obs::AttributionSummary attribution;
+
+    /** Per-checkpoint phase timeline (same gating). */
+    std::vector<obs::CheckpointStat> checkpointTimeline;
 
     /** Space overhead: stored journal bytes / payload bytes - 1. */
     double

@@ -21,12 +21,51 @@ histJson(obs::JsonWriter &w, const std::string &key,
     w.endObject();
 }
 
+void
+classBreakdownsJson(
+    obs::JsonWriter &w, const std::string &key,
+    const std::array<obs::ClassBreakdown, obs::kOpClassCount> &cls)
+{
+    w.key(key).beginObject();
+    for (std::size_t c = 0; c < obs::kOpClassCount; ++c) {
+        const obs::ClassBreakdown &b = cls[c];
+        if (b.ops == 0)
+            continue;
+        w.key(obs::opClassName(obs::OpClass(c))).beginObject();
+        w.kv("ops", b.ops);
+        w.key("stages").beginObject();
+        for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+            if (b.dwell[s] != 0)
+                w.kv(obs::stageName(obs::Stage(s)), b.dwell[s]);
+        }
+        w.endObject();
+        w.kv("totalTicks", b.totalTicks());
+        w.endObject();
+    }
+    w.endObject();
+}
+
 } // namespace
 
 void
 writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
 {
     w.beginObject();
+
+    w.key("attribution").beginObject();
+    if (r.attribution.enabled) {
+        classBreakdownsJson(w, "classes", r.attribution.perClass);
+        w.kv("enabled", true);
+        classBreakdownsJson(w, "tailClasses",
+                            r.attribution.tailPerClass);
+        w.kv("tailOps", r.attribution.tailOps);
+        w.kv("tailQuantile", r.attribution.tailQuantile);
+        w.kv("tailThresholdTicks", r.attribution.tailThresholdTicks);
+        w.kv("totalOps", r.attribution.totalOps);
+    } else {
+        w.kv("enabled", false);
+    }
+    w.endObject();
 
     w.kv("avgLatencyUs", r.avgLatencyUs);
 
@@ -40,6 +79,33 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     w.kv("maxMs", r.maxCheckpointMs);
     w.kv("metaTicks", r.ckptMetaTicks);
     w.endObject();
+
+    w.key("checkpointTimeline").beginArray();
+    for (const obs::CheckpointStat &c : r.checkpointTimeline) {
+        w.beginObject();
+        w.kv("bufferedSmallRecords", c.bufferedSmallRecords);
+        w.kv("copiedChunks", c.copiedChunks);
+        w.kv("copiedPairs", c.copiedPairs);
+        w.kv("cowCommands", c.cowCommands);
+        w.kv("dataTicks", c.dataDoneTick - c.startTick);
+        w.kv("deleteTicks", c.endTick - c.metaDoneTick);
+        w.kv("endTick", c.endTick);
+        w.kv("entries", c.entries);
+        w.kv("fullRecords", c.fullRecords);
+        w.kv("mergedRecords", c.mergedRecords);
+        w.kv("metaTicks", c.metaDoneTick - c.dataDoneTick);
+        w.kv("partialRecords", c.partialRecords);
+        w.kv("rawRecords", c.rawRecords);
+        w.kv("remappedPairs", c.remappedPairs);
+        w.kv("remappedUnits", c.remappedUnits);
+        w.kv("seq", c.seq);
+        w.kv("startTick", c.startTick);
+        w.kv("tombstones", c.tombstones);
+        w.kv("totalTicks", c.endTick - c.startTick);
+        w.kv("trigger", obs::ckptTriggerName(c.trigger));
+        w.endObject();
+    }
+    w.endArray();
 
     w.key("client").beginObject();
     histJson(w, "all", r.client.all);

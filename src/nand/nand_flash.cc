@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/attribution.h"
+
 namespace checkin {
 
 NandFlash::NandFlash(const NandConfig &cfg)
@@ -82,6 +84,8 @@ NandFlash::read(Ppn ppn, Tick earliest)
              : 0);
     const Tick sense_start = std::max(earliest, die.freeAt());
     const Tick sensed = die.reserve(earliest, sense_time);
+    obs::attrCmdMark(obs::Stage::NandWait, sense_start);
+    obs::attrCmdMark(obs::Stage::NandMedia, sensed);
     if (uncorrectable) {
         // ECC gave up: nothing valid to move across the channel.
         stats_.add(sUncorrectable_);
@@ -94,6 +98,8 @@ NandFlash::read(Ppn ppn, Tick earliest)
     }
     const Tick xfer_start = std::max(sensed, ch.freeAt());
     const Tick done = ch.reserve(sensed, cfg_.pageTransferTime());
+    obs::attrCmdMark(obs::Stage::NandWait, xfer_start);
+    obs::attrCmdMark(obs::Stage::NandMedia, done);
     if (obs::traceOn()) {
         const auto d = layout_.dieIndexOf(ppn);
         const auto c = layout_.channelIndexOf(ppn);
@@ -138,6 +144,10 @@ NandFlash::program(Ppn ppn, PageContent content, Tick earliest)
     const Tick loaded = ch.reserve(earliest, cfg_.pageTransferTime());
     const Tick prog_start = std::max(loaded, die.freeAt());
     const Tick done = die.reserve(loaded, cfg_.programLatency);
+    obs::attrCmdMark(obs::Stage::NandWait, xfer_start);
+    obs::attrCmdMark(obs::Stage::NandMedia, loaded);
+    obs::attrCmdMark(obs::Stage::NandWait, prog_start);
+    obs::attrCmdMark(obs::Stage::NandMedia, done);
     if (obs::traceOn()) {
         const auto d = layout_.dieIndexOf(ppn);
         const auto c = layout_.channelIndexOf(ppn);
@@ -163,6 +173,10 @@ NandFlash::chargeAuxRead(std::uint32_t die_index, Tick earliest)
     Resource &ch = channels_[ch_index];
     const Tick xfer_start = std::max(sensed, ch.freeAt());
     const Tick done = ch.reserve(sensed, cfg_.pageTransferTime());
+    obs::attrCmdMark(obs::Stage::NandWait, sense_start);
+    obs::attrCmdMark(obs::Stage::NandMedia, sensed);
+    obs::attrCmdMark(obs::Stage::NandWait, xfer_start);
+    obs::attrCmdMark(obs::Stage::NandMedia, done);
     if (obs::traceOn()) {
         obs::span(obs::Cat::Nand, dieLane(die_index), "nand.auxRead",
                   sense_start, sensed);
@@ -195,6 +209,8 @@ NandFlash::eraseBlock(Pbn pbn, Tick earliest)
     Resource &die = dieOf(first);
     const Tick erase_start = std::max(earliest, die.freeAt());
     const Tick done = die.reserve(earliest, cfg_.eraseLatency);
+    obs::attrCmdMark(obs::Stage::NandWait, erase_start);
+    obs::attrCmdMark(obs::Stage::NandMedia, done);
     if (obs::traceOn()) {
         obs::span(obs::Cat::Nand, dieLane(layout_.dieIndexOf(first)),
                   failed ? "nand.eraseFail" : "nand.erase",

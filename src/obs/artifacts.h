@@ -9,6 +9,7 @@
 #ifndef CHECKIN_OBS_ARTIFACTS_H_
 #define CHECKIN_OBS_ARTIFACTS_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,21 @@ struct ObsOptions
 
     /** Bucket width for collected time series. */
     Tick seriesInterval = kMsec;
+
+    /**
+     * Collect per-op latency attribution and the checkpoint phase
+     * timeline (obs/attribution.h). Adds attribution.json and
+     * checkpoints.json to the bundle and fills
+     * RunResult::attribution / RunResult::checkpointTimeline.
+     */
+    bool attributionEnabled = false;
+
+    /** Tail cut for the attribution report (ops at or above this
+     *  latency quantile make the tail breakdown). */
+    double attrTailQuantile = 0.999;
+
+    /** Slowest-K ops retained by the flight recorder. */
+    std::uint32_t attrFlightRecorderK = 16;
 };
 
 /** Files written for one run. */

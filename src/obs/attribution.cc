@@ -1,0 +1,192 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace checkin::obs {
+
+OpToken
+AttributionCollector::beginOp(OpClass cls, Tick issued)
+{
+    OpToken op;
+    if (freeHead_ != kNoOpToken) {
+        op = freeHead_;
+        freeHead_ = pool_[op].nextFree;
+    } else {
+        op = OpToken(pool_.size());
+        pool_.emplace_back();
+    }
+    Slot &s = pool_[op];
+    s.cls = cls;
+    s.active = true;
+    s.issued = issued;
+    s.cursor = issued;
+    s.dwell.fill(0);
+    s.nextFree = kNoOpToken;
+    ++live_;
+    return op;
+}
+
+void
+AttributionCollector::mark(OpToken op, Stage stage, Tick up_to)
+{
+    assert(op < pool_.size());
+    Slot &s = pool_[op];
+    if (!s.active || up_to <= s.cursor)
+        return;
+    s.dwell[std::size_t(stage)] += up_to - s.cursor;
+    s.cursor = up_to;
+}
+
+void
+AttributionCollector::finishOp(OpToken op, Tick done)
+{
+    assert(op < pool_.size());
+    Slot &s = pool_[op];
+    if (!s.active)
+        return;
+    if (done > s.cursor) {
+        s.dwell[std::size_t(Stage::Other)] += done - s.cursor;
+        s.cursor = done;
+    }
+    OpRecord rec;
+    rec.cls = s.cls;
+    rec.issued = s.issued;
+    rec.done = done;
+    rec.dwell = s.dwell;
+    flight_.note(rec);
+    records_.push_back(rec);
+    s.active = false;
+    s.nextFree = freeHead_;
+    freeHead_ = op;
+    --live_;
+    if (current_ == op)
+        current_ = kNoOpToken;
+}
+
+void
+AttributionCollector::applyCmdTo(OpToken op)
+{
+    for (std::uint32_t i = 0; i < cmdSegCount_; ++i) {
+        const Tick up =
+            cmdDone_ != 0 ? std::min(cmdSegs_[i].upTo, cmdDone_)
+                          : cmdSegs_[i].upTo;
+        mark(op, cmdSegs_[i].stage, up);
+    }
+}
+
+void
+AttributionCollector::clearForMeasurement()
+{
+    records_.clear();
+    flight_.clear();
+    ckpts_.clear();
+}
+
+AttributionSummary
+AttributionCollector::summary(double tail_quantile) const
+{
+    AttributionSummary out;
+    out.enabled = true;
+    out.tailQuantile = tail_quantile;
+    out.totalOps = records_.size();
+    for (const OpRecord &r : records_) {
+        ClassBreakdown &cb = out.perClass[std::size_t(r.cls)];
+        ++cb.ops;
+        for (std::size_t s = 0; s < kStageCount; ++s)
+            cb.dwell[s] += r.dwell[s];
+    }
+    if (records_.empty())
+        return out;
+    std::vector<Tick> lats;
+    lats.reserve(records_.size());
+    for (const OpRecord &r : records_)
+        lats.push_back(r.latency());
+    std::sort(lats.begin(), lats.end());
+    const double q =
+        std::min(std::max(tail_quantile, 0.0), 1.0);
+    const std::size_t idx = std::min(
+        lats.size() - 1, std::size_t(q * double(lats.size())));
+    out.tailThresholdTicks = lats[idx];
+    for (const OpRecord &r : records_) {
+        if (r.latency() < out.tailThresholdTicks)
+            continue;
+        ++out.tailOps;
+        ClassBreakdown &cb = out.tailPerClass[std::size_t(r.cls)];
+        ++cb.ops;
+        for (std::size_t s = 0; s < kStageCount; ++s)
+            cb.dwell[s] += r.dwell[s];
+    }
+    return out;
+}
+
+namespace {
+
+void
+writeStages(JsonWriter &w, const std::array<Tick, kStageCount> &dwell)
+{
+    w.key("stages").beginObject();
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+        if (dwell[s] != 0)
+            w.kv(stageName(Stage(s)), dwell[s]);
+    }
+    w.endObject();
+}
+
+void
+writeClasses(JsonWriter &w,
+             const std::array<ClassBreakdown, kOpClassCount> &classes)
+{
+    w.beginObject();
+    for (std::size_t c = 0; c < kOpClassCount; ++c) {
+        const ClassBreakdown &cb = classes[c];
+        if (cb.ops == 0)
+            continue;
+        w.key(opClassName(OpClass(c))).beginObject();
+        w.kv("ops", cb.ops);
+        writeStages(w, cb.dwell);
+        w.kv("totalTicks", cb.totalTicks());
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+AttributionCollector::toJson(double tail_quantile) const
+{
+    const AttributionSummary sum = summary(tail_quantile);
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("classes");
+    writeClasses(w, sum.perClass);
+    w.key("flightRecorder").beginArray();
+    for (const OpRecord &r : flight_.slowest()) {
+        w.newline().beginObject();
+        w.kv("class", opClassName(r.cls));
+        w.kv("done", r.done);
+        w.kv("issued", r.issued);
+        w.kv("latencyTicks", r.latency());
+        writeStages(w, r.dwell);
+        w.endObject();
+    }
+    w.newline().endArray();
+    w.key("tail").beginObject();
+    w.key("classes");
+    writeClasses(w, sum.tailPerClass);
+    w.kv("ops", sum.tailOps);
+    w.kv("quantile", sum.tailQuantile);
+    w.kv("thresholdTicks", sum.tailThresholdTicks);
+    w.endObject();
+    w.kv("totalOps", sum.totalOps);
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+} // namespace checkin::obs

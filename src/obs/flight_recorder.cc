@@ -1,0 +1,167 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace checkin::obs {
+
+const char *
+stageName(Stage s)
+{
+    switch (s) {
+        case Stage::HostCpu:
+            return "hostCpu";
+        case Stage::CheckpointStall:
+            return "checkpointStall";
+        case Stage::JournalWait:
+            return "journalWait";
+        case Stage::SsdQueue:
+            return "ssdQueue";
+        case Stage::Firmware:
+            return "firmware";
+        case Stage::FtlMap:
+            return "ftlMap";
+        case Stage::DramCache:
+            return "dramCache";
+        case Stage::NandWait:
+            return "nandWait";
+        case Stage::NandMedia:
+            return "nandMedia";
+        case Stage::GcStall:
+            return "gcStall";
+        case Stage::Bus:
+            return "bus";
+        case Stage::Backpressure:
+            return "backpressure";
+        case Stage::Other:
+            return "other";
+    }
+    return "?";
+}
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+        case OpClass::Read:
+            return "read";
+        case OpClass::Update:
+            return "update";
+        case OpClass::Rmw:
+            return "rmw";
+        case OpClass::Scan:
+            return "scan";
+        case OpClass::Delete:
+            return "delete";
+    }
+    return "?";
+}
+
+const char *
+ckptTriggerName(CkptTrigger t)
+{
+    switch (t) {
+        case CkptTrigger::Manual:
+            return "manual";
+        case CkptTrigger::Timer:
+            return "timer";
+        case CkptTrigger::JournalBytes:
+            return "journalBytes";
+        case CkptTrigger::SpacePressure:
+            return "spacePressure";
+        case CkptTrigger::Backlog:
+            return "backlog";
+    }
+    return "?";
+}
+
+void
+FlightRecorder::note(const OpRecord &rec)
+{
+    const std::uint64_t seq = nextSeq_++;
+    if (k_ == 0)
+        return;
+    if (entries_.size() < k_) {
+        entries_.push_back(Entry{rec, seq});
+        return;
+    }
+    // Replace the smallest retained latency, but only on a strict
+    // improvement: ties keep the earliest op, so retention does not
+    // depend on scan order.
+    std::size_t min_i = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        const Entry &m = entries_[min_i];
+        if (e.rec.latency() < m.rec.latency() ||
+            (e.rec.latency() == m.rec.latency() && e.seq > m.seq))
+            min_i = i;
+    }
+    if (rec.latency() > entries_[min_i].rec.latency())
+        entries_[min_i] = Entry{rec, seq};
+}
+
+std::vector<OpRecord>
+FlightRecorder::slowest() const
+{
+    std::vector<Entry> sorted = entries_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.rec.latency() != b.rec.latency())
+                      return a.rec.latency() > b.rec.latency();
+                  return a.seq < b.seq;
+              });
+    std::vector<OpRecord> out;
+    out.reserve(sorted.size());
+    for (const Entry &e : sorted)
+        out.push_back(e.rec);
+    return out;
+}
+
+void
+FlightRecorder::clear()
+{
+    entries_.clear();
+    nextSeq_ = 0;
+}
+
+std::string
+CheckpointTimeline::toJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("checkpoints").beginArray();
+    for (const CheckpointStat &c : stats_) {
+        w.newline().beginObject();
+        w.kv("bufferedSmallRecords", c.bufferedSmallRecords);
+        w.kv("copiedChunks", c.copiedChunks);
+        w.kv("copiedPairs", c.copiedPairs);
+        w.kv("cowCommands", c.cowCommands);
+        w.kv("dataTicks", c.dataDoneTick - c.startTick);
+        w.kv("deleteTicks", c.endTick - c.metaDoneTick);
+        w.kv("endTick", c.endTick);
+        w.kv("entries", c.entries);
+        w.kv("fullRecords", c.fullRecords);
+        w.kv("mergedRecords", c.mergedRecords);
+        w.kv("metaTicks", c.metaDoneTick - c.dataDoneTick);
+        w.kv("partialRecords", c.partialRecords);
+        w.kv("rawRecords", c.rawRecords);
+        w.kv("remappedPairs", c.remappedPairs);
+        w.kv("remappedUnits", c.remappedUnits);
+        w.kv("seq", c.seq);
+        w.kv("startTick", c.startTick);
+        w.kv("tombstones", c.tombstones);
+        w.kv("totalTicks", c.endTick - c.startTick);
+        w.kv("trigger", ckptTriggerName(c.trigger));
+        w.endObject();
+    }
+    w.newline().endArray();
+    w.kv("count", std::uint64_t(stats_.size()));
+    w.endObject();
+    os << "\n";
+    return os.str();
+}
+
+} // namespace checkin::obs

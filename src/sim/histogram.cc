@@ -69,6 +69,12 @@ LatencyHistogram::quantile(double q) const
 {
     if (count_ == 0)
         return 0;
+    // The extremes are tracked exactly; don't pay bucket rounding
+    // there (q <= 0 is the recorded minimum, q >= 1 the maximum).
+    if (q <= 0.0)
+        return min();
+    if (q >= 1.0)
+        return max_;
     q = std::clamp(q, 0.0, 1.0);
     // Rank of the sample at quantile q (1-based, ceil convention).
     std::uint64_t rank = std::uint64_t(q * double(count_) + 0.5);

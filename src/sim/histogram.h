@@ -49,6 +49,8 @@ class LatencyHistogram
     /**
      * Value at quantile @p q in [0, 1]; e.g. 0.999 for p99.9.
      * Returns an upper bound of the bucket containing the quantile.
+     * Edge cases are exact: q <= 0 returns min(), q >= 1 returns
+     * max(), and an empty histogram returns 0 for every q.
      */
     std::uint64_t quantile(double q) const;
 

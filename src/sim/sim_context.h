@@ -28,6 +28,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/attribution.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
@@ -91,6 +92,10 @@ class SimContext
     obs::MetricsRegistry *metrics() const { return metrics_; }
     void setMetrics(obs::MetricsRegistry *m) { metrics_ = m; }
 
+    /** The run's latency-attribution collector (nullptr: off). */
+    obs::AttributionCollector *attribution() const { return attr_; }
+    void setAttribution(obs::AttributionCollector *a) { attr_ = a; }
+
     /** The run's fault plan (nullptr: fault-free hardware). */
     FaultPlan *faults() const { return faults_; }
     void setFaults(FaultPlan *f) { faults_ = f; }
@@ -102,6 +107,7 @@ class SimContext
     Rng rootRng_;
     obs::Tracer *tracer_ = nullptr;
     obs::MetricsRegistry *metrics_ = nullptr;
+    obs::AttributionCollector *attr_ = nullptr;
     FaultPlan *faults_ = nullptr;
 };
 
@@ -131,15 +137,19 @@ class SimContextScope
   public:
     explicit SimContextScope(SimContext &ctx)
         : prevCtx_(detail::t_current_context),
-          prevTracer_(obs::installedTracer())
+          prevTracer_(obs::installedTracer()),
+          prevAttr_(obs::installedAttribution())
     {
         detail::t_current_context = &ctx;
         if (ctx.tracer() != nullptr)
             obs::installTracer(ctx.tracer());
+        if (ctx.attribution() != nullptr)
+            obs::installAttribution(ctx.attribution());
     }
 
     ~SimContextScope()
     {
+        obs::installAttribution(prevAttr_);
         obs::installTracer(prevTracer_);
         detail::t_current_context = prevCtx_;
     }
@@ -150,6 +160,7 @@ class SimContextScope
   private:
     SimContext *prevCtx_;
     obs::Tracer *prevTracer_;
+    obs::AttributionCollector *prevAttr_;
 };
 
 } // namespace checkin

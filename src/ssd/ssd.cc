@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/attribution.h"
+
 namespace checkin {
 
 const char *
@@ -110,11 +112,20 @@ Ssd::processCommand(const Command &cmd)
 {
     stats_.add(sCmd_[std::size_t(cmd.type)]);
     const Tick now = eq_.now();
+    // Stage-boundary capture for latency attribution: the FTL and
+    // NAND layers append their own sub-stages while this command is
+    // active, and the finished segment list is replayed onto the op
+    // timeline (directly for query commands, per group member by the
+    // journal).
+    const bool attr = obs::attributionOn();
+    if (attr)
+        obs::installedAttribution()->cmdBegin();
     // cmdTypeName returns string literals, so the pointer is safe to
     // store in the trace buffer.
     obs::instant(obs::Cat::Ssd, kFrontendLane, cmdTypeName(cmd.type),
                  now, {{"lba", cmd.lba}, {"nsect", cmd.nsect}});
     const Tick admitted = admitCommand(now);
+    obs::attrCmdMark(obs::Stage::SsdQueue, admitted);
     const Tick fw_start = std::max(admitted, cpu_.freeAt());
     Tick t = cpu_.reserve(admitted, cfg_.commandOverhead);
     if (cmd.type == CmdType::Read || cmd.type == CmdType::Write) {
@@ -126,6 +137,7 @@ Ssd::processCommand(const Command &cmd)
     }
     // Firmware occupancy of the controller core (decode + lookup).
     obs::span(obs::Cat::Ssd, kFrontendLane, "ssd.fw", fw_start, t);
+    obs::attrCmdMark(obs::Stage::Firmware, t);
 
     CmdResult res;
     switch (cmd.type) {
@@ -160,7 +172,10 @@ Ssd::processCommand(const Command &cmd)
         // DRAM-buffered data still pays a small device-side access.
         const Tick served =
             data_ready == t ? t + cfg_.dramAccessTime : data_ready;
+        if (data_ready == t)
+            obs::attrCmdMark(obs::Stage::DramCache, served);
         res.tick = busTransfer(served, cmd.nsect * kSectorBytes);
+        obs::attrCmdMark(obs::Stage::Bus, res.tick);
         break;
       }
       case CmdType::Write: {
@@ -169,11 +184,13 @@ Ssd::processCommand(const Command &cmd)
         isce_.invalidateRange(cmd.lba, cmd.nsect);
         const Tick landed =
             busTransfer(t, cmd.nsect * kSectorBytes);
+        obs::attrCmdMark(obs::Stage::Bus, landed);
         const Tick ack = ftl_.writeSectors(
             cmd.lba, std::uint32_t(cmd.nsect), cmd.payload.data(),
             cmd.cause, landed, cmd.version,
             cmd.unitOob.empty() ? nullptr : cmd.unitOob.data());
         res.tick = applyWriteBackpressure(ack);
+        obs::attrCmdMark(obs::Stage::Backpressure, res.tick);
         break;
       }
       case CmdType::Trim: {
@@ -215,6 +232,18 @@ Ssd::processCommand(const Command &cmd)
     const std::uint32_t internal = ftl_.takeReadErrors();
     if (internal > 0)
         stats_.add("ssd.internalReadErrors", internal);
+    if (attr) {
+        obs::AttributionCollector *a = obs::installedAttribution();
+        // Close the segment list with the command's completion tick
+        // so replay clamps to it (buffered writes ack before their
+        // NAND programs finish). Query-caused commands belong to
+        // exactly one op; replay the stage boundaries onto it now.
+        // Journal group commits replay them per member instead
+        // (engine/journal.cc).
+        a->cmdEnd(res.tick);
+        if (cmd.cause == IoCause::Query)
+            a->applyCmdToCurrent();
+    }
     return res;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/attribution.h"
 #include "obs/trace.h"
 
 namespace checkin {
@@ -20,6 +21,21 @@ opTraceName(WorkloadGenerator::OpType type)
       case WorkloadGenerator::OpType::Delete: return "op.delete";
     }
     return "op.unknown";
+}
+
+obs::OpClass
+opAttrClass(WorkloadGenerator::OpType type)
+{
+    switch (type) {
+      case WorkloadGenerator::OpType::Read: return obs::OpClass::Read;
+      case WorkloadGenerator::OpType::Update:
+        return obs::OpClass::Update;
+      case WorkloadGenerator::OpType::Rmw: return obs::OpClass::Rmw;
+      case WorkloadGenerator::OpType::Scan: return obs::OpClass::Scan;
+      case WorkloadGenerator::OpType::Delete:
+        return obs::OpClass::Delete;
+    }
+    return obs::OpClass::Read;
 }
 
 } // namespace
@@ -58,11 +74,20 @@ ClientPool::issueNext(std::uint32_t thread)
     ++opsIssued_;
     const WorkloadGenerator::Op op = gen_.next();
     const Tick issued = eq_.now();
-    auto cb = [this, type = op.type, thread,
-               issued](const QueryResult &res) {
+    // Start the op's latency-attribution timeline and make it the
+    // ambient current op for the engine entry call below (the engine
+    // captures the token into its task); finish it exactly when the
+    // client observes completion, so the stage dwells sum to the
+    // client-visible latency.
+    const obs::OpToken tok =
+        obs::attrBeginOp(opAttrClass(op.type), issued);
+    auto cb = [this, type = op.type, thread, issued,
+               tok](const QueryResult &res) {
+        obs::attrFinishOp(tok, res.done);
         record(type, thread, issued, res);
         issueNext(thread);
     };
+    obs::AttrOpScope attr_scope(tok);
     switch (op.type) {
       case WorkloadGenerator::OpType::Read:
         engine_.get(op.key, std::move(cb));

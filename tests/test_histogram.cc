@@ -100,6 +100,48 @@ TEST(Histogram, QuantileNeverExceedsMax)
     EXPECT_EQ(h.quantile(1.0), 1'000'003u);
 }
 
+TEST(Histogram, EmptyQuantileIsZeroAtEveryQ)
+{
+    LatencyHistogram h;
+    for (double q : {-1.0, 0.0, 0.5, 0.999, 1.0, 2.0})
+        EXPECT_EQ(h.quantile(q), 0u) << "q=" << q;
+}
+
+TEST(Histogram, QuantileEdgesAreExact)
+{
+    // min()/max() are tracked exactly; q <= 0 and q >= 1 must return
+    // them without bucket rounding, even far above kSubBuckets where
+    // buckets are coarse.
+    LatencyHistogram h;
+    h.record(1'048'583); // not a bucket boundary
+    h.record(33'554'467);
+    h.record(9'000'017);
+    EXPECT_EQ(h.quantile(0.0), 1'048'583u);
+    EXPECT_EQ(h.quantile(-0.5), 1'048'583u);
+    EXPECT_EQ(h.quantile(1.0), 33'554'467u);
+    EXPECT_EQ(h.quantile(7.0), 33'554'467u);
+}
+
+TEST(Histogram, SingleSampleIsExactAtBothEdges)
+{
+    LatencyHistogram h;
+    h.record(777'777);
+    EXPECT_EQ(h.quantile(0.0), 777'777u);
+    EXPECT_EQ(h.quantile(0.5), h.quantile(0.5)); // well-defined
+    EXPECT_EQ(h.quantile(1.0), 777'777u);
+}
+
+TEST(Histogram, MergeThenQuantileKeepsExactExtremes)
+{
+    LatencyHistogram a, b;
+    a.record(1'000'003, 3);
+    b.record(17, 4);
+    b.record(2'000'000'011, 2);
+    a.merge(b);
+    EXPECT_EQ(a.quantile(0.0), 17u);
+    EXPECT_EQ(a.quantile(1.0), 2'000'000'011u);
+}
+
 TEST(Histogram, MergeCombines)
 {
     LatencyHistogram a, b;

@@ -236,6 +236,7 @@ tinyTracedConfig(const std::string &artifact_dir)
     cfg.workload.operationCount = 1200;
     cfg.threads = 8;
     cfg.obs.traceEnabled = true;
+    cfg.obs.attributionEnabled = true;
     cfg.obs.artifactDir = artifact_dir;
     cfg.obs.runName = "obs-test";
     return cfg;
@@ -288,11 +289,31 @@ TEST(ObsRun, DisabledTracingAllocatesNoTraceStorage)
     obs::TraceScope scope(tracer);
     ExperimentConfig cfg = tinyTracedConfig("");
     cfg.obs.traceEnabled = false;
+    cfg.obs.attributionEnabled = false;
     const RunResult r = runExperiment(cfg);
     EXPECT_GT(r.client.opsCompleted, 0u);
     EXPECT_EQ(tracer.eventCount(), 0u);
     EXPECT_EQ(tracer.storageCapacity(), 0u);
     EXPECT_TRUE(r.artifacts.empty());
+}
+
+TEST(ObsRun, DisabledAttributionAllocatesNoStorageOrTokens)
+{
+    // The zero-overhead guard: with attribution off, the whole op
+    // path must never touch the installed (disabled) collector — no
+    // pooled tokens are created and no storage is allocated.
+    obs::AttributionCollector attr; // installed but disabled
+    obs::AttributionScope scope(&attr);
+    ExperimentConfig cfg = tinyTracedConfig("");
+    cfg.obs.traceEnabled = false;
+    cfg.obs.attributionEnabled = false;
+    const RunResult r = runExperiment(cfg);
+    EXPECT_GT(r.client.opsCompleted, 0u);
+    EXPECT_EQ(attr.poolSize(), 0u);
+    EXPECT_EQ(attr.liveTokens(), 0u);
+    EXPECT_EQ(attr.storageBytes(), 0u);
+    EXPECT_FALSE(r.attribution.enabled);
+    EXPECT_TRUE(r.checkpointTimeline.empty());
 }
 
 TEST(ObsRun, ArtifactBundleIsWrittenToDisk)
@@ -304,7 +325,8 @@ TEST(ObsRun, ArtifactBundleIsWrittenToDisk)
     ASSERT_FALSE(r.artifacts.empty());
     EXPECT_EQ(r.artifacts.dir, dir + "/obs-test");
     const std::vector<std::string> expect = {
-        "trace.json", "metrics.json", "metrics.csv", "series.csv",
+        "trace.json",        "metrics.json",     "metrics.csv",
+        "series.csv",        "attribution.json", "checkpoints.json",
         "summary.json"};
     EXPECT_EQ(r.artifacts.files, expect);
     for (const std::string &f : r.artifacts.files) {

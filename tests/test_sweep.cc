@@ -108,14 +108,16 @@ TEST(Sweep, FourWorkersMatchSerialByteForByte)
 TEST(Sweep, TraceArtifactsIdenticalAcrossWorkerCounts)
 {
     // Same grid, run once serially and once on 4 workers, each into
-    // its own artifact tree; the emitted trace of every point must
-    // be byte-identical.
+    // its own artifact tree; the emitted trace, attribution and
+    // checkpoint-timeline exports of every point must be
+    // byte-identical.
     const std::string base =
         ::testing::TempDir() + "/checkin_sweep_trace";
     auto makePoints = [&base](const std::string &tag) {
         std::vector<SweepPoint> points = twoByTwo().points();
         for (std::size_t i = 0; i < points.size(); ++i) {
             points[i].config.obs.traceEnabled = true;
+            points[i].config.obs.attributionEnabled = true;
             points[i].config.obs.artifactDir = base + "/" + tag;
             points[i].config.obs.runName =
                 "p" + std::to_string(i);
@@ -133,16 +135,19 @@ TEST(Sweep, TraceArtifactsIdenticalAcrossWorkerCounts)
     for (std::size_t i = 0; i < a.size(); ++i) {
         ASSERT_TRUE(a[i].ok) << a[i].error;
         ASSERT_TRUE(b[i].ok) << b[i].error;
-        const std::string name =
-            "/p" + std::to_string(i) + "/trace.json";
-        const std::string serial_trace =
-            slurp(base + "/serial" + name);
-        const std::string parallel_trace =
-            slurp(base + "/parallel" + name);
-        ASSERT_FALSE(serial_trace.empty());
-        EXPECT_EQ(serial_trace, parallel_trace)
-            << "trace of point " << i
-            << " differs between 1 and 4 workers";
+        for (const char *file : {"/trace.json", "/attribution.json",
+                                 "/checkpoints.json"}) {
+            const std::string name =
+                "/p" + std::to_string(i) + file;
+            const std::string serial_bytes =
+                slurp(base + "/serial" + name);
+            const std::string parallel_bytes =
+                slurp(base + "/parallel" + name);
+            ASSERT_FALSE(serial_bytes.empty()) << name;
+            EXPECT_EQ(serial_bytes, parallel_bytes)
+                << file << " of point " << i
+                << " differs between 1 and 4 workers";
+        }
     }
 }
 

@@ -7,6 +7,8 @@
 
 #include <map>
 
+#include "harness/experiment.h"
+#include "harness/presets.h"
 #include "workload/ycsb.h"
 
 namespace checkin {
@@ -131,6 +133,33 @@ TEST(WorkloadGenerator, UniformSpreadsTraffic)
     for (int i = 0; i < 50'000; ++i)
         ++hist[gen.next().key];
     EXPECT_GT(hist.size(), 990u);
+}
+
+TEST(ClientStats, CheckpointWindowsPartitionAllOps)
+{
+    // Every completed op is classified into exactly one of the two
+    // checkpoint-window histograms, and the read/write split inside
+    // the checkpoint window partitions it the same way.
+    ExperimentConfig cfg = presets::small();
+    cfg.workload.operationCount = 6000;
+    cfg.threads = 8;
+    // Low byte threshold so the run straddles several checkpoints.
+    cfg.engine.checkpointJournalBytes = 256 * kKiB;
+    const RunResult r = runExperiment(cfg);
+    ASSERT_GT(r.checkpoints, 0u);
+    const ClientStats &c = r.client;
+    EXPECT_EQ(c.all.count(), c.opsCompleted);
+    EXPECT_EQ(c.all.count(),
+              c.duringCheckpoint.count() +
+                  c.outsideCheckpoint.count());
+    EXPECT_GT(c.duringCheckpoint.count(), 0u);
+    EXPECT_GT(c.outsideCheckpoint.count(), 0u);
+    EXPECT_EQ(c.duringCheckpoint.count(),
+              c.readsDuringCheckpoint.count() +
+                  c.writesDuringCheckpoint.count());
+    // Sums partition along with the counts.
+    EXPECT_EQ(c.all.sum(), c.duringCheckpoint.sum() +
+                               c.outsideCheckpoint.sum());
 }
 
 TEST(WorkloadGenerator, InitialSizeDeterministic)

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Validate the shape of run artifacts and bench reports.
+
+Stdlib-only schema check for the JSON files the simulator emits:
+
+  trace.json         Chrome trace_event export (obs/trace.h)
+  attribution.json   per-op latency attribution (obs/attribution.h)
+  checkpoints.json   per-checkpoint phase timeline
+  metrics.json       typed metrics registry export
+  summary.json       RunResult export (harness/run_export.h)
+  BENCH_*.json       bench/fig* reports (bench/bench_common.h)
+
+Usage:
+  tools/validate_artifacts.py PATH...
+
+Each PATH may be a single .json file or a directory (validated
+recursively; files are dispatched on their name). Exits nonzero and
+prints one line per problem if any file is malformed; prints a
+per-file OK line otherwise. Unknown .json names are skipped.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+STAGES = {
+    "hostCpu", "checkpointStall", "journalWait", "ssdQueue",
+    "firmware", "ftlMap", "dramCache", "nandWait", "nandMedia",
+    "gcStall", "bus", "backpressure", "other",
+}
+OP_CLASSES = {"read", "update", "rmw", "scan", "delete"}
+TRIGGERS = {"manual", "timer", "journalBytes", "spacePressure",
+            "backlog"}
+
+errors = []
+
+
+def err(path, msg):
+    errors.append(f"{path}: {msg}")
+
+
+def require(path, obj, key, types):
+    """Check obj[key] exists and has one of the given types."""
+    if not isinstance(obj, dict) or key not in obj:
+        err(path, f"missing key '{key}'")
+        return None
+    if not isinstance(obj[key], types):
+        err(path, f"key '{key}' has type {type(obj[key]).__name__}")
+        return None
+    return obj[key]
+
+
+def check_stage_map(path, stages, ctx):
+    if not isinstance(stages, dict):
+        err(path, f"{ctx}: 'stages' is not an object")
+        return
+    for name, ticks in stages.items():
+        if name not in STAGES:
+            err(path, f"{ctx}: unknown stage '{name}'")
+        if not isinstance(ticks, int) or ticks < 0:
+            err(path, f"{ctx}: stage '{name}' dwell is not a "
+                      "non-negative integer")
+
+
+def check_class_map(path, classes, ctx):
+    if not isinstance(classes, dict):
+        err(path, f"{ctx}: 'classes' is not an object")
+        return
+    for cls, breakdown in classes.items():
+        if cls not in OP_CLASSES:
+            err(path, f"{ctx}: unknown op class '{cls}'")
+            continue
+        require(path, breakdown, "ops", int)
+        require(path, breakdown, "totalTicks", int)
+        stages = require(path, breakdown, "stages", dict)
+        if stages is not None:
+            check_stage_map(path, stages, f"{ctx}.{cls}")
+
+
+def validate_trace(path, doc):
+    events = require(path, doc, "traceEvents", list)
+    if events is None:
+        return
+    for i, ev in enumerate(events[:1000]):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            err(path, f"traceEvents[{i}] is not a phase event")
+            return
+
+
+def validate_attribution(path, doc):
+    require(path, doc, "totalOps", int)
+    classes = require(path, doc, "classes", dict)
+    if classes is not None:
+        check_class_map(path, classes, "classes")
+    tail = require(path, doc, "tail", dict)
+    if tail is not None:
+        require(path, tail, "ops", int)
+        require(path, tail, "quantile", (int, float))
+        require(path, tail, "thresholdTicks", int)
+        tail_classes = require(path, tail, "classes", dict)
+        if tail_classes is not None:
+            check_class_map(path, tail_classes, "tail.classes")
+    recorder = require(path, doc, "flightRecorder", list)
+    if recorder is None:
+        return
+    prev = None
+    for i, rec in enumerate(recorder):
+        ctx = f"flightRecorder[{i}]"
+        cls = require(path, rec, "class", str)
+        if cls is not None and cls not in OP_CLASSES:
+            err(path, f"{ctx}: unknown op class '{cls}'")
+        issued = require(path, rec, "issued", int)
+        done = require(path, rec, "done", int)
+        latency = require(path, rec, "latencyTicks", int)
+        stages = require(path, rec, "stages", dict)
+        if None in (issued, done, latency, stages):
+            continue
+        if done - issued != latency:
+            err(path, f"{ctx}: latencyTicks != done - issued")
+        # Conservation: stage dwells must sum to the latency.
+        check_stage_map(path, stages, ctx)
+        if sum(stages.values()) != latency:
+            err(path, f"{ctx}: stage dwells sum to "
+                      f"{sum(stages.values())}, latency {latency}")
+        if prev is not None and latency > prev:
+            err(path, f"{ctx}: not sorted worst-first")
+        prev = latency
+
+
+def validate_checkpoints(path, doc):
+    count = require(path, doc, "count", int)
+    ckpts = require(path, doc, "checkpoints", list)
+    if ckpts is None:
+        return
+    if count is not None and count != len(ckpts):
+        err(path, f"count {count} != len(checkpoints) {len(ckpts)}")
+    for i, c in enumerate(ckpts):
+        ctx = f"checkpoints[{i}]"
+        trigger = require(path, c, "trigger", str)
+        if trigger is not None and trigger not in TRIGGERS:
+            err(path, f"{ctx}: unknown trigger '{trigger}'")
+        ticks = {}
+        for key in ("seq", "startTick", "endTick", "dataTicks",
+                    "metaTicks", "deleteTicks", "totalTicks",
+                    "entries", "rawRecords", "fullRecords",
+                    "partialRecords", "mergedRecords", "tombstones",
+                    "cowCommands", "remappedPairs", "remappedUnits",
+                    "copiedPairs", "copiedChunks",
+                    "bufferedSmallRecords"):
+            ticks[key] = require(path, c, key, int)
+        if None in ticks.values():
+            continue
+        phase_sum = (ticks["dataTicks"] + ticks["metaTicks"] +
+                     ticks["deleteTicks"])
+        if phase_sum != ticks["totalTicks"]:
+            err(path, f"{ctx}: phase ticks sum to {phase_sum}, "
+                      f"totalTicks {ticks['totalTicks']}")
+        if ticks["endTick"] - ticks["startTick"] != ticks["totalTicks"]:
+            err(path, f"{ctx}: endTick - startTick != totalTicks")
+        record_sum = (ticks["rawRecords"] + ticks["fullRecords"] +
+                      ticks["partialRecords"] + ticks["mergedRecords"])
+        if ticks["entries"] != record_sum:
+            err(path, f"{ctx}: entries {ticks['entries']} != "
+                      f"record-class sum {record_sum}")
+
+
+def validate_metrics(path, doc):
+    for key in ("counters", "gauges", "histograms", "series"):
+        require(path, doc, key, dict)
+
+
+def validate_summary(path, doc):
+    require(path, doc, "client", dict)
+    require(path, doc, "raw", dict)
+    ckpts = require(path, doc, "checkpoints", dict)
+    if ckpts is not None:
+        require(path, ckpts, "count", int)
+    attribution = require(path, doc, "attribution", dict)
+    if attribution is not None and attribution.get("enabled"):
+        require(path, attribution, "totalOps", int)
+    timeline = doc.get("checkpointTimeline")
+    if timeline is not None and not isinstance(timeline, list):
+        err(path, "'checkpointTimeline' is not a list")
+
+
+def validate_bench(path, doc):
+    require(path, doc, "bench", str)
+    runs = require(path, doc, "runs", list)
+    if runs is None:
+        return
+    for i, run in enumerate(runs):
+        require(path, run, "label", str)
+        require(path, run, "result", dict)
+
+
+VALIDATORS = {
+    "trace.json": validate_trace,
+    "attribution.json": validate_attribution,
+    "checkpoints.json": validate_checkpoints,
+    "metrics.json": validate_metrics,
+    "summary.json": validate_summary,
+}
+
+
+def dispatch(path):
+    if path.name in VALIDATORS:
+        validator = VALIDATORS[path.name]
+    elif path.name.startswith("BENCH_") and path.suffix == ".json":
+        validator = validate_bench
+    else:
+        return False
+    before = len(errors)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        err(path, f"unreadable: {e}")
+        return True
+    validator(path, doc)
+    if len(errors) == before:
+        print(f"OK {path}")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    validated = 0
+    for arg in argv[1:]:
+        root = Path(arg)
+        if root.is_dir():
+            for path in sorted(root.rglob("*.json")):
+                validated += dispatch(path)
+        elif root.exists():
+            if not dispatch(root):
+                err(root, "unrecognized artifact name")
+                validated += 1
+        else:
+            err(root, "no such file or directory")
+    if errors:
+        for line in errors:
+            print(f"FAIL {line}", file=sys.stderr)
+        return 1
+    if validated == 0:
+        print("FAIL: no recognized artifacts found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
