@@ -4,22 +4,30 @@
  * line and print a full metric report (optionally as CSV).
  *
  * Usage:
- *   checkin_cli [--mode M] [--workload W] [--threads N] [--ops N]
- *               [--record-count N] [--interval-ms N]
+ *   checkin_cli [--preset P] [--mode M] [--workload W] [--threads N]
+ *               [--ops N] [--record-count N] [--interval-ms N]
  *               [--threshold-mib N] [--unit BYTES] [--pattern 1..4]
  *               [--seed N] [--device-mib N] [--csv] [--help]
  *
+ * Presets: small paper faulty cluster
  * Modes: baseline isc-a isc-b isc-c checkin
  * Workloads: a b c d e f wo
+ *
+ * `--preset cluster` switches to the sharded cluster simulation
+ * (src/cluster/) and additionally understands `--shards N` and
+ * `--policy independent|synchronized|staggered|all`.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "cluster/cluster.h"
 #include "harness/experiment.h"
 #include "harness/presets.h"
+#include "harness/table.h"
 
 namespace {
 
@@ -30,6 +38,8 @@ usage(int code)
 {
     std::printf(
         "checkin_cli — Check-In experiment runner\n\n"
+        "  --preset P        small|paper|faulty|cluster (default "
+        "small)\n"
         "  --mode M          baseline|isc-a|isc-b|isc-c|checkin "
         "(default checkin)\n"
         "  --workload W      a|b|c|d|e|f|wo (default a)\n"
@@ -42,7 +52,15 @@ usage(int code)
         "  --pattern P       record-size pattern 1..4\n"
         "  --seed N          workload seed (default 42)\n"
         "  --device-mib N    raw flash capacity (default 128)\n"
-        "  --csv             one CSV line instead of the report\n");
+        "  --csv             one CSV line instead of the report\n"
+        "\ncluster preset only:\n"
+        "  --shards N        engine shards behind the router "
+        "(default 4)\n"
+        "  --policy P        independent|synchronized|staggered|all "
+        "(default independent)\n"
+        "  --sync-threads N  synchronizer worker threads (0 = "
+        "auto, default 1)\n"
+        "  --artifact-dir D  write cluster.json under D/cluster/\n");
     std::exit(code);
 }
 
@@ -84,13 +102,185 @@ parseWorkload(const std::string &s)
     usage(2);
 }
 
+CkptCoordination
+parsePolicy(const std::string &s)
+{
+    if (s == "independent")
+        return CkptCoordination::Independent;
+    if (s == "synchronized")
+        return CkptCoordination::Synchronized;
+    if (s == "staggered")
+        return CkptCoordination::Staggered;
+    std::fprintf(stderr, "unknown policy '%s'\n", s.c_str());
+    usage(2);
+}
+
+void
+printPolicyRow(Table &t, const char *policy, const ClusterResult &r)
+{
+    std::uint64_t ckpts = 0;
+    double stall_ms = 0.0;
+    for (const ShardSummary &s : r.shards) {
+        ckpts += s.checkpoints;
+        stall_ms += double(s.ckptStallTicks) / double(kMsec);
+    }
+    t.addRow({policy, Table::num(r.router.opsCompleted),
+              Table::num(r.throughputOps, 0),
+              Table::num(double(r.router.all.quantile(0.5)) /
+                             double(kUsec),
+                         1),
+              Table::num(double(r.router.all.quantile(0.999)) /
+                             double(kUsec),
+                         1),
+              Table::num(ckpts), Table::num(stall_ms, 2),
+              Table::num(r.sync.windows)});
+}
+
+int
+runClusterCli(int argc, char **argv)
+{
+    ClusterConfig cfg = presets::cluster();
+    bool all_policies = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (arg == "--preset")
+            next(); // already dispatched on it
+        else if (arg == "--shards")
+            cfg.shardCount = std::uint32_t(std::stoul(next()));
+        else if (arg == "--policy") {
+            const std::string p = next();
+            if (p == "all")
+                all_policies = true;
+            else
+                cfg.coordination = parsePolicy(p);
+        } else if (arg == "--artifact-dir")
+            cfg.artifactDir = next();
+        else if (arg == "--sync-threads")
+            cfg.syncThreads = unsigned(std::stoul(next()));
+        else if (arg == "--threads")
+            cfg.clients = std::uint32_t(std::stoul(next()));
+        else if (arg == "--ops")
+            cfg.workload.operationCount = std::stoull(next());
+        else if (arg == "--record-count")
+            cfg.shard.engine.recordCount = std::stoull(next());
+        else if (arg == "--interval-ms")
+            cfg.shard.engine.checkpointInterval =
+                std::stoull(next()) * kMsec;
+        else if (arg == "--workload") {
+            const auto ops = cfg.workload.operationCount;
+            const auto seed = cfg.workload.seed;
+            cfg.workload = parseWorkload(next());
+            cfg.workload.operationCount = ops;
+            cfg.workload.seed = seed;
+        } else if (arg == "--seed") {
+            cfg.seed = std::stoull(next());
+            cfg.workload.seed = cfg.seed;
+        } else {
+            std::fprintf(stderr,
+                         "flag '%s' is not supported with "
+                         "--preset cluster\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+
+    std::printf("=== cluster / %u shards / %u clients / %llu ops "
+                "===\n",
+                cfg.shardCount, cfg.clients,
+                (unsigned long long)cfg.workload.operationCount);
+
+    Table policy_table({"policy", "ops", "ops/s", "p50 us",
+                        "p99.9 us", "ckpts", "stall ms", "windows"});
+    ClusterResult last;
+    if (all_policies) {
+        for (const CkptCoordination p :
+             {CkptCoordination::Independent,
+              CkptCoordination::Synchronized,
+              CkptCoordination::Staggered}) {
+            cfg.coordination = p;
+            cfg.attributionEnabled = true;
+            last = runCluster(cfg);
+            printPolicyRow(policy_table, ckptCoordinationName(p),
+                           last);
+        }
+        std::printf("\n%s\n", policy_table.render().c_str());
+        return 0;
+    }
+
+    cfg.attributionEnabled = true;
+    last = runCluster(cfg);
+    printPolicyRow(policy_table,
+                   ckptCoordinationName(cfg.coordination), last);
+    std::printf("\n%s\n", policy_table.render().c_str());
+
+    Table shard_table({"shard", "keys", "ops", "MiB", "svc p99.9 us",
+                       "ckpts", "avg ckpt ms", "nand r/p/e",
+                       "stalls"});
+    for (const ShardSummary &s : last.shards) {
+        shard_table.addRow(
+            {Table::num(std::uint64_t(s.shard)), Table::num(s.keys),
+             Table::num(s.ops),
+             Table::num(double(s.bytes) / double(kMiB), 2),
+             Table::num(double(s.service.quantile(0.999)) /
+                            double(kUsec),
+                        1),
+             Table::num(s.checkpoints),
+             Table::num(s.avgCheckpointMs, 2),
+             Table::num(s.nandReads) + "/" +
+                 Table::num(s.nandPrograms) + "/" +
+                 Table::num(s.nandErases),
+             Table::num(s.journalStalls)});
+    }
+    std::printf("%s\n", shard_table.render().c_str());
+    std::printf("windows %llu, cross-node messages %llu, events "
+                "%llu, verified keys %llu\n",
+                (unsigned long long)last.sync.windows,
+                (unsigned long long)last.sync.messages,
+                (unsigned long long)last.totalEvents,
+                (unsigned long long)last.verifiedKeys);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace checkin;
-    ExperimentConfig cfg = presets::small();
+
+    // Dispatch on the preset before the flag loop: the cluster
+    // preset runs a different simulation with its own flag set.
+    std::string preset = "small";
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--preset") == 0)
+            preset = argv[i + 1];
+    }
+    if (preset == "cluster")
+        return runClusterCli(argc, argv);
+
+    ExperimentConfig cfg;
+    if (preset == "small")
+        cfg = presets::small();
+    else if (preset == "paper")
+        cfg = presets::paper();
+    else if (preset == "faulty")
+        cfg = presets::faulty();
+    else {
+        std::fprintf(stderr, "unknown preset '%s'\n",
+                     preset.c_str());
+        usage(2);
+    }
     cfg.workload = WorkloadSpec::a();
     bool csv = false;
     std::uint64_t device_mib = 128;
@@ -107,6 +297,8 @@ main(int argc, char **argv)
         };
         if (arg == "--help" || arg == "-h")
             usage(0);
+        else if (arg == "--preset")
+            next(); // already handled above
         else if (arg == "--mode")
             cfg.engine.mode = parseMode(next());
         else if (arg == "--workload") {

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Consistent-hash ring for key -> shard placement.
+ *
+ * Each shard owns vnodesPerShard points on a 64-bit ring; a key lands
+ * on the owner of the first ring point at or after its hash. The ring
+ * is deterministic (pure mix64 hashing, no RNG) and stable: adding a
+ * shard moves only the keys that fall into its new arcs, which is
+ * what makes shard-count sweeps comparable.
+ */
+
+#ifndef CHECKIN_CLUSTER_HASH_RING_H_
+#define CHECKIN_CLUSTER_HASH_RING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace checkin {
+
+/** Consistent-hash ring over shard ids. */
+class HashRing
+{
+  public:
+    HashRing(std::uint32_t shards, std::uint32_t vnodes_per_shard)
+    {
+        points_.reserve(std::size_t(shards) * vnodes_per_shard);
+        for (std::uint32_t s = 0; s < shards; ++s) {
+            for (std::uint32_t v = 0; v < vnodes_per_shard; ++v) {
+                // Derive each vnode position by hashing (shard,
+                // vnode); the shard id is spread first so shard 0's
+                // vnodes do not cluster near those of shard 1.
+                const std::uint64_t h = mix64(
+                    mix64(std::uint64_t(s) + 1) ^
+                    (std::uint64_t(v) * 0x9e3779b97f4a7c15ULL));
+                points_.push_back(Point{h, s});
+            }
+        }
+        std::sort(points_.begin(), points_.end(),
+                  [](const Point &a, const Point &b) {
+                      if (a.hash != b.hash)
+                          return a.hash < b.hash;
+                      return a.shard < b.shard;
+                  });
+    }
+
+    /** Owning shard of @p key. */
+    std::uint32_t
+    shardOf(std::uint64_t key) const
+    {
+        const std::uint64_t h = mix64(key + 0x51ed270b9f2f41c3ULL);
+        auto it = std::lower_bound(
+            points_.begin(), points_.end(), h,
+            [](const Point &p, std::uint64_t v) {
+                return p.hash < v;
+            });
+        if (it == points_.end())
+            it = points_.begin(); // wrap around the ring
+        return it->shard;
+    }
+
+    std::size_t size() const { return points_.size(); }
+
+  private:
+    struct Point
+    {
+        std::uint64_t hash;
+        std::uint32_t shard;
+    };
+
+    std::vector<Point> points_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_CLUSTER_HASH_RING_H_

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Cross-node message of the cluster simulation.
+ *
+ * Nodes never touch each other's state: all interaction is messages
+ * deposited into the sending node's outbox during its window and
+ * delivered into the destination node's event queue at the next
+ * synchronizer barrier. Every message carries an absolute delivery
+ * tick at least one lookahead past its send tick, which is what makes
+ * the conservative window synchronization correct (see
+ * cluster/synchronizer.h).
+ */
+
+#ifndef CHECKIN_CLUSTER_MESSAGE_H_
+#define CHECKIN_CLUSTER_MESSAGE_H_
+
+#include <cstdint>
+
+#include "sim/types.h"
+#include "workload/ycsb.h"
+
+namespace checkin {
+
+/** Synchronizer node index; the router is node 0, shard s is 1+s. */
+using NodeId = std::uint32_t;
+
+/** One cross-node message (flat variant over its kinds). */
+struct Message
+{
+    enum class Kind : std::uint8_t
+    {
+        Request,     //!< router -> shard: execute one client op
+        Response,    //!< shard -> router: op completed
+        CkptControl, //!< router -> shard: start a checkpoint now
+    };
+
+    Kind kind = Kind::Request;
+    WorkloadGenerator::OpType op = WorkloadGenerator::OpType::Read;
+    NodeId dst = 0;
+    /** Absolute delivery tick (>= send tick + lookahead). */
+    Tick deliverTick = 0;
+    /** Shard-local key (Request). */
+    std::uint64_t key = 0;
+    /** Issuing client (echoed back on the Response). */
+    std::uint32_t client = 0;
+    std::uint32_t valueBytes = 0;
+    std::uint32_t scanLength = 0;
+    /** Response payload. */
+    std::uint32_t scanned = 0;
+    bool found = false;
+    bool duringCheckpoint = false;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_CLUSTER_MESSAGE_H_

@@ -1,0 +1,126 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace checkin {
+
+RouterNode::RouterNode(std::uint64_t seed, const ClusterConfig &cfg,
+                       const Placement &placement)
+    : ClusterNode(seed, "router"),
+      cfg_(cfg),
+      placement_(placement),
+      gen_(cfg.workload, cfg.totalRecords()),
+      opTarget_(cfg.workload.operationCount),
+      clients_(std::max<std::uint32_t>(1, cfg.clients)),
+      issuedAt_(clients_, 0)
+{
+    stats_.routedOps.assign(cfg.shardCount, 0);
+    stats_.routedBytes.assign(cfg.shardCount, 0);
+}
+
+void
+RouterNode::start(Tick t0)
+{
+    assert(t0 >= ctx_.now());
+    ctx_.events().schedule(t0, [this] {
+        stats_.firstIssue = ctx_.now();
+        for (std::uint32_t c = 0;
+             c < clients_ && stats_.opsIssued < opTarget_; ++c) {
+            issueNext(c);
+        }
+    });
+
+    if (cfg_.coordination == CkptCoordination::Independent)
+        return;
+    Tick interval = cfg_.coordinationInterval > 0
+                        ? cfg_.coordinationInterval
+                        : cfg_.shard.engine.checkpointInterval;
+    if (interval == 0)
+        return; // coordination disabled along with the timers
+    if (cfg_.coordination == CkptCoordination::Staggered) {
+        // Rotate through the shards so each still checkpoints once
+        // per interval, but at most one stalls at a time.
+        interval = std::max<Tick>(1, interval / cfg_.shardCount);
+    }
+    coordPeriod_ = interval;
+    ctx_.events().schedule(t0 + coordPeriod_,
+                           [this] { onCoordinatorTimer(); });
+}
+
+void
+RouterNode::onCoordinatorTimer()
+{
+    Message m;
+    m.kind = Message::Kind::CkptControl;
+    m.deliverTick = ctx_.now() + cfg_.requestLatency;
+    if (cfg_.coordination == CkptCoordination::Synchronized) {
+        for (std::uint32_t s = 0; s < cfg_.shardCount; ++s) {
+            m.dst = 1 + s;
+            send(m);
+            ++stats_.ckptControls;
+        }
+    } else {
+        m.dst = 1 + nextCkptShard_;
+        nextCkptShard_ = (nextCkptShard_ + 1) % cfg_.shardCount;
+        send(m);
+        ++stats_.ckptControls;
+    }
+    ctx_.events().scheduleAfter(coordPeriod_,
+                                [this] { onCoordinatorTimer(); });
+}
+
+void
+RouterNode::issueNext(std::uint32_t client)
+{
+    if (stats_.opsIssued >= opTarget_)
+        return;
+    ++stats_.opsIssued;
+    const WorkloadGenerator::Op op = gen_.next();
+    const std::uint32_t shard = placement_.shardOf[op.key];
+
+    Message m;
+    m.kind = Message::Kind::Request;
+    m.op = op.type;
+    m.dst = 1 + shard;
+    m.deliverTick = ctx_.now() + cfg_.requestLatency;
+    m.key = placement_.localKey[op.key];
+    m.client = client;
+    m.valueBytes = op.valueBytes;
+    m.scanLength = op.scanLength;
+    send(m);
+
+    issuedAt_[client] = ctx_.now();
+    ++stats_.routedOps[shard];
+    if (op.type == WorkloadGenerator::OpType::Update ||
+        op.type == WorkloadGenerator::OpType::Rmw) {
+        stats_.routedBytes[shard] += op.valueBytes;
+        stats_.totalBytes += op.valueBytes;
+    }
+}
+
+void
+RouterNode::onMessage(const Message &m)
+{
+    assert(m.kind == Message::Kind::Response &&
+           "the router only receives responses");
+    const Tick now = ctx_.now();
+    const Tick issued = issuedAt_[m.client];
+    const Tick latency = now > issued ? now - issued : 0;
+    stats_.all.record(latency);
+    const bool is_read = m.op == WorkloadGenerator::OpType::Read ||
+                         m.op == WorkloadGenerator::OpType::Scan;
+    if (is_read)
+        stats_.reads.record(latency);
+    else
+        stats_.writes.record(latency);
+    if (m.duringCheckpoint)
+        stats_.duringCheckpoint.record(latency);
+    else
+        stats_.outsideCheckpoint.record(latency);
+    ++stats_.opsCompleted;
+    stats_.lastCompletion = std::max(stats_.lastCompletion, now);
+    issueNext(m.client);
+}
+
+} // namespace checkin

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Front-end router: closed-loop clients + key placement + checkpoint
+ * coordination.
+ *
+ * The router is synchronizer node 0. It owns the cluster's clients
+ * (closed loop: each client keeps exactly one request in flight),
+ * draws operations from the cluster-level workload over the global
+ * key space, places each key on a shard via the precomputed
+ * consistent-hash placement, and records client-visible latency when
+ * the response returns. Under the Synchronized and Staggered policies
+ * it also runs the checkpoint coordinator that sends CkptControl
+ * messages to the shards.
+ */
+
+#ifndef CHECKIN_CLUSTER_ROUTER_H_
+#define CHECKIN_CLUSTER_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_config.h"
+#include "cluster/node.h"
+#include "sim/histogram.h"
+#include "workload/ycsb.h"
+
+namespace checkin {
+
+/** Key placement: global key -> (owning shard, shard-local key). */
+struct Placement
+{
+    std::vector<std::uint32_t> shardOf;
+    std::vector<std::uint64_t> localKey;
+};
+
+/** Router-side (client-visible) outcome of a cluster run. */
+struct RouterStats
+{
+    std::uint64_t opsIssued = 0;
+    std::uint64_t opsCompleted = 0;
+    std::uint64_t totalBytes = 0; //!< value payload bytes routed
+    std::uint64_t ckptControls = 0;
+    Tick firstIssue = 0;
+    Tick lastCompletion = 0;
+    /** End-to-end latency (issue -> response delivery). */
+    LatencyHistogram all;
+    LatencyHistogram reads;
+    LatencyHistogram writes;
+    LatencyHistogram duringCheckpoint;
+    LatencyHistogram outsideCheckpoint;
+    /** Per-shard routing totals (the validator checks these equal
+     *  the shard-side counters exactly). */
+    std::vector<std::uint64_t> routedOps;
+    std::vector<std::uint64_t> routedBytes;
+};
+
+/** The front-end node (synchronizer node 0). */
+class RouterNode : public ClusterNode
+{
+  public:
+    RouterNode(std::uint64_t seed, const ClusterConfig &cfg,
+               const Placement &placement);
+
+    /**
+     * Begin the run at @p t0: schedule the initial burst of client
+     * requests and (policy permitting) the checkpoint coordinator.
+     * @p t0 must be at or after every shard's load-quiesce tick so no
+     * request is delivered into a shard's past.
+     */
+    void start(Tick t0);
+
+    /** True once every workload operation has completed. */
+    bool
+    done() const
+    {
+        return stats_.opsCompleted >= opTarget_;
+    }
+
+    const RouterStats &stats() const { return stats_; }
+
+  protected:
+    void onMessage(const Message &m) override;
+
+  private:
+    void issueNext(std::uint32_t client);
+    void onCoordinatorTimer();
+
+    const ClusterConfig &cfg_;
+    const Placement &placement_;
+    WorkloadGenerator gen_;
+    std::uint64_t opTarget_;
+    std::uint32_t clients_;
+    Tick coordPeriod_ = 0;     //!< coordinator self-reschedule period
+    std::uint32_t nextCkptShard_ = 0; //!< staggered rotation cursor
+    std::vector<Tick> issuedAt_;      //!< per-client in-flight issue
+    RouterStats stats_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_CLUSTER_ROUTER_H_

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * One engine shard: a full private storage stack behind the router.
+ *
+ * A shard owns its own SimContext, fault plan, Ssd (FTL + NAND), and
+ * KvEngine, plus a per-shard attribution collector. It executes
+ * Request messages against the engine and sends Response messages
+ * back to the router; CkptControl messages start coordinated
+ * checkpoints. All counters a shard reports are post-load deltas, so
+ * cluster results exclude the initial load exactly like single-device
+ * experiment runs do.
+ */
+
+#ifndef CHECKIN_CLUSTER_SHARD_H_
+#define CHECKIN_CLUSTER_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/node.h"
+#include "engine/kv_engine.h"
+#include "fault/fault_plan.h"
+#include "harness/experiment.h"
+#include "obs/attribution.h"
+#include "sim/histogram.h"
+#include "ssd/ssd.h"
+#include "workload/ycsb.h"
+
+namespace checkin {
+
+/** Post-run summary of one shard (all counters post-load deltas). */
+struct ShardSummary
+{
+    std::uint32_t shard = 0;
+    std::uint64_t keys = 0;  //!< keys placed on this shard
+    std::uint64_t ops = 0;   //!< requests executed
+    std::uint64_t bytes = 0; //!< value payload bytes written
+    std::uint64_t events = 0; //!< DES events dispatched (whole run)
+    std::uint64_t checkpoints = 0;
+    double avgCheckpointMs = 0.0;
+    double maxCheckpointMs = 0.0;
+    std::uint64_t nandReads = 0;
+    std::uint64_t nandPrograms = 0;
+    std::uint64_t nandErases = 0;
+    std::uint64_t journalStalls = 0;
+    /** Service time (request arrival -> engine completion). */
+    LatencyHistogram service;
+    /** Attribution dwells summed over classes (0 when disabled). */
+    Tick ckptStallTicks = 0;
+    Tick tailCkptStallTicks = 0;
+    /** Full per-class attribution (enabled flag inside). */
+    obs::AttributionSummary attribution;
+};
+
+/** One engine shard node (synchronizer node 1 + shard index). */
+class ShardNode : public ClusterNode
+{
+  public:
+    /**
+     * @param cfg shard stack template with engine.recordCount
+     *        already set to this shard's exact key share.
+     * @param global_keys global key of every local key (load sizing).
+     * @param sizer_spec cluster workload spec (value-size law).
+     */
+    ShardNode(std::uint32_t shard, std::uint64_t seed,
+              const ExperimentConfig &cfg,
+              std::vector<std::uint64_t> global_keys,
+              const WorkloadSpec &sizer_spec, Tick response_latency,
+              bool attribution);
+
+    ~ShardNode() override;
+
+    /**
+     * Construct the device + engine and run the initial load to
+     * quiescence, then snapshot stat baselines and arm the
+     * checkpoint timer. Must run inside this node's SimContextScope;
+     * safe to run for different shards in parallel.
+     */
+    void buildAndLoad();
+
+    /** Summarize the shard (call after the run fully drained). */
+    ShardSummary summary(double tail_quantile) const;
+
+    KvEngine &engine() { return *engine_; }
+
+    /** Let an in-flight checkpoint finish (post-run drain). */
+    void drainCheckpoint();
+
+  protected:
+    void onMessage(const Message &m) override;
+
+  private:
+    void execute(const Message &m);
+
+    std::uint32_t shard_;
+    ExperimentConfig cfg_;
+    std::vector<std::uint64_t> globalKeys_;
+    WorkloadSpec sizerSpec_;
+    Tick responseLatency_;
+
+    std::unique_ptr<FaultPlan> faults_;
+    std::unique_ptr<Ssd> ssd_;
+    std::unique_ptr<KvEngine> engine_;
+    obs::AttributionCollector attr_;
+
+    // Post-load baselines.
+    std::uint64_t nandReads0_ = 0;
+    std::uint64_t nandPrograms0_ = 0;
+    std::uint64_t nandErases0_ = 0;
+    std::uint64_t journalStalls0_ = 0;
+    std::uint64_t ckptCount0_ = 0;
+
+    // Measured-run accumulation.
+    std::uint64_t ops_ = 0;
+    std::uint64_t bytes_ = 0;
+    LatencyHistogram service_;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_CLUSTER_SHARD_H_

@@ -1,0 +1,219 @@
+#include "cluster/synchronizer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "harness/sweep.h"
+
+namespace checkin {
+
+namespace {
+
+/**
+ * Persistent worker pool for window execution.
+ *
+ * Per window the main thread publishes (work list, limit) under the
+ * mutex, bumps the generation, and participates in the claim loop
+ * itself; workers wake on the generation change, claim node indices
+ * from the shared atomic, and "arrive" once the claim loop is empty.
+ * The main thread waits for all workers to arrive before touching
+ * shared window state again, so a straggler can never observe the
+ * next window's work list (no data race, verified under TSan in CI).
+ */
+class WindowPool
+{
+  public:
+    WindowPool(const std::vector<ClusterNode *> &nodes,
+               unsigned workers)
+        : nodes_(nodes)
+    {
+        threads_.reserve(workers);
+        for (unsigned t = 0; t < workers; ++t)
+            threads_.emplace_back([this] { workerLoop(); });
+    }
+
+    ~WindowPool()
+    {
+        {
+            std::lock_guard<std::mutex> g(m_);
+            quit_ = true;
+            ++generation_;
+        }
+        cvStart_.notify_all();
+        for (std::thread &t : threads_)
+            t.join();
+    }
+
+    /** Advance every node in @p work to @p limit; returns after all
+     *  nodes finished and all workers are parked again. */
+    void
+    runWindow(const std::vector<std::size_t> &work, Tick limit)
+    {
+        {
+            std::lock_guard<std::mutex> g(m_);
+            work_ = &work;
+            limit_ = limit;
+            next_.store(0, std::memory_order_relaxed);
+            arrived_ = 0;
+            ++generation_;
+        }
+        cvStart_.notify_all();
+        drain();
+        std::unique_lock<std::mutex> g(m_);
+        cvDone_.wait(g,
+                     [this] { return arrived_ == threads_.size(); });
+    }
+
+  private:
+    void
+    drain()
+    {
+        for (std::size_t i;
+             (i = next_.fetch_add(1, std::memory_order_relaxed)) <
+             work_->size();) {
+            ClusterNode *node = nodes_[(*work_)[i]];
+            // Install the node's context (and with it the node's
+            // tracer/attribution sinks) on this thread for the
+            // window.
+            SimContextScope scope(node->ctx());
+            node->ctx().events().runUntil(limit_);
+        }
+    }
+
+    void
+    workerLoop()
+    {
+        std::uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock<std::mutex> g(m_);
+                cvStart_.wait(
+                    g, [&] { return generation_ != seen; });
+                seen = generation_;
+                if (quit_)
+                    return;
+            }
+            drain();
+            {
+                std::lock_guard<std::mutex> g(m_);
+                ++arrived_;
+            }
+            cvDone_.notify_one();
+        }
+    }
+
+    const std::vector<ClusterNode *> &nodes_;
+    std::vector<std::thread> threads_;
+    std::mutex m_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    const std::vector<std::size_t> *work_ = nullptr;
+    Tick limit_ = 0;
+    std::atomic<std::size_t> next_{0};
+    std::size_t arrived_ = 0;
+    std::uint64_t generation_ = 0;
+    bool quit_ = false;
+};
+
+} // namespace
+
+SyncStats
+runWindows(const std::vector<ClusterNode *> &nodes, Tick lookahead,
+           unsigned threads, const std::function<bool()> &done)
+{
+    assert(lookahead > 0 && "conservative sync needs lookahead");
+    SyncStats st;
+    if (nodes.empty())
+        return st;
+
+    const unsigned jobs = std::min<unsigned>(
+        std::max(1u, threads == 0 ? resolveJobs(0) : threads),
+        static_cast<unsigned>(nodes.size()));
+    std::unique_ptr<WindowPool> pool;
+    if (jobs > 1)
+        pool = std::make_unique<WindowPool>(nodes, jobs - 1);
+
+    std::vector<std::size_t> work;
+    Tick last_limit = 0;
+    for (;;) {
+        // Barrier: deliver every message sent during the previous
+        // window, in canonical (source node, send order) order.
+        for (ClusterNode *src : nodes) {
+            for (const Message &m : src->outbox()) {
+                assert(m.deliverTick > last_limit &&
+                       "message faster than the lookahead");
+                assert(m.dst < nodes.size());
+                nodes[m.dst]->deliver(m);
+                ++st.messages;
+            }
+            src->outbox().clear();
+        }
+
+        if (done())
+            break;
+
+        // Open the next window at the earliest pending event; the
+        // cluster skips idle stretches wholesale.
+        Tick window_start = kInvalidTick;
+        for (ClusterNode *node : nodes) {
+            window_start = std::min(
+                window_start, node->ctx().events().nextEventTick());
+        }
+        if (window_start == kInvalidTick)
+            break; // fully idle and not done: nothing can progress
+        const Tick limit = window_start + lookahead - 1;
+
+        work.clear();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i]->ctx().events().nextEventTick() <= limit)
+                work.push_back(i);
+        }
+        if (pool != nullptr) {
+            pool->runWindow(work, limit);
+        } else {
+            for (const std::size_t i : work) {
+                SimContextScope scope(nodes[i]->ctx());
+                nodes[i]->ctx().events().runUntil(limit);
+            }
+        }
+        last_limit = limit;
+        ++st.windows;
+    }
+    return st;
+}
+
+void
+parallelFor(std::size_t count, unsigned threads,
+            const std::function<void(std::size_t)> &fn)
+{
+    const unsigned jobs = std::min<unsigned>(
+        std::max(1u, threads == 0 ? resolveJobs(0) : threads),
+        count == 0 ? 1u : static_cast<unsigned>(count));
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+        for (std::size_t i;
+             (i = next.fetch_add(1, std::memory_order_relaxed)) <
+             count;) {
+            fn(i);
+        }
+    };
+    std::vector<std::thread> workers;
+    workers.reserve(jobs - 1);
+    for (unsigned t = 0; t + 1 < jobs; ++t)
+        workers.emplace_back(work);
+    work();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+} // namespace checkin

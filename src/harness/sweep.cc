@@ -70,10 +70,10 @@ runSweep(const std::vector<SweepPoint> &points,
             o.label = points[i].label;
             ExperimentConfig cfg = points[i].config;
             if (cfg.seed == 0) {
-                // Index-derived, not drawn from a shared RNG: the
-                // seed of point i is the same whichever worker runs
-                // it, whenever.
-                cfg.seed = mix64(opts.baseSeed ^ mix64(i + 1));
+                // Index-derived via stream derivation, not drawn
+                // from a shared RNG: the seed of point i is the same
+                // whichever worker runs it, whenever.
+                cfg.seed = Rng(opts.baseSeed).childSeed(i);
             }
             try {
                 o.result = runExperiment(cfg);

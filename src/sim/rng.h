@@ -14,21 +14,63 @@
 
 namespace checkin {
 
+/**
+ * One SplitMix64 step: advances @p x by the golden-gamma increment
+ * and returns the finalized output. The standard seed expander and
+ * stream deriver recommended by the xoshiro authors.
+ */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
 /** xoshiro256** by Blackman & Vigna; public-domain reference algorithm. */
 class Rng
 {
   public:
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : seed_(seed)
     {
         // SplitMix64 seeding as recommended by the xoshiro authors.
         std::uint64_t x = seed;
-        for (auto &word : state_) {
-            x += 0x9e3779b97f4a7c15ULL;
-            std::uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-            word = z ^ (z >> 31);
-        }
+        for (auto &word : state_)
+            word = splitmix64(x);
+    }
+
+    /** Seed this generator was constructed with (its identity; not
+     *  affected by drawing values). */
+    std::uint64_t seed() const { return seed_; }
+
+    /**
+     * Deterministic seed of child stream @p streamId.
+     *
+     * Two SplitMix64 finalizations over (seed, streamId): the parent
+     * seed is first expanded so nearby seeds land far apart, then the
+     * stream id selects along the expanded sequence. The result
+     * depends only on the construction seed — never on how many
+     * values were drawn — so components can derive streams in any
+     * order (and on any thread) and still agree. Distinct stream ids
+     * give statistically independent sequences (tested in
+     * tests/test_rng_zipf.cc).
+     */
+    std::uint64_t
+    childSeed(std::uint64_t streamId) const
+    {
+        std::uint64_t x = seed_;
+        std::uint64_t z = splitmix64(x) + streamId;
+        return splitmix64(z);
+    }
+
+    /** Child generator on stream @p streamId (see childSeed). */
+    Rng
+    child(std::uint64_t streamId) const
+    {
+        return Rng(childSeed(streamId));
     }
 
     /** Next raw 64-bit value. */
@@ -70,6 +112,7 @@ class Rng
         return (x << k) | (x >> (64 - k));
     }
 
+    std::uint64_t seed_;
     std::uint64_t state_[4];
 };
 

@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "engine/record.h"
@@ -29,6 +33,68 @@ TEST(Rng, DifferentSeedsDiverge)
     for (int i = 0; i < 100; ++i)
         same += a.next() == b.next();
     EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ChildSeedIsDeterministicAndDrawIndependent)
+{
+    Rng a(123);
+    const std::uint64_t before = a.childSeed(7);
+    // Drawing from the parent must not move its child streams: the
+    // derivation depends on the construction seed only.
+    for (int i = 0; i < 1000; ++i)
+        a.next();
+    EXPECT_EQ(a.childSeed(7), before);
+    EXPECT_EQ(Rng(123).childSeed(7), before);
+    EXPECT_EQ(a.seed(), 123u);
+
+    Rng c1 = a.child(7);
+    Rng c2 = Rng(123).child(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(Rng, ChildStreamsAreDistinctAndIndependent)
+{
+    Rng root(42);
+    // Distinct stream ids must give distinct seeds (no collisions in
+    // a realistic stream range)...
+    std::vector<std::uint64_t> seeds;
+    for (std::uint64_t s = 0; s < 4096; ++s)
+        seeds.push_back(root.childSeed(s));
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()),
+              seeds.end());
+
+    // ...and the derived sequences must decorrelate: adjacent
+    // streams, and a child against its parent, agree on almost no
+    // draws and have balanced bit-agreement.
+    Rng c0 = root.child(0);
+    Rng c1 = root.child(1);
+    Rng parent(42);
+    int same_adjacent = 0;
+    int same_parent = 0;
+    std::int64_t bit_agree = 0;
+    const int n = 10'000;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t x = c0.next();
+        const std::uint64_t y = c1.next();
+        same_adjacent += x == y;
+        same_parent += x == parent.next();
+        bit_agree += 32 - std::popcount(x ^ y);
+    }
+    EXPECT_LT(same_adjacent, 3);
+    EXPECT_LT(same_parent, 3);
+    // Mean bit agreement is 0 for independent streams; bound the
+    // drift well above the ~sqrt(64 * n) / 2 standard deviation.
+    EXPECT_LT(std::abs(bit_agree), std::int64_t(64) * n / 100);
+}
+
+TEST(Rng, ChildSeedSeparatesSeedAndStream)
+{
+    // (seed a, stream b) and (seed b, stream a) must not collide:
+    // the derivation is not a symmetric mix of the two inputs.
+    EXPECT_NE(Rng(1).childSeed(2), Rng(2).childSeed(1));
+    EXPECT_NE(Rng(0).childSeed(1), Rng(1).childSeed(0));
 }
 
 TEST(Rng, BoundedStaysInRange)

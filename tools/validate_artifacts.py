@@ -8,6 +8,8 @@ Stdlib-only schema check for the JSON files the simulator emits:
   checkpoints.json   per-checkpoint phase timeline
   metrics.json       typed metrics registry export
   summary.json       RunResult export (harness/run_export.h)
+  cluster.json       cluster run export (src/cluster/cluster.h)
+  BENCH_cluster.json cluster scaling report (bench/cluster_scaling)
   BENCH_*.json       bench/fig* reports (bench/bench_common.h)
 
 Usage:
@@ -31,6 +33,7 @@ STAGES = {
 OP_CLASSES = {"read", "update", "rmw", "scan", "delete"}
 TRIGGERS = {"manual", "timer", "journalBytes", "spacePressure",
             "backlog"}
+POLICIES = {"independent", "synchronized", "staggered"}
 
 errors = []
 
@@ -183,6 +186,112 @@ def validate_summary(path, doc):
         err(path, "'checkpointTimeline' is not a list")
 
 
+def check_hist(path, hist, ctx):
+    if not isinstance(hist, dict):
+        err(path, f"{ctx}: not a histogram object")
+        return
+    for key in ("count", "max", "min", "p50", "p99", "p999"):
+        require(path, hist, key, int)
+    require(path, hist, "mean", (int, float))
+
+
+def validate_cluster(path, doc):
+    """cluster.json: schema plus the router/shard conservation
+    invariants — per-shard op and byte counts must sum exactly to
+    the router's totals (and match its per-shard routing counters)."""
+    coordination = require(path, doc, "coordination", str)
+    if coordination is not None and coordination not in POLICIES:
+        err(path, f"unknown coordination policy '{coordination}'")
+    shard_count = require(path, doc, "shardCount", int)
+    require(path, doc, "lookaheadTicks", int)
+    require(path, doc, "simSpanTicks", int)
+    require(path, doc, "totalEvents", int)
+    require(path, doc, "verifiedKeys", int)
+    sync = require(path, doc, "sync", dict)
+    if sync is not None:
+        require(path, sync, "messages", int)
+        require(path, sync, "windows", int)
+
+    router = require(path, doc, "router", dict)
+    shards = require(path, doc, "shards", list)
+    if router is None or shards is None:
+        return
+    if shard_count is not None and len(shards) != shard_count:
+        err(path, f"shardCount {shard_count} != len(shards) "
+                  f"{len(shards)}")
+
+    ops_completed = require(path, router, "opsCompleted", int)
+    ops_issued = require(path, router, "opsIssued", int)
+    bytes_total = require(path, router, "bytesTotal", int)
+    routed_ops = require(path, router, "routedOps", list)
+    routed_bytes = require(path, router, "routedBytes", list)
+    check_hist(path, router.get("all"), "router.all")
+    if None in (ops_completed, ops_issued, bytes_total, routed_ops,
+                routed_bytes):
+        return
+    if ops_issued != ops_completed:
+        err(path, f"router opsIssued {ops_issued} != opsCompleted "
+                  f"{ops_completed}")
+    if len(routed_ops) != len(shards):
+        err(path, "router.routedOps length != shard count")
+        return
+    if len(routed_bytes) != len(shards):
+        err(path, "router.routedBytes length != shard count")
+        return
+
+    sum_ops = sum_bytes = 0
+    for i, shard in enumerate(shards):
+        ctx = f"shards[{i}]"
+        ops = require(path, shard, "ops", int)
+        nbytes = require(path, shard, "bytes", int)
+        require(path, shard, "checkpoints", int)
+        require(path, shard, "keys", int)
+        check_hist(path, shard.get("service"), f"{ctx}.service")
+        if ops is None or nbytes is None:
+            return
+        if ops != routed_ops[i]:
+            err(path, f"{ctx}: ops {ops} != router.routedOps[{i}] "
+                      f"{routed_ops[i]}")
+        if nbytes != routed_bytes[i]:
+            err(path, f"{ctx}: bytes {nbytes} != "
+                      f"router.routedBytes[{i}] {routed_bytes[i]}")
+        sum_ops += ops
+        sum_bytes += nbytes
+    if sum_ops != ops_completed:
+        err(path, f"shard ops sum {sum_ops} != router opsCompleted "
+                  f"{ops_completed}")
+    if sum_bytes != bytes_total:
+        err(path, f"shard bytes sum {sum_bytes} != router "
+                  f"bytesTotal {bytes_total}")
+
+
+def validate_bench_cluster(path, doc):
+    """BENCH_cluster.json: per-run scaling metrics, every policy
+    name known, wall-clock derived fields present."""
+    require(path, doc, "bench", str)
+    runs = require(path, doc, "runs", list)
+    if runs is None:
+        return
+    if not runs:
+        err(path, "no runs")
+        return
+    for i, run in enumerate(runs):
+        ctx = f"runs[{i}]"
+        require(path, run, "label", str)
+        result = require(path, run, "result", dict)
+        if result is None:
+            continue
+        policy = require(path, result, "coordination", str)
+        if policy is not None and policy not in POLICIES:
+            err(path, f"{ctx}: unknown policy '{policy}'")
+        require(path, result, "shardCount", int)
+        require(path, result, "opsCompleted", int)
+        require(path, result, "totalEvents", int)
+        for key in ("eventsPerSec", "p999Us", "throughputOps",
+                    "wallSeconds"):
+            require(path, result, key, (int, float))
+
+
 def validate_bench(path, doc):
     require(path, doc, "bench", str)
     runs = require(path, doc, "runs", list)
@@ -199,6 +308,8 @@ VALIDATORS = {
     "checkpoints.json": validate_checkpoints,
     "metrics.json": validate_metrics,
     "summary.json": validate_summary,
+    "cluster.json": validate_cluster,
+    "BENCH_cluster.json": validate_bench_cluster,
 }
 
 
