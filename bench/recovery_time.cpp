@@ -10,7 +10,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "engine/kv_engine.h"
+#include "engine/storage_engine.h"
 #include "sim/event_queue.h"
 #include "sim/sim_context.h"
 #include "ssd/ssd.h"
@@ -43,7 +43,8 @@ measure(CheckpointMode mode, std::uint64_t updates)
     ecfg.mode = mode;
     ecfg.checkpointInterval = 0;
     ecfg.checkpointJournalBytes = 1 * kGiB; // no auto checkpoints
-    auto engine = std::make_unique<KvEngine>(ctx, ssd, ecfg);
+    std::unique_ptr<StorageEngine> engine =
+        presets::makeEngine(ctx, ssd, ecfg);
     engine->load([](std::uint64_t) { return 384u; });
     eq.schedule(ssd.quiesceTick(), [] {});
     eq.run();
@@ -59,7 +60,7 @@ measure(CheckpointMode mode, std::uint64_t updates)
     // Power cut, then recover on a fresh engine.
     eq.clear();
     engine.reset();
-    engine = std::make_unique<KvEngine>(ctx, ssd, ecfg);
+    engine = presets::makeEngine(ctx, ssd, ecfg);
     const RecoveryInfo info = engine->recover();
     engine->verifyAllKeys();
     return Probe{double(info.duration) / double(kMsec),

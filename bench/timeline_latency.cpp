@@ -12,7 +12,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "engine/kv_engine.h"
+#include "engine/storage_engine.h"
 #include "sim/event_queue.h"
 #include "sim/sim_context.h"
 #include "sim/timeseries.h"
@@ -39,7 +39,9 @@ runTimeline(CheckpointMode mode)
     FtlConfig ftl_cfg = cfg.ftl;
     ftl_cfg.mappingUnitBytes = cfg.resolvedMappingUnit();
     Ssd ssd(ctx, cfg.nand, ftl_cfg, cfg.ssd);
-    KvEngine engine(ctx, ssd, cfg.engine);
+    const std::unique_ptr<StorageEngine> engine_ptr =
+        presets::makeEngine(ctx, ssd, cfg.engine);
+    StorageEngine &engine = *engine_ptr;
     WorkloadGenerator sizer(cfg.workload, cfg.engine.recordCount);
     engine.load([&sizer](std::uint64_t k) {
         return sizer.initialSize(k);

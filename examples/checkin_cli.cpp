@@ -4,12 +4,14 @@
  * line and print a full metric report (optionally as CSV).
  *
  * Usage:
- *   checkin_cli [--preset P] [--mode M] [--workload W] [--threads N]
- *               [--ops N] [--record-count N] [--interval-ms N]
- *               [--threshold-mib N] [--unit BYTES] [--pattern 1..4]
- *               [--seed N] [--device-mib N] [--csv] [--help]
+ *   checkin_cli [--preset P] [--engine E] [--mode M] [--workload W]
+ *               [--threads N] [--ops N] [--record-count N]
+ *               [--interval-ms N] [--threshold-mib N] [--unit BYTES]
+ *               [--pattern 1..4] [--seed N] [--device-mib N] [--csv]
+ *               [--help]
  *
  * Presets: small paper faulty cluster
+ * Engines: checkin lsm
  * Modes: baseline isc-a isc-b isc-c checkin
  * Workloads: a b c d e f wo
  *
@@ -40,6 +42,8 @@ usage(int code)
         "checkin_cli — Check-In experiment runner\n\n"
         "  --preset P        small|paper|faulty|cluster (default "
         "small)\n"
+        "  --engine E        checkin|lsm storage backend (default "
+        "checkin)\n"
         "  --mode M          baseline|isc-a|isc-b|isc-c|checkin "
         "(default checkin)\n"
         "  --workload W      a|b|c|d|e|f|wo (default a)\n"
@@ -299,7 +303,15 @@ main(int argc, char **argv)
             usage(0);
         else if (arg == "--preset")
             next(); // already handled above
-        else if (arg == "--mode")
+        else if (arg == "--engine") {
+            try {
+                cfg.engine.backend =
+                    presets::parseEngineBackend(next());
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                usage(2);
+            }
+        } else if (arg == "--mode")
             cfg.engine.mode = parseMode(next());
         else if (arg == "--workload") {
             const auto ops = cfg.workload.operationCount;
@@ -351,12 +363,13 @@ main(int argc, char **argv)
     const auto &c = r.client;
     if (csv) {
         std::printf(
-            "mode,workload,threads,ops,kops,avg_us,p99_us,p999_us,"
-            "p9999_us,checkpoints,ckpt_avg_ms,redundant_mib,remaps,"
-            "gc,erases,journal_pad\n");
+            "engine,mode,workload,threads,ops,kops,avg_us,p99_us,"
+            "p999_us,p9999_us,checkpoints,ckpt_avg_ms,redundant_mib,"
+            "remaps,gc,erases,journal_pad\n");
         std::printf(
-            "%s,%s,%u,%llu,%.2f,%.1f,%.1f,%.1f,%.1f,%llu,%.2f,%.2f,"
-            "%llu,%llu,%llu,%.4f\n",
+            "%s,%s,%s,%u,%llu,%.2f,%.1f,%.1f,%.1f,%.1f,%llu,%.2f,"
+            "%.2f,%llu,%llu,%llu,%.4f\n",
+            engineBackendName(cfg.engine.backend),
             checkpointModeName(cfg.engine.mode),
             cfg.workload.name.c_str(), cfg.threads,
             (unsigned long long)c.opsCompleted,
@@ -372,8 +385,9 @@ main(int argc, char **argv)
             r.journalSpaceOverhead());
         return 0;
     }
-    std::printf("=== %s / %s / %u threads / %llu ops / %llu MiB "
-                "device ===\n",
+    std::printf("=== %s / %s / %s / %u threads / %llu ops / %llu "
+                "MiB device ===\n",
+                engineBackendName(cfg.engine.backend),
                 checkpointModeName(cfg.engine.mode),
                 cfg.workload.name.c_str(), cfg.threads,
                 (unsigned long long)c.opsCompleted,

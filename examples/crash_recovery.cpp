@@ -8,7 +8,8 @@
 #include <cstdio>
 #include <memory>
 
-#include "engine/kv_engine.h"
+#include "engine/storage_engine.h"
+#include "harness/presets.h"
 #include "sim/event_queue.h"
 #include "sim/sim_context.h"
 #include "sim/rng.h"
@@ -34,7 +35,8 @@ main()
     ecfg.checkpointJournalBytes = 2 * kMiB;
     ecfg.checkpointInterval = 0; // manual checkpoints
 
-    auto engine = std::make_unique<KvEngine>(ctx, ssd, ecfg);
+    std::unique_ptr<StorageEngine> engine =
+        presets::makeEngine(ctx, ssd, ecfg);
     engine->load([](std::uint64_t) { return 512u; });
     eq.schedule(ssd.quiesceTick(), [] {});
     eq.run();
@@ -73,7 +75,7 @@ main()
     engine.reset();
 
     // Recovery: a fresh engine rebuilds from catalog + journal.
-    engine = std::make_unique<KvEngine>(ctx, ssd, ecfg);
+    engine = presets::makeEngine(ctx, ssd, ecfg);
     const RecoveryInfo info = engine->recover();
     std::printf("recovered: %llu keys from catalog, %llu journal "
                 "logs replayed, %.3f ms simulated recovery time\n",

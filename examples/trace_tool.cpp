@@ -19,7 +19,7 @@
 #include <memory>
 #include <string>
 
-#include "engine/kv_engine.h"
+#include "engine/storage_engine.h"
 #include "harness/experiment.h"
 #include "harness/presets.h"
 #include "sim/event_queue.h"
@@ -151,7 +151,9 @@ cmdReplay(int argc, char **argv)
     FtlConfig ftl_cfg = base.ftl;
     ftl_cfg.mappingUnitBytes = base.resolvedMappingUnit();
     Ssd ssd(ctx, base.nand, ftl_cfg, base.ssd);
-    KvEngine engine(ctx, ssd, base.engine);
+    const std::unique_ptr<StorageEngine> engine_ptr =
+        presets::makeEngine(ctx, ssd, base.engine);
+    StorageEngine &engine = *engine_ptr;
     engine.load([](std::uint64_t) { return 384u; });
     eq.schedule(ssd.quiesceTick(), [] {});
     eq.run();

@@ -3,7 +3,8 @@
  * Run a YCSB workload against any of the five checkpoint
  * configurations and print a full metric report.
  *
- * Usage: ycsb_run [mode] [workload] [threads] [ops]
+ * Usage: ycsb_run [--engine E] [mode] [workload] [threads] [ops]
+ *   engine:   checkin | lsm storage backend (default checkin)
  *   mode:     baseline | isc-a | isc-b | isc-c | checkin (default)
  *   workload: a | b | c | f | wo (default a)
  *   threads:  client thread count (default 32)
@@ -14,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "harness/experiment.h"
 #include "harness/presets.h"
@@ -63,17 +65,39 @@ main(int argc, char **argv)
 {
     using namespace checkin;
     ExperimentConfig cfg = presets::small();
-    cfg.engine.mode = argc > 1 ? parseMode(argv[1])
-                               : CheckpointMode::CheckIn;
-    cfg.workload = argc > 2 ? parseWorkload(argv[2])
-                            : WorkloadSpec::a();
-    cfg.threads = argc > 3 ? std::uint32_t(std::atoi(argv[3])) : 32;
+
+    // Split the backend flag from the positional arguments.
+    std::vector<std::string> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--engine") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--engine needs a value\n");
+                return 2;
+            }
+            try {
+                cfg.engine.backend =
+                    presets::parseEngineBackend(argv[++i]);
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "%s\n", e.what());
+                return 2;
+            }
+        } else {
+            pos.emplace_back(argv[i]);
+        }
+    }
+    cfg.engine.mode = pos.size() > 0 ? parseMode(pos[0])
+                                     : CheckpointMode::CheckIn;
+    cfg.workload =
+        pos.size() > 1 ? parseWorkload(pos[1]) : WorkloadSpec::a();
+    cfg.threads =
+        pos.size() > 2 ? std::uint32_t(std::stoul(pos[2])) : 32;
     cfg.workload.operationCount =
-        argc > 4 ? std::uint64_t(std::atoll(argv[4])) : 20'000;
+        pos.size() > 3 ? std::stoull(pos[3]) : 20'000;
 
     const RunResult r = runExperiment(cfg);
     const auto &c = r.client;
-    std::printf("=== %s / %s / %u threads / %llu ops ===\n",
+    std::printf("=== %s / %s / %s / %u threads / %llu ops ===\n",
+                engineBackendName(cfg.engine.backend),
                 checkpointModeName(cfg.engine.mode),
                 cfg.workload.name.c_str(), cfg.threads,
                 (unsigned long long)c.opsCompleted);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "harness/presets.h"
+
 namespace checkin {
 
 namespace {
@@ -59,8 +61,7 @@ ShardNode::buildAndLoad()
     FtlConfig ftl_cfg = cfg_.ftl;
     ftl_cfg.mappingUnitBytes = cfg_.resolvedMappingUnit();
     ssd_ = std::make_unique<Ssd>(ctx_, cfg_.nand, ftl_cfg, cfg_.ssd);
-    engine_ =
-        std::make_unique<KvEngine>(ctx_, *ssd_, cfg_.engine);
+    engine_ = presets::makeEngine(ctx_, *ssd_, cfg_.engine);
 
     // Initial values are sized by the *global* key so shard placement
     // never changes a key's content, only where it lives.

@@ -3,7 +3,7 @@
  * One engine shard: a full private storage stack behind the router.
  *
  * A shard owns its own SimContext, fault plan, Ssd (FTL + NAND), and
- * KvEngine, plus a per-shard attribution collector. It executes
+ * StorageEngine, plus a per-shard attribution collector. It executes
  * Request messages against the engine and sends Response messages
  * back to the router; CkptControl messages start coordinated
  * checkpoints. All counters a shard reports are post-load deltas, so
@@ -19,7 +19,7 @@
 #include <vector>
 
 #include "cluster/node.h"
-#include "engine/kv_engine.h"
+#include "engine/storage_engine.h"
 #include "fault/fault_plan.h"
 #include "harness/experiment.h"
 #include "obs/attribution.h"
@@ -82,7 +82,7 @@ class ShardNode : public ClusterNode
     /** Summarize the shard (call after the run fully drained). */
     ShardSummary summary(double tail_quantile) const;
 
-    KvEngine &engine() { return *engine_; }
+    StorageEngine &engine() { return *engine_; }
 
     /** Let an in-flight checkpoint finish (post-run drain). */
     void drainCheckpoint();
@@ -101,7 +101,7 @@ class ShardNode : public ClusterNode
 
     std::unique_ptr<FaultPlan> faults_;
     std::unique_ptr<Ssd> ssd_;
-    std::unique_ptr<KvEngine> engine_;
+    std::unique_ptr<StorageEngine> engine_;
     obs::AttributionCollector attr_;
 
     // Post-load baselines.

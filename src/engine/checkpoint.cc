@@ -21,6 +21,16 @@ checkpointModeName(CheckpointMode mode)
     return "?";
 }
 
+const char *
+engineBackendName(EngineBackend backend)
+{
+    switch (backend) {
+      case EngineBackend::CheckIn: return "checkin";
+      case EngineBackend::Lsm: return "lsm";
+    }
+    return "?";
+}
+
 CowPair
 CheckpointStrategy::pairFor(const JmtEntry &entry) const
 {

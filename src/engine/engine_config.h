@@ -32,8 +32,23 @@ enum class CheckpointMode : std::uint8_t
 
 const char *checkpointModeName(CheckpointMode mode);
 
+/**
+ * Which StorageEngine implementation to build (harness/presets.h
+ * makeEngine).
+ */
+enum class EngineBackend : std::uint8_t
+{
+    CheckIn, //!< checkpoint-journal engine (engine/kv_engine.h)
+    Lsm,     //!< LSM engine with ISCE-offloaded compaction (engine/lsm/)
+};
+
+const char *engineBackendName(EngineBackend backend);
+
 struct EngineConfig
 {
+    /** Storage-engine backend. */
+    EngineBackend backend = EngineBackend::CheckIn;
+
     CheckpointMode mode = CheckpointMode::CheckIn;
 
     /** Number of keys in the store. */

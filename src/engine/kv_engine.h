@@ -20,6 +20,7 @@
 #include "engine/journal.h"
 #include "engine/keymap.h"
 #include "engine/layout.h"
+#include "engine/storage_engine.h"
 #include "obs/attribution.h"
 #include "obs/flight_recorder.h"
 #include "sim/event_queue.h"
@@ -29,39 +30,17 @@
 
 namespace checkin {
 
-/** Per-query completion info handed to the client. */
-struct QueryResult
-{
-    /** Completion tick. */
-    Tick done = 0;
-    /** True when a checkpoint was running while the query executed. */
-    bool duringCheckpoint = false;
-    /** True when the key had a value (GET paths). */
-    bool found = false;
-    /** Keys with live values returned by a SCAN. */
-    std::uint32_t scanned = 0;
-};
-
-/** Outcome of a crash recovery pass. */
-struct RecoveryInfo
-{
-    std::uint64_t catalogKeys = 0;   //!< keys restored from catalog
-    std::uint64_t replayedLogs = 0;  //!< journal records replayed
-    Tick duration = 0;               //!< simulated recovery time
-};
-
 /**
- * The key-value storage engine.
+ * The checkpoint-journal storage engine (paper Fig 5 host side) —
+ * the `checkin` StorageEngine backend.
  *
  * Construct, then call either load() (fresh store) or recover()
  * (rebuild from an existing device after a crash), then start() to
  * arm the checkpoint timer, then issue queries.
  */
-class KvEngine
+class KvEngine : public StorageEngine
 {
   public:
-    using QueryCb = std::function<void(const QueryResult &)>;
-
     KvEngine(SimContext &ctx, Ssd &ssd, const EngineConfig &cfg);
 
     /**
@@ -69,37 +48,29 @@ class KvEngine
      * (version 1). @p size_of gives each key's value size.
      */
     void load(const std::function<std::uint32_t(std::uint64_t)>
-                  &size_of);
+                  &size_of) override;
 
     /**
      * Rebuild the engine state from the device: restore the keymap
      * from the catalog, replay journal logs newer than the catalog,
      * checkpoint them, and leave a clean store.
      */
-    RecoveryInfo recover();
+    RecoveryInfo recover() override;
 
     /** Arm the periodic checkpoint timer (if configured). */
-    void start();
+    void start() override;
 
     // ------------------------------------------------------------------
     // Query interface
     // ------------------------------------------------------------------
-    void get(std::uint64_t key, QueryCb cb);
+    void get(std::uint64_t key, QueryCb cb) override;
     void update(std::uint64_t key, std::uint32_t value_bytes,
-                QueryCb cb);
+                QueryCb cb) override;
     void readModifyWrite(std::uint64_t key, std::uint32_t value_bytes,
-                         QueryCb cb);
+                         QueryCb cb) override;
     /** Delete a key: journals a tombstone; the next checkpoint trims
      *  the data-area slot and records the deletion in the catalog. */
-    void erase(std::uint64_t key, QueryCb cb);
-
-    /** One operation of a multi-key transaction. */
-    struct BatchOp
-    {
-        std::uint64_t key;
-        /** Value size; 0 deletes the key. */
-        std::uint32_t valueBytes;
-    };
+    void erase(std::uint64_t key, QueryCb cb) override;
 
     /**
      * Atomic multi-key transaction (paper Fig 7: the engine groups
@@ -107,24 +78,28 @@ class KvEngine
      * one group commit, so a crash persists all of them or none.
      * @p cb fires once, after the whole transaction is durable.
      */
-    void updateBatch(std::vector<BatchOp> ops, QueryCb cb);
+    void updateBatch(std::vector<BatchOp> ops, QueryCb cb) override;
     /** Range scan over up to @p count consecutive keys. Data-area
      *  resident keys are fetched as one sequential read; journal-
      *  resident keys are fetched individually. */
     void scan(std::uint64_t start_key, std::uint32_t count,
-              QueryCb cb);
+              QueryCb cb) override;
 
     // ------------------------------------------------------------------
     // Checkpoint control
     // ------------------------------------------------------------------
     /** Start a checkpoint now if possible, else mark one pending.
      *  @p reason is recorded in the checkpoint phase timeline. */
-    void requestCheckpoint(
-        obs::CkptTrigger reason = obs::CkptTrigger::Manual);
-    bool checkpointInProgress() const { return ckptInProgress_; }
+    void requestCheckpoint(obs::CkptTrigger reason =
+                               obs::CkptTrigger::Manual) override;
+    bool
+    checkpointInProgress() const override
+    {
+        return ckptInProgress_;
+    }
     /** Completed checkpoint durations, in ticks. */
     const std::vector<Tick> &
-    checkpointDurations() const
+    checkpointDurations() const override
     {
         return ckptDurations_;
     }
@@ -135,9 +110,15 @@ class KvEngine
     const DiskLayout &layout() const { return layout_; }
     const Keymap &keymap() const { return keymap_; }
     JournalManager &journal() { return journal_; }
-    StatRegistry &stats() { return stats_; }
-    const StatRegistry &stats() const { return stats_; }
-    const EngineConfig &config() const { return cfg_; }
+    StatRegistry &stats() override { return stats_; }
+    const StatRegistry &stats() const override { return stats_; }
+    const EngineConfig &config() const override { return cfg_; }
+
+    std::uint32_t
+    committedVersion(std::uint64_t key) const override
+    {
+        return keymap_[key].version;
+    }
 
     /**
      * Functional full-store verification: read every key's committed
@@ -145,7 +126,7 @@ class KvEngine
      * @return number of keys verified.
      * @throws std::runtime_error on any content mismatch.
      */
-    std::uint64_t verifyAllKeys() const;
+    std::uint64_t verifyAllKeys() const override;
 
   private:
     struct ParsedLog

@@ -1,0 +1,1387 @@
+#include "engine/lsm/lsm_engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "engine/record.h"
+#include "obs/attribution.h"
+#include "obs/trace.h"
+
+namespace checkin {
+
+namespace {
+
+/** Trace lane for flush/compaction events (Cat::Engine). */
+constexpr std::uint32_t kFlushLane = 1;
+
+/** Sum of the device counters behind CheckpointStat::cowCommands. */
+std::uint64_t
+cowCommandCount(const StatRegistry &ds)
+{
+    return ds.get("ssd.cmd.cowSingle") + ds.get("ssd.cmd.cowMulti") +
+           ds.get("ssd.cmd.checkpointRemap");
+}
+
+/** Shared completion counter for a fan-out of commands. */
+struct FanOut
+{
+    std::size_t outstanding = 0;
+    Tick last = 0;
+    std::function<void(Tick)> done;
+
+    void
+    complete(const CmdResult &r)
+    {
+        last = std::max(last, r.require());
+        assert(outstanding > 0);
+        if (--outstanding == 0)
+            done(last);
+    }
+};
+
+} // namespace
+
+LsmEngine::LsmEngine(SimContext &ctx, Ssd &ssd,
+                     const EngineConfig &cfg)
+    : eq_(ctx.events()),
+      ssd_(ssd),
+      cfg_(cfg),
+      layout_(LsmLayout::compute(cfg, ssd.capacitySectors(),
+                                 ssd.ftl().sectorsPerUnit())),
+      keymap_(cfg.recordCount)
+{
+    obs::nameLane(obs::Cat::Engine, kFlushLane, "flush");
+}
+
+std::uint32_t
+LsmEngine::recordUnits(std::uint32_t chunks) const
+{
+    // A tombstone is a single token alone in one unit; data records
+    // are padded up to the next unit boundary.
+    if (chunks == 0)
+        return 1;
+    return std::uint32_t(divCeil(chunks, layout_.unitChunks()));
+}
+
+Lba
+LsmEngine::lbaOf(const Loc &loc) const
+{
+    switch (loc.area) {
+      case Loc::Area::Wal:
+        return layout_.walLba(loc.idx, loc.unitOff);
+      case Loc::Area::L0:
+        return layout_.l0Lba(loc.idx, loc.unitOff);
+      case Loc::Area::L1:
+        return layout_.l1Lba(loc.idx, loc.unitOff);
+      case Loc::Area::None: break;
+    }
+    throw std::logic_error("lsm: record has no location");
+}
+
+std::uint32_t
+LsmEngine::reserveRegion()
+{
+    for (std::uint32_t r = 0; r < kLsmL0Regions; ++r) {
+        if (!regionBusy_[r]) {
+            regionBusy_[r] = true;
+            return r;
+        }
+    }
+    throw std::logic_error("lsm: no free L0 region");
+}
+
+// ----------------------------------------------------------------------
+// Load
+// ----------------------------------------------------------------------
+
+void
+LsmEngine::load(
+    const std::function<std::uint32_t(std::uint64_t)> &size_of)
+{
+    // Populate L1 ping 0 with version-1 records, packed in key order.
+    std::uint64_t cursor = 0;
+    for (std::uint64_t key = 0; key < cfg_.recordCount; ++key) {
+        const std::uint32_t bytes = size_of(key);
+        const auto chunks =
+            std::uint32_t(divCeil(bytes, kChunkBytes));
+        const std::uint32_t units = recordUnits(chunks);
+        std::vector<SectorData> payload(units * layout_.unitSectors);
+        for (std::uint32_t c = 0; c < chunks; ++c) {
+            payload[c / kChunksPerSector]
+                .chunks[c % kChunksPerSector] =
+                dataChunkToken(key, 1, c);
+        }
+        ssd_.submitSync(Command::write(layout_.l1Lba(0, cursor),
+                                       std::move(payload),
+                                       IoCause::Query, globalSeq_++));
+        KeyState &st = keymap_[key];
+        st.version = 1;
+        st.assignedVersion = 1;
+        st.chunks = chunks;
+        st.loc = Loc{Loc::Area::L1, 0, cursor};
+        st.dataVersion = 1;
+        st.dataChunks = chunks;
+        st.dataLoc = st.loc;
+        cursor += units;
+    }
+    ping_ = 0;
+    l1UsedUnits_[0] = cursor;
+    ssd_.submitSync(buildManifestCommand());
+    halfRegion_[0] = reserveRegion();
+    halfRegionValid_[0] = true;
+    stats_.add("engine.loadedKeys", cfg_.recordCount);
+}
+
+void
+LsmEngine::start()
+{
+    if (cfg_.checkpointInterval > 0)
+        eq_.scheduleAfter(cfg_.checkpointInterval,
+                          [this] { onFlushTimer(); });
+}
+
+void
+LsmEngine::onFlushTimer()
+{
+    requestCheckpoint(obs::CkptTrigger::Timer);
+    if (cfg_.checkpointInterval > 0)
+        eq_.scheduleAfter(cfg_.checkpointInterval,
+                          [this] { onFlushTimer(); });
+}
+
+bool
+LsmEngine::maybeDefer(std::function<void()> fn)
+{
+    if (cfg_.lockQueriesDuringCheckpoint && flushInProgress_) {
+        deferred_.push_back(std::move(fn));
+        return true;
+    }
+    return false;
+}
+
+void
+LsmEngine::drainDeferred()
+{
+    while (!deferred_.empty()) {
+        eq_.scheduleAfter(0, std::move(deferred_.front()));
+        deferred_.pop_front();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Queries
+// ----------------------------------------------------------------------
+
+void
+LsmEngine::get(std::uint64_t key, QueryCb cb)
+{
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, key, op, cb = std::move(cb)]() mutable {
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
+        doGet(key, std::move(cb));
+    };
+    if (maybeDefer(task))
+        return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+LsmEngine::doGet(std::uint64_t key, QueryCb cb)
+{
+    assert(key < cfg_.recordCount);
+    stats_.add("engine.gets");
+    const KeyState st = keymap_[key];
+    const bool ckpt_at_submit = flushInProgress_;
+    if (st.version == 0 || st.chunks == 0) {
+        stats_.add("engine.getMisses");
+        eq_.scheduleAfter(0, [this, cb = std::move(cb),
+                              ckpt_at_submit] {
+            cb(QueryResult{eq_.now(), ckpt_at_submit, false});
+        });
+        return;
+    }
+    verifyKeyContent(key, st);
+    if (st.loc.area == Loc::Area::Wal)
+        stats_.add("engine.getsFromJournal");
+    const auto nsect =
+        std::uint32_t(divCeil(st.chunks, kChunksPerSector));
+    ssd_.submit(Command::read(lbaOf(st.loc), nsect, IoCause::Query),
+                [this, cb = std::move(cb),
+                 ckpt_at_submit](const CmdResult &r) {
+                    cb(QueryResult{
+                        r.require(),
+                        ckpt_at_submit || flushInProgress_, true});
+                });
+}
+
+void
+LsmEngine::update(std::uint64_t key, std::uint32_t value_bytes,
+                  QueryCb cb)
+{
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, key, value_bytes, op,
+                 cb = std::move(cb)]() mutable {
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
+        assert(key < cfg_.recordCount);
+        assert(value_bytes > 0 && value_bytes <= cfg_.maxValueBytes);
+        const std::uint32_t version = ++keymap_[key].assignedVersion;
+        const bool ckpt_at_submit = flushInProgress_;
+        PendingRec rec;
+        rec.key = key;
+        rec.version = version;
+        rec.valueBytes = value_bytes;
+        rec.chunks =
+            std::uint32_t(divCeil(value_bytes, kChunkBytes));
+        rec.units = recordUnits(rec.chunks);
+        rec.cb = [this, value_bytes, ckpt_at_submit,
+                  cb = std::move(cb)](const WalRec &w, Tick done) {
+            applyWalAck(w);
+            stats_.add("engine.updates");
+            stats_.add("engine.updateBytes", value_bytes);
+            if (!flushInProgress_ &&
+                halfPayloadBytes_[activeHalf_] >=
+                    cfg_.checkpointJournalBytes) {
+                requestCheckpoint(obs::CkptTrigger::JournalBytes);
+            }
+            cb(QueryResult{done,
+                           ckpt_at_submit || flushInProgress_,
+                           true});
+        };
+        std::vector<PendingRec> group;
+        group.push_back(std::move(rec));
+        enqueueGroup(std::move(group));
+    };
+    if (maybeDefer(task))
+        return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+LsmEngine::readModifyWrite(std::uint64_t key,
+                           std::uint32_t value_bytes, QueryCb cb)
+{
+    const obs::OpToken op = obs::attrCurrentOp();
+    get(key, [this, key, value_bytes, op,
+              cb = std::move(cb)](const QueryResult &r1) mutable {
+        const bool first_during = r1.duringCheckpoint;
+        obs::AttrOpScope attr_scope(op);
+        update(key, value_bytes,
+               [cb = std::move(cb),
+                first_during](const QueryResult &r2) {
+                   QueryResult res = r2;
+                   res.duringCheckpoint |= first_during;
+                   cb(res);
+               });
+    });
+}
+
+void
+LsmEngine::erase(std::uint64_t key, QueryCb cb)
+{
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, key, op, cb = std::move(cb)]() mutable {
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
+        assert(key < cfg_.recordCount);
+        const std::uint32_t version = ++keymap_[key].assignedVersion;
+        const bool ckpt_at_submit = flushInProgress_;
+        PendingRec rec;
+        rec.key = key;
+        rec.version = version;
+        rec.valueBytes = 0;
+        rec.chunks = 0;
+        rec.units = 1;
+        rec.cb = [this, ckpt_at_submit,
+                  cb = std::move(cb)](const WalRec &w, Tick done) {
+            applyWalAck(w);
+            stats_.add("engine.deletes");
+            if (!flushInProgress_ &&
+                halfPayloadBytes_[activeHalf_] >=
+                    cfg_.checkpointJournalBytes) {
+                requestCheckpoint(obs::CkptTrigger::JournalBytes);
+            }
+            cb(QueryResult{done,
+                           ckpt_at_submit || flushInProgress_,
+                           true});
+        };
+        std::vector<PendingRec> group;
+        group.push_back(std::move(rec));
+        enqueueGroup(std::move(group));
+    };
+    if (maybeDefer(task))
+        return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+LsmEngine::updateBatch(std::vector<BatchOp> ops, QueryCb cb)
+{
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, ops = std::move(ops), op,
+                 cb = std::move(cb)]() mutable {
+        assert(!ops.empty());
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
+        const bool ckpt_at_submit = flushInProgress_;
+        struct TxnState
+        {
+            std::size_t outstanding;
+            Tick last = 0;
+            QueryCb cb;
+        };
+        auto txn = std::make_shared<TxnState>();
+        txn->outstanding = ops.size();
+        txn->cb = std::move(cb);
+        std::vector<PendingRec> group;
+        group.reserve(ops.size());
+        for (const BatchOp &o : ops) {
+            assert(o.key < cfg_.recordCount);
+            PendingRec rec;
+            rec.key = o.key;
+            rec.version = ++keymap_[o.key].assignedVersion;
+            rec.valueBytes = o.valueBytes;
+            rec.chunks =
+                std::uint32_t(divCeil(o.valueBytes, kChunkBytes));
+            rec.units = recordUnits(rec.chunks);
+            rec.cb = [this, txn, ckpt_at_submit](const WalRec &w,
+                                                 Tick done) {
+                applyWalAck(w);
+                txn->last = std::max(txn->last, done);
+                if (--txn->outstanding == 0) {
+                    stats_.add("engine.batchCommits");
+                    if (!flushInProgress_ &&
+                        halfPayloadBytes_[activeHalf_] >=
+                            cfg_.checkpointJournalBytes) {
+                        requestCheckpoint(
+                            obs::CkptTrigger::JournalBytes);
+                    }
+                    txn->cb(QueryResult{
+                        txn->last,
+                        ckpt_at_submit || flushInProgress_, true});
+                }
+            };
+            group.push_back(std::move(rec));
+        }
+        enqueueGroup(std::move(group));
+    };
+    if (maybeDefer(task))
+        return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+LsmEngine::scan(std::uint64_t start_key, std::uint32_t count,
+                QueryCb cb)
+{
+    const obs::OpToken op = obs::attrCurrentOp();
+    auto task = [this, start_key, count, op,
+                 cb = std::move(cb)]() mutable {
+        obs::attrMark(op, obs::Stage::CheckpointStall, eq_.now());
+        obs::AttrOpScope attr_scope(op);
+        doScan(start_key, count, std::move(cb));
+    };
+    if (maybeDefer(task))
+        return;
+    obs::attrMark(op, obs::Stage::HostCpu,
+                  eq_.now() + cfg_.hostCpuPerQuery);
+    eq_.scheduleAfter(cfg_.hostCpuPerQuery, std::move(task));
+}
+
+void
+LsmEngine::doScan(std::uint64_t start_key, std::uint32_t count,
+                  QueryCb cb)
+{
+    assert(start_key < cfg_.recordCount);
+    stats_.add("engine.scans");
+    const std::uint64_t end = std::min<std::uint64_t>(
+        cfg_.recordCount, start_key + count);
+    const bool ckpt_at_submit = flushInProgress_;
+
+    struct Job
+    {
+        std::size_t outstanding = 0;
+        Tick last = 0;
+        std::uint32_t scanned = 0;
+        bool launched = false;
+        QueryCb cb;
+    };
+    auto job = std::make_shared<Job>();
+    job->cb = std::move(cb);
+    auto complete = [this, job, ckpt_at_submit](const CmdResult &r) {
+        job->last = std::max(job->last, r.require());
+        if (--job->outstanding == 0 && job->launched) {
+            job->cb(QueryResult{job->last,
+                                ckpt_at_submit || flushInProgress_,
+                                job->scanned > 0, job->scanned});
+        }
+    };
+
+    // L1 residents coalesce into one sequential read (L1 is packed
+    // in key order); WAL/L0 residents are fetched individually.
+    std::uint64_t l1_first = kInvalidAddr;
+    std::uint64_t l1_end = 0;
+    for (std::uint64_t key = start_key; key < end; ++key) {
+        const KeyState st = keymap_[key];
+        if (st.version == 0 || st.chunks == 0)
+            continue;
+        verifyKeyContent(key, st);
+        ++job->scanned;
+        const std::uint32_t units = recordUnits(st.chunks);
+        if (st.loc.area == Loc::Area::L1 && st.loc.idx == ping_) {
+            l1_first = std::min(l1_first, st.loc.unitOff);
+            l1_end = std::max(l1_end, st.loc.unitOff + units);
+        } else {
+            const auto nsect =
+                std::uint32_t(divCeil(st.chunks, kChunksPerSector));
+            ++job->outstanding;
+            ssd_.submit(Command::read(lbaOf(st.loc), nsect,
+                                      IoCause::Query),
+                        complete);
+        }
+    }
+    if (l1_first != kInvalidAddr) {
+        const std::uint64_t nsect =
+            (l1_end - l1_first) * layout_.unitSectors;
+        ++job->outstanding;
+        stats_.add("engine.scanSequentialSectors", nsect);
+        ssd_.submit(Command::read(layout_.l1Lba(ping_, l1_first),
+                                  nsect, IoCause::Query),
+                    complete);
+    }
+    job->launched = true;
+    if (job->outstanding == 0) {
+        eq_.scheduleAfter(0, [this, job, ckpt_at_submit] {
+            job->cb(QueryResult{eq_.now(),
+                                ckpt_at_submit || flushInProgress_,
+                                false, 0});
+        });
+    }
+}
+
+// ----------------------------------------------------------------------
+// WAL append path
+// ----------------------------------------------------------------------
+
+void
+LsmEngine::applyWalAck(const WalRec &rec)
+{
+    KeyState &st = keymap_[rec.key];
+    if (rec.version > st.version) {
+        st.version = rec.version;
+        st.chunks = rec.chunks;
+        st.loc = Loc{Loc::Area::Wal, rec.half, rec.unitOff};
+    }
+}
+
+void
+LsmEngine::enqueueGroup(std::vector<PendingRec> group)
+{
+    std::uint64_t units = 0;
+    for (const PendingRec &r : group)
+        units += r.units;
+    if (units > layout_.walUnits()) {
+        throw std::invalid_argument(
+            "lsm: transaction larger than a journal half");
+    }
+    pendingGroups_.push_back(std::move(group));
+    pumpWal();
+}
+
+void
+LsmEngine::pumpWal()
+{
+    if (walInFlight_ || pendingGroups_.empty())
+        return;
+    assert(halfRegionValid_[activeHalf_]);
+    const std::uint8_t half = activeHalf_;
+    const std::uint64_t wal_units = layout_.walUnits();
+    auto group_units = [](const std::vector<PendingRec> &g) {
+        std::uint64_t u = 0;
+        for (const PendingRec &r : g)
+            u += r.units;
+        return u;
+    };
+    if (appendUnit_[half] + group_units(pendingGroups_.front()) >
+        wal_units) {
+        // Active half full: stall until a flush rotates the halves.
+        if (!walStalled_) {
+            walStalled_ = true;
+            stats_.add("engine.journalStalls");
+        }
+        requestCheckpoint(obs::CkptTrigger::SpacePressure);
+        return;
+    }
+    walStalled_ = false;
+
+    // Gather whole groups (a transaction never splits across write
+    // commands: one command is atomic+durable at submission).
+    std::vector<PendingRec> batch;
+    std::uint64_t batch_units = 0;
+    while (!pendingGroups_.empty()) {
+        const std::vector<PendingRec> &g = pendingGroups_.front();
+        if (!batch.empty() &&
+            batch.size() + g.size() > cfg_.maxCommitGroup) {
+            break;
+        }
+        if (appendUnit_[half] + batch_units + group_units(g) >
+            wal_units) {
+            break;
+        }
+        batch_units += group_units(g);
+        for (PendingRec &r : pendingGroups_.front())
+            batch.push_back(std::move(r));
+        pendingGroups_.pop_front();
+    }
+    assert(!batch.empty());
+
+    // Build the unit-aligned payload plus per-unit OOB annotations:
+    // every WAL unit names its L0 destination so a remap promotion
+    // stays durable across sudden power loss (paper §III-G).
+    const std::uint64_t base_unit = appendUnit_[half];
+    const std::uint32_t unit_chunks = layout_.unitChunks();
+    const std::uint32_t region = halfRegion_[half];
+    std::vector<SectorData> payload(batch_units *
+                                    layout_.unitSectors);
+    std::vector<OobEntry> oob(batch_units);
+    auto acks = std::make_shared<std::vector<
+        std::pair<WalRec, std::function<void(const WalRec &, Tick)>>>>();
+    acks->reserve(batch.size());
+    std::uint64_t rel = 0;
+    std::uint64_t payload_bytes = 0;
+    for (PendingRec &r : batch) {
+        const std::uint64_t base_chunk = rel * unit_chunks;
+        if (r.chunks == 0) {
+            payload[base_chunk / kChunksPerSector]
+                .chunks[base_chunk % kChunksPerSector] =
+                tombstoneToken(r.key, r.version);
+        } else {
+            for (std::uint32_t c = 0; c < r.chunks; ++c) {
+                const std::uint64_t pos = base_chunk + c;
+                payload[pos / kChunksPerSector]
+                    .chunks[pos % kChunksPerSector] =
+                    dataChunkToken(r.key, r.version, c);
+            }
+        }
+        for (std::uint32_t k = 0; k < r.units; ++k) {
+            oob[rel + k].version = globalSeq_++;
+            oob[rel + k].targetLpn =
+                layout_.l0UnitLpn(region, base_unit + rel + k);
+        }
+        WalRec w;
+        w.key = r.key;
+        w.version = r.version;
+        w.chunks = r.chunks;
+        w.half = half;
+        w.unitOff = base_unit + rel;
+        w.units = r.units;
+        halfRecords_[half].push_back(w);
+        acks->emplace_back(w, std::move(r.cb));
+        payload_bytes += r.valueBytes;
+        rel += r.units;
+    }
+    appendUnit_[half] += batch_units;
+    halfPayloadBytes_[half] += payload_bytes;
+    halfClean_[half] = false;
+    stats_.add("engine.groupCommits");
+    stats_.add("engine.journalPayloadBytes", payload_bytes);
+    stats_.add("engine.journalChunksStored",
+               batch_units * unit_chunks);
+
+    Command w = Command::write(layout_.walLba(half, base_unit),
+                               std::move(payload), IoCause::Journal);
+    w.unitOob = std::move(oob);
+    walInFlight_ = true;
+    ssd_.submit(std::move(w), [this, acks](const CmdResult &r) {
+        const Tick done = r.require();
+        walInFlight_ = false;
+        for (auto &[rec, cb] : *acks)
+            cb(rec, done);
+        if (walQuiesceCb_) {
+            auto fn = std::move(walQuiesceCb_);
+            walQuiesceCb_ = nullptr;
+            fn();
+        } else {
+            pumpWal();
+        }
+    });
+}
+
+// ----------------------------------------------------------------------
+// Flush (checkpoint) path
+// ----------------------------------------------------------------------
+
+void
+LsmEngine::requestCheckpoint(obs::CkptTrigger reason)
+{
+    if (flushInProgress_) {
+        pendingFlushRequest_ = true;
+        return;
+    }
+    if (halfRecords_[activeHalf_].empty() && !walInFlight_)
+        return;
+    if (!halfClean_[activeHalf_ ^ 1]) {
+        pendingFlushRequest_ = true;
+        return;
+    }
+    flushRec_.trigger = reason;
+    startFlush();
+}
+
+void
+LsmEngine::startFlush()
+{
+    flushInProgress_ = true;
+    flushStart_ = eq_.now();
+    stats_.add("engine.checkpoints");
+    obs::instant(obs::Cat::Engine, kFlushLane, "flush.start",
+                 flushStart_,
+                 {{"walRecords", halfRecords_[activeHalf_].size()}});
+    // Wait for any in-flight group commit: its records belong to the
+    // half being frozen and must be in the flush snapshot.
+    quiesceWal([this] { onWalQuiesced(); });
+}
+
+void
+LsmEngine::quiesceWal(std::function<void()> fn)
+{
+    if (!walInFlight_) {
+        fn();
+        return;
+    }
+    assert(!walQuiesceCb_);
+    walQuiesceCb_ = std::move(fn);
+}
+
+void
+LsmEngine::onWalQuiesced()
+{
+    const std::uint8_t half = activeHalf_;
+    const std::uint32_t region = halfRegion_[half];
+    // The run occupies the frozen half's written prefix 1:1.
+    regionUsedUnits_[region] = appendUnit_[half];
+
+    // Rotate to the other (clean) half so appends continue during
+    // the flush; its activation gets a fresh L0 region assignment.
+    activeHalf_ = half ^ 1;
+    assert(halfClean_[activeHalf_]);
+    appendUnit_[activeHalf_] = 0;
+    halfPayloadBytes_[activeHalf_] = 0;
+    halfRecords_[activeHalf_].clear();
+    halfRegion_[activeHalf_] = reserveRegion();
+    halfRegionValid_[activeHalf_] = true;
+
+    auto recs = std::make_shared<std::vector<WalRec>>(
+        std::move(halfRecords_[half]));
+    halfRecords_[half].clear();
+    stats_.add("engine.ckptLogsSeen", recs->size());
+    stats_.add("engine.ckptLatestEntries", recs->size());
+    if (obs::attributionOn()) {
+        const obs::CkptTrigger reason = flushRec_.trigger;
+        flushRec_ = obs::CheckpointStat{};
+        flushRec_.trigger = reason;
+        flushRec_.seq = flushSeq_;
+        flushRec_.startTick = flushStart_;
+        flushRec_.entries = recs->size();
+        flushRec_.fullRecords = recs->size();
+        for (const WalRec &r : *recs) {
+            if (r.chunks == 0)
+                ++flushRec_.tombstones;
+        }
+        const StatRegistry &ds = ssd_.stats();
+        flushRec_.cowCommands = cowCommandCount(ds);
+        flushRec_.remappedPairs = ds.get("isce.remappedPairs");
+        flushRec_.remappedUnits = ds.get("isce.remappedUnits");
+        flushRec_.copiedPairs = ds.get("isce.copiedPairs");
+        flushRec_.copiedChunks = ds.get("isce.copiedChunks");
+        flushRec_.bufferedSmallRecords =
+            ds.get("isce.bufferedSmallRecords");
+    }
+    pumpWal();
+
+    if (recs->empty()) {
+        onFlushDataDone(half, region, *recs, eq_.now());
+        return;
+    }
+    // Promote the frozen half with identity-offset remap pairs: WAL
+    // unit i becomes region unit i, exactly what the append-time OOB
+    // annotations already promise the device.
+    const std::uint32_t unit_chunks = layout_.unitChunks();
+    std::vector<Command> cmds;
+    std::vector<CowPair> pairs;
+    for (const WalRec &r : *recs) {
+        pairs.push_back(CowPair::make(
+            layout_.walLba(half, r.unitOff), 0,
+            layout_.l0Lba(region, r.unitOff), r.units * unit_chunks,
+            globalSeq_++, /*force_copy=*/false));
+        if (pairs.size() == cfg_.maxPairsPerCommand) {
+            cmds.push_back(
+                Command::checkpointRemap(std::move(pairs)));
+            pairs.clear();
+        }
+    }
+    if (!pairs.empty())
+        cmds.push_back(Command::checkpointRemap(std::move(pairs)));
+    auto job = std::make_shared<FanOut>();
+    job->outstanding = cmds.size();
+    job->done = [this, half, region, recs](Tick t) {
+        onFlushDataDone(half, region, *recs, t);
+    };
+    for (Command &c : cmds) {
+        stats_.add("engine.ckptRemapCommands");
+        ssd_.submit(std::move(c),
+                    [job](const CmdResult &r) { job->complete(r); });
+    }
+}
+
+void
+LsmEngine::onFlushDataDone(std::uint8_t half, std::uint32_t region,
+                           const std::vector<WalRec> &recs, Tick t)
+{
+    (void)t;
+    if (regionUsedUnits_[region] > 0)
+        ++usedRuns_;
+    for (const WalRec &r : recs) {
+        KeyState &st = keymap_[r.key];
+        const Loc nl{Loc::Area::L0, std::uint8_t(region), r.unitOff};
+        if (st.version == r.version &&
+            st.loc.area == Loc::Area::Wal) {
+            st.loc = nl;
+        }
+        if (r.version > st.dataVersion) {
+            st.dataVersion = r.version;
+            st.dataChunks = r.chunks;
+            st.dataLoc = nl;
+        }
+    }
+    flushDataDone_ = std::max(eq_.now(), flushStart_);
+    stats_.add("engine.ckptDataTicks", flushDataDone_ - flushStart_);
+    obs::span(obs::Cat::Engine, kFlushLane, "flush.data",
+              flushStart_, flushDataDone_,
+              {{"records", recs.size()}});
+    // Manifest before the WAL trim: every crash window leaves either
+    // the logs durable or the manifest naming the promoted run.
+    ssd_.submit(buildManifestCommand(),
+                [this, half](const CmdResult &r) {
+        const Tick t2 = r.require();
+        flushMetaDone_ = std::max(t2, flushDataDone_);
+        stats_.add("engine.ckptMetaTicks",
+                   flushMetaDone_ - flushDataDone_);
+        obs::span(obs::Cat::Engine, kFlushLane, "flush.meta",
+                  flushDataDone_, flushMetaDone_);
+        ssd_.submit(Command::deleteLogs(layout_.walStart[half],
+                                        layout_.walSectors),
+                    [this, half](const CmdResult &r2) {
+            const Tick t3 = r2.require();
+            stats_.add("engine.ckptDeleteTicks",
+                       t3 > flushMetaDone_ ? t3 - flushMetaDone_
+                                           : 0);
+            obs::span(obs::Cat::Engine, kFlushLane, "flush.delete",
+                      flushMetaDone_, t3);
+            halfClean_[half] = true;
+            halfRegionValid_[half] = false;
+            if (usedRuns_ >= kLsmCompactRuns)
+                startCompaction();
+            else
+                finishFlush(t3);
+        });
+    });
+}
+
+void
+LsmEngine::finishFlush(Tick t)
+{
+    flushInProgress_ = false;
+    flushDurations_.push_back(t - flushStart_);
+    stats_.add("engine.ckptTicks", t - flushStart_);
+    obs::span(obs::Cat::Engine, kFlushLane, "flush", flushStart_, t);
+    if (obs::attributionOn()) {
+        flushRec_.dataDoneTick = flushDataDone_;
+        flushRec_.metaDoneTick = flushMetaDone_;
+        flushRec_.endTick = t;
+        const StatRegistry &ds = ssd_.stats();
+        flushRec_.cowCommands =
+            cowCommandCount(ds) - flushRec_.cowCommands;
+        flushRec_.remappedPairs =
+            ds.get("isce.remappedPairs") - flushRec_.remappedPairs;
+        flushRec_.remappedUnits =
+            ds.get("isce.remappedUnits") - flushRec_.remappedUnits;
+        flushRec_.copiedPairs =
+            ds.get("isce.copiedPairs") - flushRec_.copiedPairs;
+        flushRec_.copiedChunks =
+            ds.get("isce.copiedChunks") - flushRec_.copiedChunks;
+        flushRec_.bufferedSmallRecords =
+            ds.get("isce.bufferedSmallRecords") -
+            flushRec_.bufferedSmallRecords;
+        obs::attrNoteCheckpoint(flushRec_);
+    }
+    ++flushSeq_;
+    drainDeferred();
+    pumpWal();
+    const bool threshold_hit = halfPayloadBytes_[activeHalf_] >=
+                               cfg_.checkpointJournalBytes;
+    if (pendingFlushRequest_ || threshold_hit) {
+        pendingFlushRequest_ = false;
+        requestCheckpoint(obs::CkptTrigger::Backlog);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Compaction
+// ----------------------------------------------------------------------
+
+std::vector<LsmEngine::CompactMove>
+LsmEngine::planCompaction() const
+{
+    // Fold every key's newest data-area copy — tombstones included,
+    // so version ordering survives trimmed-WAL resurrection after a
+    // power-loss rebuild — into the other L1 ping, packed in key
+    // order. The merge itself runs inside the device (force-copy CoW
+    // pairs); the host only names source and destination.
+    std::vector<CompactMove> moves;
+    std::uint64_t cursor = 0;
+    for (std::uint64_t key = 0; key < cfg_.recordCount; ++key) {
+        const KeyState &st = keymap_[key];
+        if (st.dataVersion == 0)
+            continue;
+        CompactMove m;
+        m.key = key;
+        m.version = st.dataVersion;
+        m.chunks = st.dataChunks;
+        m.srcLba = lbaOf(st.dataLoc);
+        m.dstUnitOff = cursor;
+        m.units = recordUnits(st.dataChunks);
+        cursor += m.units;
+        moves.push_back(m);
+    }
+    assert(cursor <= layout_.l1Units());
+    return moves;
+}
+
+void
+LsmEngine::applyCompaction(const std::vector<CompactMove> &moves,
+                           std::uint8_t new_ping)
+{
+    std::uint64_t cursor = 0;
+    for (const CompactMove &m : moves) {
+        KeyState &st = keymap_[m.key];
+        const Loc nl{Loc::Area::L1, new_ping, m.dstUnitOff};
+        if (st.version == m.version)
+            st.loc = nl;
+        st.dataLoc = nl;
+        cursor = m.dstUnitOff + m.units;
+    }
+    const std::uint8_t old_ping = ping_;
+    ping_ = new_ping;
+    l1UsedUnits_[new_ping] = cursor;
+    l1UsedUnits_[old_ping] = 0;
+    for (std::uint32_t r = 0; r < kLsmL0Regions; ++r) {
+        if (regionUsedUnits_[r] > 0) {
+            regionUsedUnits_[r] = 0;
+            regionBusy_[r] = false;
+        }
+    }
+    usedRuns_ = 0;
+    stats_.add("engine.compactedRecords", moves.size());
+    stats_.add("engine.mergedUnits", cursor);
+}
+
+void
+LsmEngine::compactionTrims(std::uint8_t old_ping,
+                           const std::vector<std::uint32_t> &regions,
+                           std::uint64_t old_l1_units,
+                           std::function<void(Tick)> cb)
+{
+    auto job = std::make_shared<FanOut>();
+    job->outstanding = regions.size() + (old_l1_units > 0 ? 1 : 0);
+    job->done = std::move(cb);
+    if (job->outstanding == 0) {
+        job->done(eq_.now());
+        return;
+    }
+    for (std::uint32_t r : regions) {
+        ssd_.submit(Command::trim(layout_.l0Lba(r, 0),
+                                  layout_.regionSectors),
+                    [job](const CmdResult &res) {
+                        job->complete(res);
+                    });
+    }
+    if (old_l1_units > 0) {
+        ssd_.submit(Command::trim(layout_.l1Lba(old_ping, 0),
+                                  layout_.l1Sectors),
+                    [job](const CmdResult &res) {
+                        job->complete(res);
+                    });
+    }
+}
+
+void
+LsmEngine::startCompaction()
+{
+    stats_.add("engine.compactions");
+    const std::uint8_t old_ping = ping_;
+    const std::uint8_t new_ping = ping_ ^ 1;
+    const std::uint64_t old_l1_units = l1UsedUnits_[old_ping];
+    auto regions = std::make_shared<std::vector<std::uint32_t>>();
+    for (std::uint32_t r = 0; r < kLsmL0Regions; ++r) {
+        if (regionUsedUnits_[r] > 0)
+            regions->push_back(r);
+    }
+    auto moves = std::make_shared<std::vector<CompactMove>>(
+        planCompaction());
+    obs::instant(obs::Cat::Engine, kFlushLane, "compact.start",
+                 eq_.now(), {{"records", moves->size()}});
+
+    const std::uint32_t unit_chunks = layout_.unitChunks();
+    std::vector<Command> cmds;
+    std::vector<CowPair> pairs;
+    for (const CompactMove &m : *moves) {
+        pairs.push_back(CowPair::make(
+            m.srcLba, 0, layout_.l1Lba(new_ping, m.dstUnitOff),
+            m.units * unit_chunks, globalSeq_++,
+            /*force_copy=*/true));
+        if (pairs.size() == cfg_.maxPairsPerCommand) {
+            cmds.push_back(
+                Command::checkpointRemap(std::move(pairs)));
+            pairs.clear();
+        }
+    }
+    if (!pairs.empty())
+        cmds.push_back(Command::checkpointRemap(std::move(pairs)));
+
+    auto after_copies = [this, moves, regions, old_ping, new_ping,
+                         old_l1_units](Tick t) {
+        (void)t;
+        applyCompaction(*moves, new_ping);
+        // Manifest (new ping, regions cleared) before the trims.
+        ssd_.submit(buildManifestCommand(),
+                    [this, regions, old_ping,
+                     old_l1_units](const CmdResult &r) {
+            r.require();
+            compactionTrims(old_ping, *regions, old_l1_units,
+                            [this](Tick t3) { finishFlush(t3); });
+        });
+    };
+    if (cmds.empty()) {
+        after_copies(eq_.now());
+        return;
+    }
+    auto job = std::make_shared<FanOut>();
+    job->outstanding = cmds.size();
+    job->done = after_copies;
+    for (Command &c : cmds) {
+        stats_.add("engine.compactionCowCommands");
+        ssd_.submit(std::move(c),
+                    [job](const CmdResult &r) { job->complete(r); });
+    }
+}
+
+// ----------------------------------------------------------------------
+// Manifest
+// ----------------------------------------------------------------------
+
+Command
+LsmEngine::buildManifestCommand()
+{
+    std::vector<SectorData> payload(layout_.manifestSectors);
+    auto put = [&payload](std::uint64_t idx, std::uint64_t value) {
+        payload[idx / kChunksPerSector]
+            .chunks[idx % kChunksPerSector] =
+            catalogToken(idx, value, 0);
+    };
+    put(0, 1); // format magic
+    put(1, ping_);
+    put(2, globalSeq_ & 0xffffff);
+    put(3, (globalSeq_ >> 24) & 0xffffff);
+    for (std::uint32_t r = 0; r < kLsmL0Regions; ++r)
+        put(4 + r, regionUsedUnits_[r]);
+    put(4 + kLsmL0Regions, l1UsedUnits_[0]);
+    put(5 + kLsmL0Regions, l1UsedUnits_[1]);
+    stats_.add("engine.manifestWrites");
+    return Command::write(layout_.manifestStart, std::move(payload),
+                          IoCause::Metadata, globalSeq_++);
+}
+
+LsmEngine::Manifest
+LsmEngine::readManifest() const
+{
+    Manifest m;
+    std::vector<SectorData> buf(layout_.manifestSectors);
+    ssd_.peek(layout_.manifestStart,
+              std::uint32_t(layout_.manifestSectors), buf.data());
+    auto get = [&buf](std::uint64_t idx) -> DecodedToken {
+        return decodeToken(buf[idx / kChunksPerSector]
+                               .chunks[idx % kChunksPerSector]);
+    };
+    const DecodedToken magic = get(0);
+    if (magic.tag != TokenTag::Catalog || magic.key != 0 ||
+        magic.version != 1) {
+        return m; // fresh / unformatted device
+    }
+    m.valid = true;
+    m.ping = std::uint8_t(get(1).version);
+    m.globalSeq = get(2).version | (get(3).version << 24);
+    for (std::uint32_t r = 0; r < kLsmL0Regions; ++r)
+        m.regionUsedUnits[r] = get(4 + r).version;
+    m.l1UsedUnits[0] = get(4 + kLsmL0Regions).version;
+    m.l1UsedUnits[1] = get(5 + kLsmL0Regions).version;
+    return m;
+}
+
+// ----------------------------------------------------------------------
+// Verification
+// ----------------------------------------------------------------------
+
+void
+LsmEngine::verifyKeyContent(std::uint64_t key,
+                            const KeyState &st) const
+{
+    if (st.version == 0)
+        return;
+    const Lba lba = lbaOf(st.loc);
+    if (st.chunks == 0) {
+        // Deleted key: its tombstone record must read back (LSM
+        // tombstones stay on-device through compaction).
+        SectorData buf;
+        ssd_.peek(lba, 1, &buf);
+        if (buf.chunks[0] != tombstoneToken(key, st.version)) {
+            std::ostringstream os;
+            os << "lsm tombstone mismatch: key " << key
+               << " version " << st.version << " at lba " << lba;
+            throw std::runtime_error(os.str());
+        }
+        return;
+    }
+    const auto nsect =
+        std::uint32_t(divCeil(st.chunks, kChunksPerSector));
+    std::vector<SectorData> buf(nsect);
+    ssd_.peek(lba, nsect, buf.data());
+    for (std::uint32_t c = 0; c < st.chunks; ++c) {
+        const std::uint64_t got =
+            buf[c / kChunksPerSector].chunks[c % kChunksPerSector];
+        const std::uint64_t want =
+            dataChunkToken(key, st.version, c);
+        if (got != want) {
+            const DecodedToken d = decodeToken(got);
+            std::ostringstream os;
+            os << "lsm content mismatch: key " << key << " version "
+               << st.version << " chunk " << c << " at lba " << lba
+               << " (area=" << int(st.loc.area)
+               << " idx=" << int(st.loc.idx)
+               << " unitOff=" << st.loc.unitOff
+               << " chunks=" << st.chunks << ") got tag="
+               << int(d.tag) << " key=" << d.key
+               << " ver=" << d.version << " aux=" << d.aux;
+            throw std::runtime_error(os.str());
+        }
+    }
+}
+
+std::uint64_t
+LsmEngine::verifyAllKeys() const
+{
+    std::uint64_t verified = 0;
+    for (std::uint64_t key = 0; key < cfg_.recordCount; ++key) {
+        const KeyState &st = keymap_[key];
+        if (st.version == 0)
+            continue;
+        verifyKeyContent(key, st);
+        ++verified;
+    }
+    return verified;
+}
+
+// ----------------------------------------------------------------------
+// Recovery
+// ----------------------------------------------------------------------
+
+std::vector<LsmEngine::ParsedRec>
+LsmEngine::parseArea(Lba start_lba, std::uint64_t units) const
+{
+    const std::uint32_t unit_chunks = layout_.unitChunks();
+    const std::uint64_t nsect = units * layout_.unitSectors;
+    std::vector<SectorData> buf(nsect);
+    ssd_.peek(start_lba, std::uint32_t(nsect), buf.data());
+    std::vector<std::uint64_t> toks(units * unit_chunks, 0);
+    for (std::uint64_t s = 0; s < nsect; ++s) {
+        for (std::uint32_t c = 0; c < kChunksPerSector; ++c)
+            toks[s * kChunksPerSector + c] = buf[s].chunks[c];
+    }
+    std::vector<ParsedRec> recs;
+    std::uint64_t u = 0;
+    while (u < units) {
+        const std::uint64_t pos = u * unit_chunks;
+        const DecodedToken d = decodeToken(toks[pos]);
+        if (d.tag == TokenTag::Tombstone) {
+            recs.push_back(ParsedRec{d.key,
+                                     std::uint32_t(d.version), 0, u,
+                                     1});
+            ++u;
+            continue;
+        }
+        if (d.tag != TokenTag::Data || d.aux != 0) {
+            ++u;
+            continue;
+        }
+        std::uint64_t n = 1;
+        while (pos + n < toks.size()) {
+            const DecodedToken dn = decodeToken(toks[pos + n]);
+            if (dn.tag == TokenTag::Data && dn.key == d.key &&
+                dn.version == d.version && dn.aux == n) {
+                ++n;
+            } else {
+                break;
+            }
+        }
+        const auto rec_units =
+            std::uint32_t(divCeil(n, unit_chunks));
+        recs.push_back(ParsedRec{d.key, std::uint32_t(d.version),
+                                 std::uint32_t(n), u, rec_units});
+        u += rec_units;
+    }
+    return recs;
+}
+
+RecoveryInfo
+LsmEngine::recover()
+{
+    RecoveryInfo info;
+    const Tick t0 = eq_.now();
+    Tick tmax = t0;
+    auto sync = [this, &tmax](Command cmd) {
+        tmax = std::max(tmax, ssd_.submitSync(std::move(cmd)));
+    };
+
+    // 1. Manifest: which L1 ping and L0 regions are authoritative.
+    sync(Command::read(layout_.manifestStart,
+                       layout_.manifestSectors, IoCause::Metadata));
+    const Manifest m = readManifest();
+    ping_ = m.ping;
+    l1UsedUnits_[0] = m.l1UsedUnits[0];
+    l1UsedUnits_[1] = m.l1UsedUnits[1];
+    usedRuns_ = 0;
+    for (std::uint32_t r = 0; r < kLsmL0Regions; ++r) {
+        regionUsedUnits_[r] = m.regionUsedUnits[r];
+        regionBusy_[r] = m.regionUsedUnits[r] > 0;
+        if (m.regionUsedUnits[r] > 0)
+            ++usedRuns_;
+    }
+    // Fresh stamps must exceed every stamp the crashed run issued
+    // after its last manifest write; slack covers the whole managed
+    // area plus margin.
+    globalSeq_ = m.globalSeq + 2 * layout_.walUnits() +
+                 kLsmL0Regions * layout_.walUnits() +
+                 2 * layout_.l1Units() + 1024;
+
+    // 2. Scan the authoritative data areas: L1 ping, then used L0
+    //    regions (token versions arbitrate, so order is immaterial).
+    auto apply_data = [this](const ParsedRec &r, const Loc &loc) {
+        KeyState &st = keymap_[r.key];
+        if (r.version > st.dataVersion) {
+            st.dataVersion = r.version;
+            st.dataChunks = r.chunks;
+            st.dataLoc = loc;
+        }
+    };
+    if (l1UsedUnits_[ping_] > 0) {
+        sync(Command::read(layout_.l1Lba(ping_, 0),
+                           l1UsedUnits_[ping_] * layout_.unitSectors,
+                           IoCause::Query));
+        for (const ParsedRec &r :
+             parseArea(layout_.l1Lba(ping_, 0),
+                       l1UsedUnits_[ping_])) {
+            apply_data(r, Loc{Loc::Area::L1, ping_, r.unitOff});
+        }
+    }
+    for (std::uint32_t reg = 0; reg < kLsmL0Regions; ++reg) {
+        if (regionUsedUnits_[reg] == 0)
+            continue;
+        sync(Command::read(layout_.l0Lba(reg, 0),
+                           regionUsedUnits_[reg] *
+                               layout_.unitSectors,
+                           IoCause::Query));
+        for (const ParsedRec &r :
+             parseArea(layout_.l0Lba(reg, 0),
+                       regionUsedUnits_[reg])) {
+            apply_data(r, Loc{Loc::Area::L0, std::uint8_t(reg),
+                              r.unitOff});
+        }
+    }
+    for (std::uint64_t key = 0; key < cfg_.recordCount; ++key) {
+        KeyState &st = keymap_[key];
+        if (st.dataVersion == 0)
+            continue;
+        st.version = st.dataVersion;
+        st.assignedVersion = st.dataVersion;
+        st.chunks = st.dataChunks;
+        st.loc = st.dataLoc;
+        ++info.catalogKeys;
+    }
+
+    // 3. Scan both WAL halves; records newer than a key's data copy
+    //    form the replay set. The strict version filter also defuses
+    //    trimmed-WAL resurrection: a half whose logs were deleted can
+    //    reappear after a power-loss rebuild (trim leaves the OOB
+    //    intact), but its records never out-version the promoted run.
+    struct Replay
+    {
+        std::uint32_t version = 0;
+        std::uint32_t chunks = 0;
+        std::uint8_t half = 0;
+        std::uint64_t unitOff = 0;
+        std::uint32_t units = 0;
+    };
+    std::vector<Replay> best(cfg_.recordCount);
+    for (std::uint8_t half = 0; half < 2; ++half) {
+        sync(Command::read(layout_.walStart[half],
+                           layout_.walSectors, IoCause::Journal));
+        for (const ParsedRec &r :
+             parseArea(layout_.walStart[half], layout_.walUnits())) {
+            if (r.key >= cfg_.recordCount)
+                continue;
+            if (r.version <= keymap_[r.key].dataVersion)
+                continue;
+            Replay &b = best[r.key];
+            if (r.version > b.version) {
+                b.version = r.version;
+                b.chunks = r.chunks;
+                b.half = half;
+                b.unitOff = r.unitOff;
+                b.units = r.units;
+            }
+        }
+    }
+
+    // 4. Re-flush the replay set into a free region. Force-copy, not
+    //    remap: the replayed units' stale annotations may target a
+    //    different region, so only a fresh durable write is safe.
+    std::uint64_t replayed = 0;
+    for (const Replay &b : best) {
+        if (b.version > 0)
+            ++replayed;
+    }
+    if (replayed > 0) {
+        const std::uint32_t region = reserveRegion();
+        const std::uint32_t unit_chunks = layout_.unitChunks();
+        std::uint64_t cursor = 0;
+        std::vector<CowPair> pairs;
+        for (std::uint64_t key = 0; key < cfg_.recordCount; ++key) {
+            const Replay &b = best[key];
+            if (b.version == 0)
+                continue;
+            pairs.push_back(CowPair::make(
+                layout_.walLba(b.half, b.unitOff), 0,
+                layout_.l0Lba(region, cursor),
+                b.units * unit_chunks, globalSeq_++,
+                /*force_copy=*/true));
+            KeyState &st = keymap_[key];
+            st.version = b.version;
+            st.assignedVersion = b.version;
+            st.chunks = b.chunks;
+            st.loc = Loc{Loc::Area::L0, std::uint8_t(region),
+                         cursor};
+            st.dataVersion = b.version;
+            st.dataChunks = b.chunks;
+            st.dataLoc = st.loc;
+            cursor += b.units;
+            if (pairs.size() == cfg_.maxPairsPerCommand) {
+                sync(Command::checkpointRemap(std::move(pairs)));
+                pairs.clear();
+            }
+        }
+        if (!pairs.empty())
+            sync(Command::checkpointRemap(std::move(pairs)));
+        regionUsedUnits_[region] = cursor;
+        ++usedRuns_;
+    }
+    info.replayedLogs = replayed;
+
+    // 5. Manifest (also persists the recovery stamp bump), then
+    //    release the WAL and every non-authoritative area.
+    sync(buildManifestCommand());
+    for (std::uint8_t half = 0; half < 2; ++half) {
+        sync(Command::deleteLogs(layout_.walStart[half],
+                                 layout_.walSectors));
+    }
+    for (std::uint32_t reg = 0; reg < kLsmL0Regions; ++reg) {
+        if (regionUsedUnits_[reg] == 0)
+            sync(Command::trim(layout_.l0Lba(reg, 0),
+                               layout_.regionSectors));
+    }
+    sync(Command::trim(layout_.l1Lba(ping_ ^ 1, 0),
+                       layout_.l1Sectors));
+
+    // 6. Compact synchronously if the replay pushed L0 to its limit,
+    //    so the store restarts with compaction headroom.
+    if (usedRuns_ >= kLsmCompactRuns) {
+        stats_.add("engine.compactions");
+        const std::uint8_t old_ping = ping_;
+        const std::uint8_t new_ping = ping_ ^ 1;
+        const std::uint64_t old_l1_units = l1UsedUnits_[old_ping];
+        std::vector<std::uint32_t> regions;
+        for (std::uint32_t r = 0; r < kLsmL0Regions; ++r) {
+            if (regionUsedUnits_[r] > 0)
+                regions.push_back(r);
+        }
+        const std::vector<CompactMove> moves = planCompaction();
+        const std::uint32_t unit_chunks = layout_.unitChunks();
+        std::vector<CowPair> pairs;
+        for (const CompactMove &mv : moves) {
+            pairs.push_back(CowPair::make(
+                mv.srcLba, 0,
+                layout_.l1Lba(new_ping, mv.dstUnitOff),
+                mv.units * unit_chunks, globalSeq_++,
+                /*force_copy=*/true));
+            if (pairs.size() == cfg_.maxPairsPerCommand) {
+                stats_.add("engine.compactionCowCommands");
+                sync(Command::checkpointRemap(std::move(pairs)));
+                pairs.clear();
+            }
+        }
+        if (!pairs.empty()) {
+            stats_.add("engine.compactionCowCommands");
+            sync(Command::checkpointRemap(std::move(pairs)));
+        }
+        applyCompaction(moves, new_ping);
+        sync(buildManifestCommand());
+        for (std::uint32_t r : regions) {
+            sync(Command::trim(layout_.l0Lba(r, 0),
+                               layout_.regionSectors));
+        }
+        if (old_l1_units > 0) {
+            sync(Command::trim(layout_.l1Lba(old_ping, 0),
+                               layout_.l1Sectors));
+        }
+    }
+
+    // 7. Reset the WAL and arm the active half.
+    activeHalf_ = 0;
+    for (std::uint8_t half = 0; half < 2; ++half) {
+        appendUnit_[half] = 0;
+        halfPayloadBytes_[half] = 0;
+        halfRecords_[half].clear();
+        halfClean_[half] = true;
+        halfRegionValid_[half] = false;
+    }
+    halfRegion_[0] = reserveRegion();
+    halfRegionValid_[0] = true;
+
+    info.duration = tmax > t0 ? tmax - t0 : 0;
+    stats_.add("engine.recoveries");
+    stats_.add("engine.recoveredLogs", info.replayedLogs);
+    return info;
+}
+
+} // namespace checkin

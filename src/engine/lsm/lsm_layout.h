@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Logical disk layout of the LSM StorageEngine backend:
+ * manifest area, two WAL halves, L0 run regions, and an L1 ping-pong
+ * pair of sorted key-ordered levels.
+ *
+ * The L0 area holds one run region per WAL-half activation. A region
+ * is exactly one WAL half in size so a memtable flush can promote the
+ * frozen half with identity-offset remap pairs: WAL unit i of the
+ * half becomes unit i of the region, which is what the per-unit OOB
+ * targetLpn annotations written at append time already point at
+ * (remap durability across power loss comes from those annotations,
+ * so the flush must not re-shuffle units).
+ */
+
+#ifndef CHECKIN_ENGINE_LSM_LSM_LAYOUT_H_
+#define CHECKIN_ENGINE_LSM_LSM_LAYOUT_H_
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "engine/engine_config.h"
+#include "ftl/ftl.h"
+#include "sim/types.h"
+
+namespace checkin {
+
+/**
+ * L0 run regions. At most kLsmCompactRuns runs are live before a
+ * compaction folds them into L1; doubling the region count guarantees
+ * the region assigned to a WAL-half activation is always one that the
+ * previous compaction already trimmed, so stale OOB annotations can
+ * only ever target manifest-unused regions.
+ */
+inline constexpr std::uint32_t kLsmL0Regions = 4;
+
+/** Used-run count that triggers a compaction into L1. */
+inline constexpr std::uint32_t kLsmCompactRuns = 2;
+
+/**
+ * Manifest chunk budget: magic, ping, globalSeq lo/hi, per-region
+ * used-unit counts, and both L1 used-unit counts.
+ */
+inline constexpr std::uint64_t kLsmManifestChunks =
+    4 + kLsmL0Regions + 2;
+
+/** Sector-level map of the LSM backend's on-disk areas. */
+struct LsmLayout
+{
+    std::uint64_t recordCount = 0;
+    /** FTL mapping-unit size in sectors. */
+    std::uint32_t unitSectors = 0;
+    /** Units a maximum-size record occupies. */
+    std::uint64_t slotUnits = 0;
+
+    Lba manifestStart = 0;
+    std::uint64_t manifestSectors = 0;
+    Lba walStart[2] = {0, 0};
+    std::uint64_t walSectors = 0; //!< per half
+    Lba l0Start = 0;
+    std::uint64_t regionSectors = 0; //!< per L0 region (== walSectors)
+    Lba l1Start[2] = {0, 0};
+    std::uint64_t l1Sectors = 0; //!< per L1 ping
+
+    /**
+     * Compute the layout. Areas are aligned to @p unit_sectors so
+     * every record starts on an FTL mapping-unit boundary (remap and
+     * copy offload both require whole-unit operands).
+     * @throws std::invalid_argument when the device is too small.
+     */
+    static LsmLayout
+    compute(const EngineConfig &cfg, std::uint64_t capacity_sectors,
+            std::uint32_t unit_sectors)
+    {
+        LsmLayout l;
+        l.recordCount = cfg.recordCount;
+        l.unitSectors = unit_sectors;
+        l.slotUnits = divCeil(
+            divCeil(cfg.maxValueBytes, kSectorBytes), unit_sectors);
+        l.manifestStart = 0;
+        l.manifestSectors = alignUp(
+            divCeil(kLsmManifestChunks, kChunksPerSector),
+            unit_sectors);
+        l.walSectors = alignUp(
+            divCeil(cfg.journalHalfBytes, kSectorBytes), unit_sectors);
+        l.walStart[0] = l.manifestStart + l.manifestSectors;
+        l.walStart[1] = l.walStart[0] + l.walSectors;
+        l.l0Start = l.walStart[1] + l.walSectors;
+        l.regionSectors = l.walSectors;
+        l.l1Sectors = l.recordCount * l.slotUnits * unit_sectors;
+        l.l1Start[0] = l.l0Start + kLsmL0Regions * l.regionSectors;
+        l.l1Start[1] = l.l1Start[0] + l.l1Sectors;
+        if (l.l1Start[1] + l.l1Sectors > capacity_sectors) {
+            throw std::invalid_argument(
+                "LsmLayout: store does not fit the device");
+        }
+        if (l.slotUnits > l.walUnits()) {
+            throw std::invalid_argument(
+                "LsmLayout: journal half smaller than one record");
+        }
+        return l;
+    }
+
+    /** Units per WAL half (== units per L0 region). */
+    std::uint64_t
+    walUnits() const
+    {
+        return walSectors / unitSectors;
+    }
+
+    /** Units per L1 ping. */
+    std::uint64_t
+    l1Units() const
+    {
+        return l1Sectors / unitSectors;
+    }
+
+    /** 128 B chunks per mapping unit. */
+    std::uint32_t
+    unitChunks() const
+    {
+        return unitSectors * kChunksPerSector;
+    }
+
+    /** First sector of WAL unit @p unit_off in @p half. */
+    Lba
+    walLba(std::uint8_t half, std::uint64_t unit_off) const
+    {
+        return walStart[half] + unit_off * unitSectors;
+    }
+
+    /** First sector of unit @p unit_off of L0 region @p region. */
+    Lba
+    l0Lba(std::uint32_t region, std::uint64_t unit_off) const
+    {
+        return l0Start + region * regionSectors +
+               unit_off * unitSectors;
+    }
+
+    /** First sector of unit @p unit_off of L1 ping @p ping. */
+    Lba
+    l1Lba(std::uint8_t ping, std::uint64_t unit_off) const
+    {
+        return l1Start[ping] + unit_off * unitSectors;
+    }
+
+    /** LPN (mapping-unit number) of unit @p unit_off of @p region;
+     *  the value WAL append annotations carry as targetLpn. */
+    std::uint64_t
+    l0UnitLpn(std::uint32_t region, std::uint64_t unit_off) const
+    {
+        return l0Lba(region, unit_off) / unitSectors;
+    }
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_ENGINE_LSM_LSM_LAYOUT_H_

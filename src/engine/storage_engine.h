@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Abstract storage-engine interface.
+ *
+ * Every consumer of the engine layer (workload clients, the harness,
+ * the crash oracle, cluster shards, examples, benches) programs
+ * against this contract; concrete backends plug in behind
+ * EngineConfig::backend (see harness/presets.h makeEngine):
+ *
+ *  - `checkin` (engine/kv_engine.h): the paper's checkpoint-journal
+ *    design — in-place data area + dual journal halves + in-storage
+ *    checkpointing.
+ *  - `lsm` (engine/lsm/lsm_engine.h): memtable + WAL over the journal
+ *    area, immutable sorted runs in the data area, and leveled
+ *    compaction whose merges are offloaded to the ISCE.
+ *
+ * The lifecycle contract is shared by all backends: construct, then
+ * call either load() (fresh store) or recover() (rebuild from an
+ * existing device after a crash), then start() to arm background
+ * triggers, then issue queries. requestCheckpoint() means "make all
+ * acknowledged state durable in the data area and release journal
+ * space" whatever the backend calls that internally (checkpoint,
+ * memtable flush, ...).
+ */
+
+#ifndef CHECKIN_ENGINE_STORAGE_ENGINE_H_
+#define CHECKIN_ENGINE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "engine/engine_config.h"
+#include "obs/flight_recorder.h"
+#include "sim/stats.h"
+#include "sim/types.h"
+
+namespace checkin {
+
+/** Per-query completion info handed to the client. */
+struct QueryResult
+{
+    /** Completion tick. */
+    Tick done = 0;
+    /** True when a checkpoint was running while the query executed. */
+    bool duringCheckpoint = false;
+    /** True when the key had a value (GET paths). */
+    bool found = false;
+    /** Keys with live values returned by a SCAN. */
+    std::uint32_t scanned = 0;
+};
+
+/** Outcome of a crash recovery pass. */
+struct RecoveryInfo
+{
+    std::uint64_t catalogKeys = 0;   //!< keys restored from catalog
+    std::uint64_t replayedLogs = 0;  //!< journal records replayed
+    Tick duration = 0;               //!< simulated recovery time
+};
+
+/**
+ * Backend-independent storage-engine contract.
+ *
+ * Keys are dense in [0, config().recordCount); values are sized in
+ * bytes and stored as 128 B content-token chunks (engine/record.h).
+ * All queries are asynchronous: the callback fires when the operation
+ * is acknowledged, and an acknowledged write must survive any later
+ * power loss (the crash oracle enforces this for every backend).
+ */
+class StorageEngine
+{
+  public:
+    using QueryCb = std::function<void(const QueryResult &)>;
+
+    /** One operation of a multi-key transaction. */
+    struct BatchOp
+    {
+        std::uint64_t key;
+        /** Value size; 0 deletes the key. */
+        std::uint32_t valueBytes;
+    };
+
+    virtual ~StorageEngine() = default;
+
+    /**
+     * Populate the store with initial values (version 1).
+     * @p size_of gives each key's value size.
+     */
+    virtual void
+    load(const std::function<std::uint32_t(std::uint64_t)> &size_of)
+        = 0;
+
+    /**
+     * Rebuild engine state from the device after a crash and leave a
+     * clean store. Must be idempotent: recovering an already-clean
+     * store is a no-op apart from simulated time.
+     */
+    virtual RecoveryInfo recover() = 0;
+
+    /** Arm background triggers (checkpoint timer / flush policy). */
+    virtual void start() = 0;
+
+    // ------------------------------------------------------------------
+    // Query interface
+    // ------------------------------------------------------------------
+    virtual void get(std::uint64_t key, QueryCb cb) = 0;
+    virtual void update(std::uint64_t key, std::uint32_t value_bytes,
+                        QueryCb cb)
+        = 0;
+    virtual void readModifyWrite(std::uint64_t key,
+                                 std::uint32_t value_bytes,
+                                 QueryCb cb)
+        = 0;
+    /** Delete a key; later GETs report found == false. */
+    virtual void erase(std::uint64_t key, QueryCb cb) = 0;
+    /**
+     * Atomic multi-key transaction: a crash persists all operations
+     * or none. @p cb fires once, after the whole group is durable.
+     */
+    virtual void updateBatch(std::vector<BatchOp> ops, QueryCb cb) = 0;
+    /** Range scan over up to @p count consecutive keys. */
+    virtual void scan(std::uint64_t start_key, std::uint32_t count,
+                      QueryCb cb)
+        = 0;
+
+    // ------------------------------------------------------------------
+    // Checkpoint / flush control
+    // ------------------------------------------------------------------
+    /** Make acknowledged state durable in the data area and release
+     *  journal space now if possible, else mark one pending. */
+    virtual void requestCheckpoint(
+        obs::CkptTrigger reason = obs::CkptTrigger::Manual)
+        = 0;
+    virtual bool checkpointInProgress() const = 0;
+    /** Completed checkpoint/flush durations, in ticks. */
+    virtual const std::vector<Tick> &checkpointDurations() const = 0;
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+    virtual StatRegistry &stats() = 0;
+    virtual const StatRegistry &stats() const = 0;
+    virtual const EngineConfig &config() const = 0;
+
+    /**
+     * Latest committed (acknowledged-durable) version of @p key; 0
+     * when never written. The crash oracle compares this against the
+     * versions it saw acknowledged before a power cut.
+     */
+    virtual std::uint32_t committedVersion(std::uint64_t key) const = 0;
+
+    /**
+     * Functional full-store verification: read every key's committed
+     * value and check its content tokens.
+     * @return number of keys verified.
+     * @throws std::runtime_error on any content mismatch.
+     */
+    virtual std::uint64_t verifyAllKeys() const = 0;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_ENGINE_STORAGE_ENGINE_H_

@@ -7,8 +7,9 @@
 #include <utility>
 #include <vector>
 
-#include "engine/kv_engine.h"
+#include "engine/storage_engine.h"
 #include "fault/fault_plan.h"
+#include "harness/presets.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "sim/sim_context.h"
@@ -52,8 +53,8 @@ class OracleRun
         ftl_cfg.mappingUnitBytes = cfg.base.resolvedMappingUnit();
         ssd_ = std::make_unique<Ssd>(ctx_, cfg.base.nand, ftl_cfg,
                                      cfg.base.ssd);
-        engine_ = std::make_unique<KvEngine>(ctx_, *ssd_,
-                                             cfg.base.engine);
+        engine_ = presets::makeEngine(ctx_, *ssd_,
+                                      cfg.base.engine);
         engine_->load([&cfg](std::uint64_t key) {
             return 128u *
                    (1u + std::uint32_t(mix64(key ^ cfg.seed) % 4));
@@ -67,7 +68,7 @@ class OracleRun
     }
 
     EventQueue &events() { return ctx_.events(); }
-    KvEngine &engine() { return *engine_; }
+    StorageEngine &engine() { return *engine_; }
     FaultPlan &plan() { return plan_; }
     Tick loadEnd() const { return loadEnd_; }
     std::uint32_t ackCount() const { return acks_; }
@@ -134,8 +135,8 @@ class OracleRun
         engine_.reset();
         ssd_->suddenPowerLoss();
         ssd_->ftl().checkInvariants();
-        engine_ = std::make_unique<KvEngine>(ctx_, *ssd_,
-                                             cfg_.base.engine);
+        engine_ = presets::makeEngine(ctx_, *ssd_,
+                                      cfg_.base.engine);
         engine_->recover();
         return mid;
     }
@@ -154,7 +155,7 @@ class OracleRun
             eq.schedule(at, [this, key, del] {
                 auto ack = [this, key](const QueryResult &) {
                     committed_[key] =
-                        engine_->keymap()[key].version;
+                        engine_->committedVersion(key);
                     ++acks_;
                 };
                 if (del)
@@ -163,7 +164,7 @@ class OracleRun
                     engine_->update(
                         key,
                         valueBytes(key,
-                                   engine_->keymap()[key].version),
+                                   engine_->committedVersion(key)),
                         std::move(ack));
             });
             // Guaranteed checkpoint activity even when the timer is
@@ -182,7 +183,7 @@ class OracleRun
     SimContextScope scope_;
     FaultPlan plan_;
     std::unique_ptr<Ssd> ssd_;
-    std::unique_ptr<KvEngine> engine_;
+    std::unique_ptr<StorageEngine> engine_;
     Tick loadEnd_ = 0;
     std::uint32_t acks_ = 0;
     std::map<std::uint64_t, std::uint32_t> committed_;
@@ -231,7 +232,7 @@ runCrashOracle(const OracleConfig &cfg)
         if (run.crashAndRecover(crash_tick))
             ++report.midCheckpointCrashes;
         for (const auto &[key, version] : acked) {
-            if (run.engine().keymap()[key].version < version)
+            if (run.engine().committedVersion(key) < version)
                 ++report.lostWrites;
         }
         try {

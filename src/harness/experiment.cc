@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "engine/kv_engine.h"
+#include "engine/storage_engine.h"
+#include "harness/presets.h"
 #include "harness/run_export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,6 +19,10 @@ ExperimentConfig::resolvedMappingUnit() const
 {
     if (mappingUnitOverride != 0)
         return mappingUnitOverride;
+    // The LSM backend always journals and remaps at sector
+    // granularity, whatever checkpoint mode tags the config.
+    if (engine.backend == EngineBackend::Lsm)
+        return 512;
     switch (engine.mode) {
       case CheckpointMode::Baseline:
       case CheckpointMode::IscA:
@@ -36,7 +41,7 @@ namespace {
 
 /** Snapshot every stat registry into one prefixed map. */
 std::map<std::string, std::uint64_t>
-collectStats(const Ssd &ssd, const KvEngine &engine)
+collectStats(const Ssd &ssd, const StorageEngine &engine)
 {
     std::map<std::string, std::uint64_t> out;
     for (const auto &[k, v] : ssd.nand().stats().all())
@@ -130,7 +135,9 @@ runExperiment(const ExperimentConfig &cfg)
     FtlConfig ftl_cfg = cfg.ftl;
     ftl_cfg.mappingUnitBytes = cfg.resolvedMappingUnit();
     Ssd ssd(ctx, cfg.nand, ftl_cfg, cfg.ssd);
-    KvEngine engine(ctx, ssd, cfg.engine);
+    const std::unique_ptr<StorageEngine> engine_ptr =
+        presets::makeEngine(ctx, ssd, cfg.engine);
+    StorageEngine &engine = *engine_ptr;
 
     WorkloadGenerator sizer(cfg.workload, cfg.engine.recordCount);
     engine.load([&sizer](std::uint64_t key) {

@@ -1,6 +1,34 @@
 #include "harness/presets.h"
 
+#include <stdexcept>
+
+#include "engine/kv_engine.h"
+#include "engine/lsm/lsm_engine.h"
+
 namespace checkin::presets {
+
+std::unique_ptr<StorageEngine>
+makeEngine(SimContext &ctx, Ssd &ssd, const EngineConfig &cfg)
+{
+    switch (cfg.backend) {
+      case EngineBackend::CheckIn:
+        return std::make_unique<KvEngine>(ctx, ssd, cfg);
+      case EngineBackend::Lsm:
+        return std::make_unique<LsmEngine>(ctx, ssd, cfg);
+    }
+    throw std::runtime_error("makeEngine: unknown backend");
+}
+
+EngineBackend
+parseEngineBackend(const std::string &name)
+{
+    if (name == "checkin")
+        return EngineBackend::CheckIn;
+    if (name == "lsm")
+        return EngineBackend::Lsm;
+    throw std::runtime_error("unknown engine backend: " + name +
+                             " (expected checkin or lsm)");
+}
 
 ExperimentConfig
 small()

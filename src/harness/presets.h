@@ -17,7 +17,15 @@
 #ifndef CHECKIN_HARNESS_PRESETS_H_
 #define CHECKIN_HARNESS_PRESETS_H_
 
+#include <memory>
+
+#include "engine/storage_engine.h"
 #include "harness/experiment.h"
+
+namespace checkin {
+class SimContext;
+class Ssd;
+} // namespace checkin
 
 namespace checkin::presets {
 
@@ -29,6 +37,17 @@ ExperimentConfig paper();
 
 /** small() with deterministic fault injection enabled. */
 ExperimentConfig faulty();
+
+/**
+ * Build the StorageEngine backend selected by @p cfg.backend.
+ * Every consumer that is not backend-specific constructs its engine
+ * through here.
+ */
+std::unique_ptr<StorageEngine>
+makeEngine(SimContext &ctx, Ssd &ssd, const EngineConfig &cfg);
+
+/** Parse an --engine value ("checkin" / "lsm"); throws on others. */
+EngineBackend parseEngineBackend(const std::string &name);
 
 } // namespace checkin::presets
 

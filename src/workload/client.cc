@@ -40,7 +40,7 @@ opAttrClass(WorkloadGenerator::OpType type)
 
 } // namespace
 
-ClientPool::ClientPool(SimContext &ctx, KvEngine &engine,
+ClientPool::ClientPool(SimContext &ctx, StorageEngine &engine,
                        const WorkloadSpec &spec,
                        std::uint32_t threads)
     : eq_(ctx.events()),

@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <functional>
 
-#include "engine/kv_engine.h"
+#include "engine/storage_engine.h"
 #include "sim/event_queue.h"
 #include "sim/histogram.h"
 #include "sim/sim_context.h"
@@ -54,11 +54,12 @@ struct ClientStats
     }
 };
 
-/** Drives a WorkloadSpec against a KvEngine with closed-loop threads. */
+/** Drives a WorkloadSpec against a StorageEngine with closed-loop
+ *  threads. */
 class ClientPool
 {
   public:
-    ClientPool(SimContext &ctx, KvEngine &engine,
+    ClientPool(SimContext &ctx, StorageEngine &engine,
                const WorkloadSpec &spec, std::uint32_t threads);
 
     /** Launch all threads' first operations. */
@@ -81,7 +82,7 @@ class ClientPool
                 Tick issued, const QueryResult &res);
 
     EventQueue &eq_;
-    KvEngine &engine_;
+    StorageEngine &engine_;
     WorkloadGenerator gen_;
     std::uint64_t opTarget_;
     std::uint64_t opsIssued_ = 0;

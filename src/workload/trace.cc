@@ -5,7 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "engine/kv_engine.h"
+#include "engine/storage_engine.h"
+#include "sim/sim_context.h"
 
 namespace checkin {
 
@@ -100,7 +101,7 @@ Trace::load(std::istream &is)
     return t;
 }
 
-TraceReplayer::TraceReplayer(SimContext &ctx, KvEngine &engine,
+TraceReplayer::TraceReplayer(SimContext &ctx, StorageEngine &engine,
                              const Trace &trace,
                              std::uint32_t threads)
     : eq_(ctx.events()),

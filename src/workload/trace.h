@@ -72,7 +72,7 @@ class Trace
     std::vector<Op> ops_;
 };
 
-class KvEngine;
+class StorageEngine;
 class EventQueue;
 class SimContext;
 
@@ -80,7 +80,7 @@ class SimContext;
 class TraceReplayer
 {
   public:
-    TraceReplayer(SimContext &ctx, KvEngine &engine,
+    TraceReplayer(SimContext &ctx, StorageEngine &engine,
                   const Trace &trace, std::uint32_t threads);
 
     void start();
@@ -91,7 +91,7 @@ class TraceReplayer
     void issueNext();
 
     EventQueue &eq_;
-    KvEngine &engine_;
+    StorageEngine &engine_;
     const Trace &trace_;
     std::uint32_t threads_;
     std::uint64_t issued_ = 0;

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Backend-agnostic StorageEngine conformance suite.
+ *
+ * Every test runs against both backends (`checkin`, `lsm`) through
+ * the abstract interface only, so a new backend inherits the whole
+ * contract for free: read-your-writes, erase/scan visibility,
+ * updateBatch atomicity across a sudden power cut, recover()
+ * idempotence, and a small crash-oracle campaign per backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "engine/storage_engine.h"
+#include "harness/crash_oracle.h"
+#include "harness/presets.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/sim_context.h"
+#include "ssd/ssd.h"
+
+namespace checkin {
+namespace {
+
+NandConfig
+smallNand()
+{
+    NandConfig c;
+    c.channels = 2;
+    c.diesPerChannel = 2;
+    c.blocksPerPlane = 32;
+    c.pagesPerBlock = 32;
+    return c;
+}
+
+EngineConfig
+engineCfg(EngineBackend backend)
+{
+    EngineConfig c;
+    c.backend = backend;
+    c.recordCount = 200;
+    c.maxValueBytes = 2048;
+    c.journalHalfBytes = kMiB;
+    c.checkpointJournalBytes = 256 * kKiB;
+    c.checkpointInterval = 0;
+    return c;
+}
+
+/**
+ * Device + engine built through the backend-independent factory;
+ * crash() models a full power cut (host RAM gone, device SPOR).
+ */
+struct ConformanceRig
+{
+    SimContext ctx;
+    EventQueue &eq = ctx.events();
+    std::unique_ptr<Ssd> ssd;
+    std::unique_ptr<StorageEngine> engine;
+    EngineBackend backend;
+    /** Last version whose commit callback fired, per key. */
+    std::map<std::uint64_t, std::uint32_t> committed;
+
+    explicit ConformanceRig(EngineBackend b) : backend(b)
+    {
+        FtlConfig ftl_cfg;
+        ftl_cfg.mappingUnitBytes = 512;
+        ssd = std::make_unique<Ssd>(ctx, smallNand(), ftl_cfg,
+                                    SsdConfig{});
+        engine = presets::makeEngine(ctx, *ssd, engineCfg(b));
+        engine->load([](std::uint64_t) { return 256u; });
+        for (std::uint64_t k = 0; k < 200; ++k)
+            committed[k] = 1;
+        eq.schedule(ssd->quiesceTick(), [] {});
+        eq.run();
+    }
+
+    void
+    issueUpdates(int n, Rng &rng)
+    {
+        for (int i = 0; i < n; ++i) {
+            const std::uint64_t key = rng.nextBounded(200);
+            const auto bytes =
+                std::uint32_t(128 * (1 + rng.nextBounded(4)));
+            engine->update(key, bytes,
+                           [this, key](const QueryResult &) {
+                               auto &v = committed[key];
+                               const std::uint32_t got =
+                                   engine->committedVersion(key);
+                               v = std::max(v, got);
+                           });
+        }
+    }
+
+    /** Power cut: host work and engine RAM die, the device SPORs. */
+    void
+    crash()
+    {
+        eq.clear();
+        engine.reset();
+        ssd->suddenPowerLoss();
+        ssd->ftl().checkInvariants();
+    }
+
+    /** Build a fresh engine over the surviving device and recover. */
+    RecoveryInfo
+    recover()
+    {
+        engine = presets::makeEngine(ctx, *ssd, engineCfg(backend));
+        return engine->recover();
+    }
+
+    /** No committed update may be lost; content must verify. */
+    void
+    checkDurability() const
+    {
+        for (const auto &[key, version] : committed) {
+            EXPECT_GE(engine->committedVersion(key), version)
+                << "lost committed update for key " << key;
+        }
+        engine->verifyAllKeys();
+    }
+};
+
+class EngineConformance
+    : public ::testing::TestWithParam<EngineBackend>
+{
+};
+
+// ---------------------------------------------------------------------
+// Read-your-writes
+// ---------------------------------------------------------------------
+
+TEST_P(EngineConformance, GetServesLatestAcknowledgedUpdate)
+{
+    ConformanceRig rig(GetParam());
+    rig.engine->update(7, 1024, [](const QueryResult &) {});
+    rig.eq.run();
+    EXPECT_EQ(rig.engine->committedVersion(7), 2u);
+
+    bool found = false;
+    rig.engine->get(
+        7, [&found](const QueryResult &r) { found = r.found; });
+    rig.eq.run();
+    EXPECT_TRUE(found);
+    EXPECT_EQ(rig.engine->verifyAllKeys(), 200u);
+}
+
+// ---------------------------------------------------------------------
+// Erase + scan visibility
+// ---------------------------------------------------------------------
+
+TEST_P(EngineConformance, EraseHidesKeyFromGetAndScan)
+{
+    ConformanceRig rig(GetParam());
+    rig.engine->erase(10, [](const QueryResult &) {});
+    rig.eq.run();
+
+    bool found = true;
+    rig.engine->get(
+        10, [&found](const QueryResult &r) { found = r.found; });
+    rig.eq.run();
+    EXPECT_FALSE(found) << "deleted key still served";
+
+    // Keys 8..12: only the erased key 10 must be skipped.
+    std::uint32_t scanned = 0;
+    rig.engine->scan(8, 5, [&scanned](const QueryResult &r) {
+        scanned = r.scanned;
+    });
+    rig.eq.run();
+    EXPECT_EQ(scanned, 4u);
+
+    // Re-inserting resurrects the key at a newer version.
+    rig.engine->update(10, 512, [](const QueryResult &) {});
+    rig.eq.run();
+    found = false;
+    rig.engine->get(
+        10, [&found](const QueryResult &r) { found = r.found; });
+    rig.eq.run();
+    EXPECT_TRUE(found);
+    rig.engine->verifyAllKeys();
+}
+
+// ---------------------------------------------------------------------
+// updateBatch atomicity across a power cut
+// ---------------------------------------------------------------------
+
+TEST_P(EngineConformance, BatchAtomicAcrossPowerLossSweep)
+{
+    // Cut power at increasing drain depths around one three-key
+    // transaction (two updates + one delete). After recovery the
+    // batch must be all-in or all-out, and all-in whenever the ack
+    // fired before the cut.
+    for (int depth = 0; depth < 14; ++depth) {
+        ConformanceRig rig(GetParam());
+        std::vector<StorageEngine::BatchOp> ops{
+            {20, 1024}, {21, 512}, {22, 0}};
+        bool acked = false;
+        rig.engine->updateBatch(
+            ops, [&acked](const QueryResult &) { acked = true; });
+        for (int i = 0; i < depth * 5 && rig.eq.step(); ++i) {
+        }
+        rig.crash();
+        rig.recover();
+        const bool a20 = rig.engine->committedVersion(20) > 1;
+        const bool a21 = rig.engine->committedVersion(21) > 1;
+        const bool a22 = rig.engine->committedVersion(22) > 1;
+        EXPECT_EQ(a20, a21) << "torn batch at depth " << depth;
+        EXPECT_EQ(a20, a22) << "torn batch at depth " << depth;
+        if (acked) {
+            EXPECT_TRUE(a20)
+                << "acked batch lost at depth " << depth;
+        }
+        rig.engine->verifyAllKeys();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+TEST_P(EngineConformance, PowerLossLosesNoCommittedUpdate)
+{
+    ConformanceRig rig(GetParam());
+    Rng rng(21);
+    rig.issueUpdates(300, rng);
+    // Partial drain: some committed, some in flight.
+    for (int i = 0; i < 400 && rig.eq.step(); ++i) {
+    }
+    rig.crash();
+    rig.recover();
+    rig.checkDurability();
+
+    // The recovered store keeps serving and flushing.
+    rig.issueUpdates(120, rng);
+    rig.eq.run();
+    rig.engine->requestCheckpoint();
+    rig.eq.run();
+    rig.checkDurability();
+    EXPECT_EQ(rig.engine->verifyAllKeys(), 200u);
+}
+
+TEST_P(EngineConformance, RecoverIsIdempotentOnCleanStore)
+{
+    ConformanceRig rig(GetParam());
+    Rng rng(22);
+    rig.issueUpdates(200, rng);
+    rig.eq.run();
+    rig.crash();
+    rig.recover();
+    rig.checkDurability();
+    std::map<std::uint64_t, std::uint32_t> after_first;
+    for (std::uint64_t k = 0; k < 200; ++k)
+        after_first[k] = rig.engine->committedVersion(k);
+
+    // recover() leaves a clean store: a second crash + recovery has
+    // nothing to replay and changes no committed version.
+    rig.crash();
+    const RecoveryInfo second = rig.recover();
+    EXPECT_EQ(second.replayedLogs, 0u);
+    for (std::uint64_t k = 0; k < 200; ++k)
+        EXPECT_EQ(rig.engine->committedVersion(k), after_first[k])
+            << "second recovery changed key " << k;
+    rig.checkDurability();
+}
+
+// ---------------------------------------------------------------------
+// Crash-oracle campaign per backend
+// ---------------------------------------------------------------------
+
+TEST_P(EngineConformance, CrashOracleFindsNoLostOrTornWrites)
+{
+    OracleConfig oc;
+    oc.base = presets::small();
+    oc.base.engine.backend = GetParam();
+    oc.base.engine.recordCount = 200;
+    oc.base.engine.journalHalfBytes = 2 * kMiB;
+    oc.base.engine.checkpointJournalBytes = kMiB;
+    oc.base.nand.blocksPerPlane = 32;
+    oc.base.nand.pagesPerBlock = 32;
+    oc.seed = 11;
+    oc.crashPoints = 6;
+    oc.ops = 240;
+    const OracleReport r = runCrashOracle(oc);
+    EXPECT_TRUE(r.ok()) << "lost=" << r.lostWrites
+                        << " torn=" << r.tornRecords;
+    EXPECT_EQ(r.crashesRun, oc.crashPoints);
+    EXPECT_GT(r.ackedWrites, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, EngineConformance,
+    ::testing::Values(EngineBackend::CheckIn, EngineBackend::Lsm),
+    [](const ::testing::TestParamInfo<EngineBackend> &info) {
+        return info.param == EngineBackend::CheckIn ? "checkin"
+                                                    : "lsm";
+    });
+
+} // namespace
+} // namespace checkin

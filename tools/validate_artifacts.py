@@ -10,7 +10,10 @@ Stdlib-only schema check for the JSON files the simulator emits:
   summary.json       RunResult export (harness/run_export.h)
   cluster.json       cluster run export (src/cluster/cluster.h)
   BENCH_cluster.json cluster scaling report (bench/cluster_scaling)
-  BENCH_*.json       bench/fig* reports (bench/bench_common.h)
+  BENCH_engines.json storage-backend comparison (bench/engine_compare)
+  BENCH_*.json       bench/fig* reports (bench/bench_common.h);
+                     every bench name must be registered below —
+                     unregistered reports fail validation
 
 Usage:
   tools/validate_artifacts.py PATH...
@@ -302,6 +305,66 @@ def validate_bench(path, doc):
         require(path, run, "result", dict)
 
 
+def validate_bench_engines(path, doc):
+    """BENCH_engines.json: the backend-comparison grid. Each run is a
+    full RunResult export with latency attribution enabled; the label
+    set must cover every (workload, backend) cell exactly once."""
+    validate_bench(path, doc)
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        return
+    expected = {f"{w}-{b}"
+                for w in ("ycsb-a", "ycsb-b", "ycsb-c")
+                for b in ("checkin", "lsm")}
+    labels = [r.get("label") for r in runs if isinstance(r, dict)]
+    if sorted(labels) != sorted(expected):
+        err(path, f"labels {sorted(labels)} != expected grid "
+                  f"{sorted(expected)}")
+    for i, run in enumerate(runs):
+        ctx = f"runs[{i}]"
+        result = run.get("result") if isinstance(run, dict) else None
+        if not isinstance(result, dict):
+            continue
+        require(path, result, "throughputOps", (int, float))
+        require(path, result, "avgLatencyUs", (int, float))
+        client = require(path, result, "client", dict)
+        if client is not None:
+            check_hist(path, client.get("all"), f"{ctx}.client.all")
+        flash = require(path, result, "flash", dict)
+        if flash is not None:
+            require(path, flash, "waf", (int, float))
+            require(path, flash, "programs", int)
+        journal = require(path, result, "journal", dict)
+        if journal is not None:
+            require(path, journal, "payloadBytes", int)
+            require(path, journal, "stalls", int)
+        ckpts = require(path, result, "checkpoints", dict)
+        if ckpts is not None:
+            require(path, ckpts, "count", int)
+        attribution = require(path, result, "attribution", dict)
+        if attribution is not None:
+            enabled = attribution.get("enabled")
+            if enabled is not True:
+                err(path, f"{ctx}: attribution not enabled — the "
+                          "device-busy split would be empty")
+            classes = require(path, attribution, "classes", dict)
+            if classes is not None:
+                check_class_map(path, classes,
+                                f"{ctx}.attribution.classes")
+
+
+# Bench reports validated by the generic shape check. A BENCH_*.json
+# whose name is in neither this set nor VALIDATORS fails validation:
+# a new bench must register here (or with its own validator) so a
+# typo'd or half-wired report can never pass silently.
+GENERIC_BENCHES = {
+    "ablation_checkin", "ext_workloads", "fault", "fig03_motivation",
+    "fig04_breakdown", "fig08_write_amp", "fig09_tail_latency",
+    "fig10_checkpoint_time", "fig11_throughput_latency",
+    "fig12_interval_sensitivity", "fig13_mapping_unit", "kernel",
+}
+
+
 VALIDATORS = {
     "trace.json": validate_trace,
     "attribution.json": validate_attribution,
@@ -310,6 +373,7 @@ VALIDATORS = {
     "summary.json": validate_summary,
     "cluster.json": validate_cluster,
     "BENCH_cluster.json": validate_bench_cluster,
+    "BENCH_engines.json": validate_bench_engines,
 }
 
 
@@ -317,6 +381,12 @@ def dispatch(path):
     if path.name in VALIDATORS:
         validator = VALIDATORS[path.name]
     elif path.name.startswith("BENCH_") and path.suffix == ".json":
+        bench = path.name[len("BENCH_"):-len(".json")]
+        if bench not in GENERIC_BENCHES:
+            err(path, "BENCH report with no registered schema — add "
+                      "it to GENERIC_BENCHES or VALIDATORS in "
+                      "tools/validate_artifacts.py")
+            return True
         validator = validate_bench
     else:
         return False
