@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Open-loop traffic sweep: fixed vs adaptive checkpoint trigger
+ * under arrival processes a closed-loop driver cannot express —
+ * Poisson, bursty MMPP, diurnal load curves, a hot-key flash crowd,
+ * and a multi-tenant mix with per-tenant SLOs.
+ *
+ * The claim under test (ROADMAP item 2): with arrivals on their own
+ * clock, checkpoint device work that lands inside an arrival burst
+ * compounds into queue delay, so an adaptive trigger that defers
+ * checkpoints through bursts and paces them into lulls — while a
+ * hard safety bound keeps the journal from ever overflowing — beats
+ * the paper's fixed interval/threshold trigger on p99.9 latency at
+ * equal offered load and durability (same bounded journal, similar
+ * checkpoint cadence). Emits BENCH_openloop.json through the
+ * deterministic sweep runner (byte-identical for any --jobs value).
+ *
+ * Usage: openloop [--quick] [--jobs N]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/rng.h"
+
+using namespace checkin;
+using namespace checkin::bench;
+
+namespace {
+
+struct Scenario
+{
+    const char *name;
+    TrafficSpec traffic;
+};
+
+TrafficSpec
+openBase()
+{
+    TrafficSpec t;
+    t.mode = LoopMode::Open;
+    return t;
+}
+
+std::vector<Scenario>
+scenarios()
+{
+    std::vector<Scenario> out;
+
+    TrafficSpec poisson = openBase();
+    poisson.process = ArrivalProcess::Poisson;
+    poisson.offeredOpsPerSec = 120'000.0;
+    out.push_back({"poisson", poisson});
+
+    // Bursty MMPP: 90k base with 4x bursts — past the sustainable
+    // service rate while the burst lasts, so the queue (and any
+    // checkpoint scheduled mid-burst) shows up at p99.9.
+    TrafficSpec mmpp = openBase();
+    mmpp.process = ArrivalProcess::Mmpp;
+    mmpp.offeredOpsPerSec = 90'000.0;
+    mmpp.burstMultiplier = 4.0;
+    mmpp.meanBaseDwell = 50 * kMsec;
+    mmpp.meanBurstDwell = 25 * kMsec;
+    out.push_back({"mmpp", mmpp});
+
+    TrafficSpec diurnal = openBase();
+    diurnal.process = ArrivalProcess::Diurnal;
+    diurnal.offeredOpsPerSec = 110'000.0;
+    diurnal.diurnalAmplitude = 0.6;
+    diurnal.diurnalPeriod = 150 * kMsec;
+    out.push_back({"diurnal", diurnal});
+
+    // Hot-key flash crowd: mid-run the rate quadruples and the
+    // surge hammers recently-updated keys (`latest` distribution).
+    TrafficSpec crowd = openBase();
+    crowd.process = ArrivalProcess::Poisson;
+    crowd.offeredOpsPerSec = 100'000.0;
+    crowd.flashCrowdStart = 100 * kMsec;
+    crowd.flashCrowdDuration = 60 * kMsec;
+    crowd.flashCrowdMultiplier = 4.0;
+    out.push_back({"flashcrowd", crowd});
+
+    // Multi-tenant MMPP mix with per-tenant SLOs.
+    TrafficSpec tenants = mmpp;
+    tenants.tenants = {
+        TenantSpec{"gold", 0.2, 2 * kMsec},
+        TenantSpec{"silver", 0.3, 6 * kMsec},
+        TenantSpec{"bronze", 0.5, 20 * kMsec},
+    };
+    out.push_back({"multitenant", tenants});
+
+    return out;
+}
+
+const char *
+policyName(CheckpointPolicyKind k)
+{
+    return checkpointPolicyName(k);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const SweepOptions opts = sweepOptionsFromArgs(argc, argv);
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+    }
+
+    printConfigOnce(presets::small());
+    printHeader("Open-loop traffic sweep",
+                "fixed vs adaptive checkpoint trigger, arrival-"
+                "driven load");
+
+    ExperimentConfig base = presets::small();
+    // The adaptive controller's stall feedback reads the live
+    // attribution signal; keep it on for both policies so the runs
+    // differ only in the trigger rule.
+    base.obs.attributionEnabled = true;
+    base.workload = WorkloadSpec::a();
+    base.workload.operationCount = quick ? 6'000 : 40'000;
+    base.threads = 32;
+
+    const CheckpointPolicyKind policies[] = {
+        CheckpointPolicyKind::Fixed,
+        CheckpointPolicyKind::Adaptive,
+    };
+
+    const std::vector<Scenario> scens = scenarios();
+    std::vector<SweepPoint> points;
+    for (std::size_t si = 0; si < scens.size(); ++si) {
+        const Scenario &s = scens[si];
+        for (const CheckpointPolicyKind p : policies) {
+            ExperimentConfig c = base;
+            c.traffic = s.traffic;
+            c.engine.checkpointPolicy = p;
+            // Pin the seed per scenario (not per sweep point) so
+            // both policies face the byte-identical arrival
+            // sequence: the comparison is at equal offered load.
+            c.seed = Rng(0x09E2'10AF).childSeed(si);
+            points.push_back({std::string(s.name) + "-" +
+                                  policyName(p),
+                              c});
+        }
+    }
+
+    BenchReport report("openloop");
+    const std::vector<SweepOutcome> outcomes =
+        runBenchSweep(points, opts, report);
+
+    Table t({"scenario", "policy", "offered k/s", "ach k/s",
+             "p99.9 ms", "qdelay p99.9 ms", "ckpts", "stalls",
+             "SLO viol"});
+    for (const Scenario &s : scens) {
+        for (const CheckpointPolicyKind p : policies) {
+            const std::string label =
+                std::string(s.name) + "-" + policyName(p);
+            const SweepOutcome &o = outcomeByLabel(outcomes, label);
+            const RunResult &r = o.result;
+            report.add(o.label, r);
+            t.addRow({s.name, policyName(p),
+                      Table::num(r.client.offeredOpsPerSec() / 1e3,
+                                 1),
+                      Table::num(r.client.opsPerSec() / 1e3, 1),
+                      Table::num(
+                          double(r.client.all.quantile(0.999)) /
+                              1e6,
+                          2),
+                      Table::num(
+                          double(r.client.queueDelay.quantile(
+                              0.999)) /
+                              1e6,
+                          2),
+                      Table::num(r.checkpoints),
+                      Table::num(r.journalStalls),
+                      Table::num(r.client.sloViolations)});
+        }
+    }
+    std::printf("%s", t.render().c_str());
+
+    // Headline number: adaptive's p99.9 win under bursty arrivals.
+    {
+        const RunResult &fixed =
+            outcomeByLabel(outcomes, "mmpp-fixed").result;
+        const RunResult &adaptive =
+            outcomeByLabel(outcomes, "mmpp-adaptive").result;
+        const double pf =
+            double(fixed.client.all.quantile(0.999)) / 1e6;
+        const double pa =
+            double(adaptive.client.all.quantile(0.999)) / 1e6;
+        if (pf > 0.0) {
+            std::printf("\nmmpp p99.9: fixed %.2f ms, adaptive "
+                        "%.2f ms (%+.1f%%)\n",
+                        pf, pa, 100.0 * (pa - pf) / pf);
+        }
+    }
+    printPaperNote(
+        "(extension, no paper counterpart) the paper evaluates "
+        "closed-loop clients, where a stalled checkpoint throttles "
+        "the arrival process itself; an open-loop driver keeps "
+        "offering load through the stall, so trigger placement "
+        "moves the tail. Both policies run the same safety-bounded "
+        "dual-half journal: durability is identical, only the "
+        "trigger timing differs.");
+    return 0;
+}

@@ -3,11 +3,16 @@
  * Run a YCSB workload against any of the five checkpoint
  * configurations and print a full metric report.
  *
- * Usage: ycsb_run [--engine E] [mode] [workload] [threads] [ops]
+ * Usage: ycsb_run [--engine E] [--policy P] [--openloop RATE[:PROC]]
+ *                 [mode] [workload] [threads] [ops]
  *   engine:   checkin | lsm storage backend (default checkin)
+ *   policy:   fixed | adaptive checkpoint trigger (default fixed)
+ *   openloop: drive arrivals open-loop at RATE ops/s; PROC is
+ *             poisson (default) | mmpp | diurnal
  *   mode:     baseline | isc-a | isc-b | isc-c | checkin (default)
  *   workload: a | b | c | f | wo (default a)
- *   threads:  client thread count (default 32)
+ *   threads:  client thread count / open-loop service slots
+ *             (default 32)
  *   ops:      operation count (default 20000)
  */
 
@@ -81,6 +86,51 @@ main(int argc, char **argv)
                 std::fprintf(stderr, "%s\n", e.what());
                 return 2;
             }
+        } else if (std::strcmp(argv[i], "--policy") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--policy needs a value\n");
+                return 2;
+            }
+            const std::string p = argv[++i];
+            if (p == "fixed") {
+                cfg.engine.checkpointPolicy =
+                    CheckpointPolicyKind::Fixed;
+            } else if (p == "adaptive") {
+                cfg.engine.checkpointPolicy =
+                    CheckpointPolicyKind::Adaptive;
+                // The controller's stall feedback reads the live
+                // attribution signal.
+                cfg.obs.attributionEnabled = true;
+            } else {
+                std::fprintf(stderr, "unknown policy '%s'\n",
+                             p.c_str());
+                return 2;
+            }
+        } else if (std::strcmp(argv[i], "--openloop") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--openloop needs a value\n");
+                return 2;
+            }
+            std::string v = argv[++i];
+            cfg.traffic.mode = LoopMode::Open;
+            const std::size_t colon = v.find(':');
+            if (colon != std::string::npos) {
+                const std::string proc = v.substr(colon + 1);
+                v.resize(colon);
+                if (proc == "poisson")
+                    cfg.traffic.process = ArrivalProcess::Poisson;
+                else if (proc == "mmpp")
+                    cfg.traffic.process = ArrivalProcess::Mmpp;
+                else if (proc == "diurnal")
+                    cfg.traffic.process = ArrivalProcess::Diurnal;
+                else {
+                    std::fprintf(stderr,
+                                 "unknown arrival process '%s'\n",
+                                 proc.c_str());
+                    return 2;
+                }
+            }
+            cfg.traffic.offeredOpsPerSec = std::stod(v);
         } else {
             pos.emplace_back(argv[i]);
         }
@@ -127,5 +177,16 @@ main(int argc, char **argv)
                 r.journalSpaceOverhead() * 100.0);
     std::printf("journal stalls    %10llu\n",
                 (unsigned long long)r.journalStalls);
+    if (cfg.traffic.mode == LoopMode::Open) {
+        std::printf("offered load      %10.0f ops/s (%s, achieved "
+                    "%.0f)\n",
+                    c.offeredOpsPerSec(),
+                    arrivalProcessName(cfg.traffic.process),
+                    c.opsPerSec());
+        std::printf("queue delay p99.9 %10.1f us\n",
+                    double(c.queueDelay.quantile(0.999)) / 1e3);
+        std::printf("journal fill rate %10.0f KiB/s\n",
+                    r.journalFillRate / double(kKiB));
+    }
     return 0;
 }

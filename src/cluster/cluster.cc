@@ -175,9 +175,12 @@ clusterResultJson(const ClusterConfig &cfg, const ClusterResult &r)
     w.kv("bytesTotal", r.router.totalBytes);
     w.kv("ckptControls", r.router.ckptControls);
     histJson(w, "duringCheckpoint", r.router.duringCheckpoint);
+    w.kv("loopMode", loopModeName(cfg.traffic.mode));
     w.kv("opsCompleted", r.router.opsCompleted);
     w.kv("opsIssued", r.router.opsIssued);
+    w.kv("opsOffered", r.router.opsOffered);
     histJson(w, "outsideCheckpoint", r.router.outsideCheckpoint);
+    histJson(w, "queueDelay", r.router.queueDelay);
     histJson(w, "reads", r.router.reads);
     w.key("routedBytes").beginArray();
     for (const std::uint64_t b : r.router.routedBytes)

@@ -18,6 +18,7 @@
 
 #include "harness/experiment.h"
 #include "sim/types.h"
+#include "workload/traffic.h"
 #include "workload/ycsb.h"
 
 namespace checkin {
@@ -61,8 +62,19 @@ struct ClusterConfig
     /** Number of engine shards behind the router. */
     std::uint32_t shardCount = 4;
 
-    /** Closed-loop client threads at the router. */
+    /** Client threads (closed loop) / service slots (open loop) at
+     *  the router. */
     std::uint32_t clients = 32;
+
+    /**
+     * Router load-driver loop mode and arrival process
+     * (workload/traffic.h). Open mode turns the router into an
+     * open-loop driver: arrivals wait in an unbounded FIFO for a
+     * free client slot and latency is measured from arrival.
+     * Tenants/flash-crowd fields are single-node features and are
+     * ignored here.
+     */
+    TrafficSpec traffic;
 
     /**
      * Cluster-level workload: operationCount is the total across all

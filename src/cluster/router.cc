@@ -17,6 +17,11 @@ RouterNode::RouterNode(std::uint64_t seed, const ClusterConfig &cfg,
 {
     stats_.routedOps.assign(cfg.shardCount, 0);
     stats_.routedBytes.assign(cfg.shardCount, 0);
+    if (cfg_.traffic.mode == LoopMode::Open) {
+        arrivals_.emplace(
+            cfg_.traffic,
+            ctx_.deriveSeed(TrafficSpec::kArrivalStream));
+    }
 }
 
 void
@@ -25,6 +30,13 @@ RouterNode::start(Tick t0)
     assert(t0 >= ctx_.now());
     ctx_.events().schedule(t0, [this] {
         stats_.firstIssue = ctx_.now();
+        if (cfg_.traffic.mode == LoopMode::Open) {
+            freeSlots_.reserve(clients_);
+            for (std::uint32_t c = clients_; c > 0; --c)
+                freeSlots_.push_back(c - 1);
+            scheduleNextArrival();
+            return;
+        }
         for (std::uint32_t c = 0;
              c < clients_ && stats_.opsIssued < opTarget_; ++c) {
             issueNext(c);
@@ -71,12 +83,10 @@ RouterNode::onCoordinatorTimer()
 }
 
 void
-RouterNode::issueNext(std::uint32_t client)
+RouterNode::routeOp(const WorkloadGenerator::Op &op,
+                    std::uint32_t client)
 {
-    if (stats_.opsIssued >= opTarget_)
-        return;
     ++stats_.opsIssued;
-    const WorkloadGenerator::Op op = gen_.next();
     const std::uint32_t shard = placement_.shardOf[op.key];
 
     Message m;
@@ -90,13 +100,60 @@ RouterNode::issueNext(std::uint32_t client)
     m.scanLength = op.scanLength;
     send(m);
 
-    issuedAt_[client] = ctx_.now();
     ++stats_.routedOps[shard];
     if (op.type == WorkloadGenerator::OpType::Update ||
         op.type == WorkloadGenerator::OpType::Rmw) {
         stats_.routedBytes[shard] += op.valueBytes;
         stats_.totalBytes += op.valueBytes;
     }
+}
+
+void
+RouterNode::issueNext(std::uint32_t client)
+{
+    if (stats_.opsIssued >= opTarget_)
+        return;
+    const WorkloadGenerator::Op op = gen_.next();
+    issuedAt_[client] = ctx_.now();
+    routeOp(op, client);
+}
+
+void
+RouterNode::scheduleNextArrival()
+{
+    if (stats_.opsOffered >= opTarget_)
+        return;
+    const Tick gap = arrivals_->nextInterarrival(ctx_.now());
+    ctx_.events().scheduleAfter(gap, [this] { onArrival(); });
+}
+
+void
+RouterNode::onArrival()
+{
+    const Tick arrival = ctx_.now();
+    ++stats_.opsOffered;
+    stats_.lastArrival = arrival;
+    queue_.push_back(PendingOp{gen_.next(), arrival});
+    scheduleNextArrival();
+    if (!freeSlots_.empty()) {
+        const std::uint32_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        dispatch(slot);
+    }
+}
+
+void
+RouterNode::dispatch(std::uint32_t slot)
+{
+    assert(!queue_.empty());
+    const PendingOp p = queue_.front();
+    queue_.pop_front();
+    const Tick issued = ctx_.now();
+    stats_.queueDelay.record(issued > p.arrival ? issued - p.arrival
+                                                : 0);
+    // Latency is measured from arrival: queue wait included.
+    issuedAt_[slot] = p.arrival;
+    routeOp(p.op, slot);
 }
 
 void
@@ -120,6 +177,13 @@ RouterNode::onMessage(const Message &m)
         stats_.outsideCheckpoint.record(latency);
     ++stats_.opsCompleted;
     stats_.lastCompletion = std::max(stats_.lastCompletion, now);
+    if (cfg_.traffic.mode == LoopMode::Open) {
+        if (!queue_.empty())
+            dispatch(m.client);
+        else
+            freeSlots_.push_back(m.client);
+        return;
+    }
     issueNext(m.client);
 }
 

@@ -17,11 +17,14 @@
 #define CHECKIN_CLUSTER_ROUTER_H_
 
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <vector>
 
 #include "cluster/cluster_config.h"
 #include "cluster/node.h"
 #include "sim/histogram.h"
+#include "workload/traffic.h"
 #include "workload/ycsb.h"
 
 namespace checkin {
@@ -38,12 +41,19 @@ struct RouterStats
 {
     std::uint64_t opsIssued = 0;
     std::uint64_t opsCompleted = 0;
+    /** Open loop: arrivals generated at the router. */
+    std::uint64_t opsOffered = 0;
     std::uint64_t totalBytes = 0; //!< value payload bytes routed
     std::uint64_t ckptControls = 0;
     Tick firstIssue = 0;
     Tick lastCompletion = 0;
-    /** End-to-end latency (issue -> response delivery). */
+    /** Open loop: last arrival tick. */
+    Tick lastArrival = 0;
+    /** End-to-end latency (issue -> response delivery; in open loop
+     *  measured from arrival, so queue wait is included). */
     LatencyHistogram all;
+    /** Open loop: arrival -> issue wait for a free client slot. */
+    LatencyHistogram queueDelay;
     LatencyHistogram reads;
     LatencyHistogram writes;
     LatencyHistogram duringCheckpoint;
@@ -82,7 +92,19 @@ class RouterNode : public ClusterNode
     void onMessage(const Message &m) override;
 
   private:
+    /** An open-loop arrival waiting for a free client slot. */
+    struct PendingOp
+    {
+        WorkloadGenerator::Op op;
+        Tick arrival = 0;
+    };
+
     void issueNext(std::uint32_t client);
+    void routeOp(const WorkloadGenerator::Op &op,
+                 std::uint32_t client);
+    void scheduleNextArrival();
+    void onArrival();
+    void dispatch(std::uint32_t slot);
     void onCoordinatorTimer();
 
     const ClusterConfig &cfg_;
@@ -94,6 +116,10 @@ class RouterNode : public ClusterNode
     std::uint32_t nextCkptShard_ = 0; //!< staggered rotation cursor
     std::vector<Tick> issuedAt_;      //!< per-client in-flight issue
     RouterStats stats_;
+    // Open-loop state (cfg.traffic.mode == LoopMode::Open).
+    std::optional<ArrivalEngine> arrivals_;
+    std::deque<PendingOp> queue_;
+    std::vector<std::uint32_t> freeSlots_;
 };
 
 } // namespace checkin

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Pluggable checkpoint-trigger policies.
+ *
+ * Both storage-engine backends used to hard-code the paper's trigger
+ * — a periodic timer OR an active-journal-bytes threshold — straight
+ * from EngineConfig. This header extracts that decision into a
+ * CheckpointPolicy object the engines consult at the exact same
+ * decision points (append commit, timer tick, checkpoint finish), so
+ * the trigger rule is swappable per run:
+ *
+ *  - FixedPolicy reproduces the historical interval/threshold rule
+ *    bit-for-bit: same predicates, evaluated at the same ticks, no
+ *    extra events or RNG draws, so existing presets and benches are
+ *    unchanged to the byte.
+ *  - AdaptivePolicy is a feedback controller that paces or defers
+ *    checkpoints from live signals: journal fill rate (fast/slow
+ *    EWMAs maintained here and exported as `journal.fillRate`),
+ *    the EWMA of past checkpoint durations, and the attribution
+ *    pipeline's live checkpoint-stall dwell. A hard safety bound
+ *    starts a checkpoint early enough that the frozen half is always
+ *    released before the active half can fill (the journal never
+ *    overflows into an append stall).
+ *
+ * Policies are deterministic: decisions are pure functions of the
+ * signal history (no wall clock, no RNG), so sweeps stay
+ * byte-identical for any worker count.
+ */
+
+#ifndef CHECKIN_ENGINE_CHECKPOINT_POLICY_H_
+#define CHECKIN_ENGINE_CHECKPOINT_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "engine/engine_config.h"
+#include "obs/flight_recorder.h"
+#include "sim/types.h"
+
+namespace checkin {
+
+/** Live engine-side signals a policy decides from. */
+struct PolicySignals
+{
+    Tick now = 0;
+    /** Bytes accumulated in the active journal half. */
+    std::uint64_t journalBytes = 0;
+    /** Capacity of one journal half. */
+    std::uint64_t journalCapacityBytes = 0;
+    bool checkpointInProgress = false;
+    /** Cumulative live checkpoint-stall dwell (attr.checkpointStall)
+     *  across all ops so far; 0 when attribution is off. */
+    Tick checkpointStallTicks = 0;
+};
+
+/** What a policy wants done right now. */
+struct PolicyDecision
+{
+    bool checkpoint = false;
+    obs::CkptTrigger trigger = obs::CkptTrigger::Manual;
+};
+
+/**
+ * Checkpoint-trigger policy contract. The engine calls:
+ *
+ *  - timerPeriod() once per timer arm (0 disables the timer),
+ *  - onTimer() from the timer body,
+ *  - onAppend() after every journal append commit (and once more
+ *    when a checkpoint finishes, to decide a Backlog re-trigger),
+ *  - noteAppend() on every commit so the fill-rate estimator sees
+ *    the active-half level, and
+ *  - onCheckpointStart()/onCheckpointEnd() around every checkpoint.
+ *
+ * Decision calls are pure (no engine side effects); bookkeeping
+ * calls never decide.
+ */
+class CheckpointPolicy
+{
+  public:
+    virtual ~CheckpointPolicy() = default;
+
+    virtual CheckpointPolicyKind kind() const = 0;
+    const char *name() const { return checkpointPolicyName(kind()); }
+
+    /** Period for the engine's periodic trigger timer; 0 = none. */
+    virtual Tick timerPeriod() const = 0;
+
+    /** Decide on a timer tick. */
+    virtual PolicyDecision onTimer(const PolicySignals &sig) = 0;
+
+    /** Decide after an append committed (or a checkpoint ended). */
+    virtual PolicyDecision onAppend(const PolicySignals &sig) = 0;
+
+    virtual void onCheckpointStart(Tick /*now*/) {}
+    virtual void onCheckpointEnd(Tick /*now*/, Tick /*duration*/) {}
+
+    /**
+     * Feed the fill-rate estimator the active half's byte level at
+     * @p now. Level drops (half switches) restart the baseline
+     * without contributing a negative delta.
+     */
+    void noteAppend(Tick now, std::uint64_t level_bytes);
+
+    /** Fast-EWMA journal fill rate, bytes per simulated second (the
+     *  `journal.fillRate` metric). */
+    double fillRateBytesPerSec() const;
+
+    /** Slow-EWMA fill rate (the burst detector's baseline). */
+    double slowFillRateBytesPerSec() const;
+
+    /** Build the policy selected by @p cfg. */
+    static std::unique_ptr<CheckpointPolicy>
+    create(const EngineConfig &cfg);
+
+  protected:
+    explicit CheckpointPolicy(Tick fast_tau, Tick slow_tau)
+        : fastTau_(fast_tau), slowTau_(slow_tau)
+    {
+    }
+
+  private:
+    /** EWMA time constants (ticks). */
+    Tick fastTau_;
+    Tick slowTau_;
+    /** Decayed byte credits; rate = credit / tau. */
+    double fastCredit_ = 0.0;
+    double slowCredit_ = 0.0;
+    Tick lastTick_ = 0;
+    std::uint64_t lastLevel_ = 0;
+    bool primed_ = false;
+};
+
+/**
+ * The paper's fixed trigger, verbatim: checkpoint every
+ * checkpointInterval, or as soon as the active journal half holds at
+ * least checkpointJournalBytes. Decisions match the pre-policy
+ * inline predicates exactly.
+ */
+class FixedPolicy final : public CheckpointPolicy
+{
+  public:
+    explicit FixedPolicy(const EngineConfig &cfg);
+
+    CheckpointPolicyKind
+    kind() const override
+    {
+        return CheckpointPolicyKind::Fixed;
+    }
+
+    Tick timerPeriod() const override { return interval_; }
+
+    PolicyDecision onTimer(const PolicySignals &sig) override;
+    PolicyDecision onAppend(const PolicySignals &sig) override;
+
+  private:
+    Tick interval_;
+    std::uint64_t thresholdBytes_;
+};
+
+/**
+ * Feedback-paced trigger. Every controlInterval (and on every append
+ * for the safety bound) the controller classifies the present moment
+ * from the fast/slow fill-rate EWMAs:
+ *
+ *  - SAFETY (hard bound, checked first and also on the append path):
+ *    start immediately when the active half is projected to fill
+ *    before a checkpoint of EWMA duration could free the other half
+ *    — journalBytes + margin * fillRate * ckptDuration >= capacity —
+ *    or when the half is beyond safetyFraction regardless of rate.
+ *    This is what keeps the journal from ever overflowing into an
+ *    append stall, whatever the other terms decide.
+ *  - BURST (fast >> slow): defer. Checkpointing now would stack the
+ *    checkpoint's device work on top of the arrival burst, exactly
+ *    when the tail can least afford it.
+ *  - LULL (fast << slow): checkpoint eagerly once at least
+ *    minCheckpointBytes accumulated — do the work while it is cheap
+ *    so the next burst starts with an empty half.
+ *  - Otherwise: steady-state pacing at paceFraction of the half,
+ *    stretched toward safetyFraction when recent checkpoints caused
+ *    measurable checkpoint-stall dwell (the attr.checkpointStall
+ *    feedback term: stalls mean checkpoints are hurting foreground
+ *    ops, so space them out as far as safety allows).
+ */
+class AdaptivePolicy final : public CheckpointPolicy
+{
+  public:
+    explicit AdaptivePolicy(const EngineConfig &cfg);
+
+    CheckpointPolicyKind
+    kind() const override
+    {
+        return CheckpointPolicyKind::Adaptive;
+    }
+
+    Tick timerPeriod() const override { return knobs_.controlInterval; }
+
+    PolicyDecision onTimer(const PolicySignals &sig) override;
+    PolicyDecision onAppend(const PolicySignals &sig) override;
+
+    void onCheckpointEnd(Tick now, Tick duration) override;
+
+    /** EWMA checkpoint duration the safety projection uses. */
+    Tick expectedCheckpointDuration() const { return ckptDurEwma_; }
+
+  private:
+    bool safetyBound(const PolicySignals &sig) const;
+    double stallFactor(const PolicySignals &sig);
+
+    AdaptivePolicyConfig knobs_;
+    Tick ckptDurEwma_;
+    /** Checkpoint-stall dwell already seen at the last control tick
+     *  (for the stall-rate feedback term). */
+    Tick lastStallTicks_ = 0;
+    Tick lastControlTick_ = 0;
+    double stallEwma_ = 0.0; //!< stall ticks per control interval
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_ENGINE_CHECKPOINT_POLICY_H_

@@ -44,6 +44,57 @@ enum class EngineBackend : std::uint8_t
 
 const char *engineBackendName(EngineBackend backend);
 
+/**
+ * Which checkpoint-trigger policy the engine runs (see
+ * engine/checkpoint_policy.h).
+ */
+enum class CheckpointPolicyKind : std::uint8_t
+{
+    Fixed,    //!< the paper's interval-OR-journal-bytes trigger
+    Adaptive, //!< feedback controller pacing/deferring checkpoints
+};
+
+const char *checkpointPolicyName(CheckpointPolicyKind kind);
+
+/** Knobs of the adaptive checkpoint controller (AdaptivePolicy). */
+struct AdaptivePolicyConfig
+{
+    /** Controller evaluation period (replaces the fixed timer). */
+    Tick controlInterval = 2 * kMsec;
+
+    /** Hard ceiling: always checkpoint at this fraction of the
+     *  active half, whatever the rate terms say. */
+    double safetyFraction = 0.80;
+
+    /** Steady-state pacing point, as a fraction of the half. */
+    double paceFraction = 0.30;
+
+    /** Safety projection margin: a checkpoint is started when
+     *  journalBytes + margin * fillRate * ckptDuration would fill
+     *  the active half. */
+    double safetyMargin = 1.5;
+
+    /** A burst is fast-rate > burstFactor * slow-rate. */
+    double burstFactor = 2.0;
+
+    /** A lull is fast-rate < idleFraction * slow-rate. */
+    double idleFraction = 0.5;
+
+    /** Do not checkpoint less than this during a lull (too little
+     *  journaled data to be worth a catalog write). */
+    std::uint64_t minCheckpointBytes = 2 * kMiB;
+
+    /** Fill-rate EWMA time constants. */
+    Tick fastTau = 10 * kMsec;
+    Tick slowTau = 200 * kMsec;
+
+    /** Checkpoint-duration EWMA weight (1/N of the new sample). */
+    std::uint32_t durationEwmaShift = 2;
+
+    /** Seed for the duration EWMA before any checkpoint ran. */
+    Tick initialCheckpointDuration = 20 * kMsec;
+};
+
 struct EngineConfig
 {
     /** Storage-engine backend. */
@@ -56,6 +107,15 @@ struct EngineConfig
 
     /** Maximum value size; determines the per-key data-area slot. */
     std::uint32_t maxValueBytes = 4096;
+
+    /** Checkpoint-trigger policy (Fixed reproduces the paper's
+     *  interval/threshold rule from the two fields below). */
+    CheckpointPolicyKind checkpointPolicy =
+        CheckpointPolicyKind::Fixed;
+
+    /** Adaptive-controller knobs (used when checkpointPolicy is
+     *  Adaptive; ignored by Fixed). */
+    AdaptivePolicyConfig adaptive;
 
     /** Checkpoint timer period (0 disables the timer). */
     Tick checkpointInterval = 200 * kMsec;

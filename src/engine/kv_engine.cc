@@ -37,7 +37,9 @@ KvEngine::KvEngine(SimContext &ctx, Ssd &ssd, const EngineConfig &cfg)
       keymap_(cfg.recordCount),
       hostCache_(cfg.hostCacheBytes),
       journal_(ctx, ssd, layout_, cfg_, stats_),
-      strategy_(CheckpointStrategy::create(ssd, layout_, cfg_, stats_))
+      strategy_(CheckpointStrategy::create(ssd, layout_, cfg_,
+                                           stats_)),
+      policy_(CheckpointPolicy::create(cfg_))
 {
     journal_.setPressureCallback([this] {
         requestCheckpoint(obs::CkptTrigger::SpacePressure);
@@ -102,18 +104,44 @@ KvEngine::load(
 void
 KvEngine::start()
 {
-    if (cfg_.checkpointInterval > 0)
-        eq_.scheduleAfter(cfg_.checkpointInterval,
+    if (policy_->timerPeriod() > 0)
+        eq_.scheduleAfter(policy_->timerPeriod(),
                           [this] { onCheckpointTimer(); });
 }
 
 void
 KvEngine::onCheckpointTimer()
 {
-    requestCheckpoint(obs::CkptTrigger::Timer);
-    if (cfg_.checkpointInterval > 0)
-        eq_.scheduleAfter(cfg_.checkpointInterval,
+    const PolicyDecision d = policy_->onTimer(policySignals());
+    if (d.checkpoint)
+        requestCheckpoint(d.trigger);
+    if (policy_->timerPeriod() > 0)
+        eq_.scheduleAfter(policy_->timerPeriod(),
                           [this] { onCheckpointTimer(); });
+}
+
+PolicySignals
+KvEngine::policySignals() const
+{
+    PolicySignals sig;
+    sig.now = eq_.now();
+    sig.journalBytes = journal_.activeJournalBytes();
+    sig.journalCapacityBytes = cfg_.journalHalfBytes;
+    sig.checkpointInProgress = ckptInProgress_;
+    sig.checkpointStallTicks =
+        obs::attrLiveStageTicks(obs::Stage::CheckpointStall);
+    return sig;
+}
+
+void
+KvEngine::noteJournalAppend()
+{
+    policy_->noteAppend(eq_.now(), journal_.activeJournalBytes());
+    if (ckptInProgress_)
+        return;
+    const PolicyDecision d = policy_->onAppend(policySignals());
+    if (d.checkpoint)
+        requestCheckpoint(d.trigger);
 }
 
 bool
@@ -299,11 +327,7 @@ KvEngine::doUpdate(std::uint64_t key, std::uint32_t value_bytes,
             stats_.add("engine.updates");
             stats_.add("engine.updateBytes", e.payloadBytes);
             hostCache_.insert(key, e.version, e.chunks * kChunkBytes);
-            if (!ckptInProgress_ &&
-                journal_.activeJournalBytes() >=
-                    cfg_.checkpointJournalBytes) {
-                requestCheckpoint(obs::CkptTrigger::JournalBytes);
-            }
+            noteJournalAppend();
             cb(QueryResult{done,
                            ckpt_at_submit || ckptInProgress_, true});
         });
@@ -356,12 +380,7 @@ KvEngine::updateBatch(std::vector<BatchOp> ops, QueryCb cb)
                     txn->last = std::max(txn->last, done);
                     if (--txn->outstanding == 0) {
                         stats_.add("engine.batchCommits");
-                        if (!ckptInProgress_ &&
-                            journal_.activeJournalBytes() >=
-                                cfg_.checkpointJournalBytes) {
-                            requestCheckpoint(
-                                obs::CkptTrigger::JournalBytes);
-                        }
+                        noteJournalAppend();
                         txn->cb(QueryResult{
                             txn->last,
                             ckpt_at_submit || ckptInProgress_,
@@ -398,11 +417,7 @@ KvEngine::doErase(std::uint64_t key, QueryCb cb)
             }
             stats_.add("engine.deletes");
             hostCache_.erase(key);
-            if (!ckptInProgress_ &&
-                journal_.activeJournalBytes() >=
-                    cfg_.checkpointJournalBytes) {
-                requestCheckpoint(obs::CkptTrigger::JournalBytes);
-            }
+            noteJournalAppend();
             cb(QueryResult{done,
                            ckpt_at_submit || ckptInProgress_, true});
         });
@@ -506,6 +521,7 @@ KvEngine::startCheckpoint()
 {
     ckptInProgress_ = true;
     ckptStart_ = eq_.now();
+    policy_->onCheckpointStart(ckptStart_);
     stats_.add("engine.checkpoints");
     obs::instant(obs::Cat::Engine, kCkptLane, "ckpt.start",
                  ckptStart_, {{"jmtEntries", journal_.jmtSize()}});
@@ -730,9 +746,10 @@ KvEngine::finishCheckpoint(std::uint8_t half, Tick t)
         obs::attrNoteCheckpoint(ckptRec_);
     }
     ++ckptSeq_;
+    policy_->onCheckpointEnd(t, t - ckptStart_);
     drainDeferred();
     const bool threshold_hit =
-        journal_.activeJournalBytes() >= cfg_.checkpointJournalBytes;
+        policy_->onAppend(policySignals()).checkpoint;
     if (pendingCkptRequest_ || threshold_hit) {
         pendingCkptRequest_ = false;
         requestCheckpoint(obs::CkptTrigger::Backlog);

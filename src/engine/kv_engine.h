@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "engine/checkpoint.h"
+#include "engine/checkpoint_policy.h"
 #include "engine/engine_config.h"
 #include "engine/host_cache.h"
 #include "engine/journal.h"
@@ -104,6 +105,18 @@ class KvEngine : public StorageEngine
         return ckptDurations_;
     }
 
+    double
+    journalFillRate() const override
+    {
+        return policy_->fillRateBytesPerSec();
+    }
+
+    /** The trigger policy driving this engine's checkpoints. */
+    const CheckpointPolicy &checkpointPolicy() const
+    {
+        return *policy_;
+    }
+
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------
@@ -152,6 +165,10 @@ class KvEngine : public StorageEngine
     void drainDeferred();
 
     void onCheckpointTimer();
+    /** Current trigger-policy inputs. */
+    PolicySignals policySignals() const;
+    /** Feed the policy an append commit; maybe trigger. */
+    void noteJournalAppend();
     void startCheckpoint();
     void onStrategyDone(const std::vector<JmtEntry> &entries,
                         std::uint8_t half, Tick t);
@@ -179,6 +196,7 @@ class KvEngine : public StorageEngine
     StatRegistry stats_;
     JournalManager journal_;
     std::unique_ptr<CheckpointStrategy> strategy_;
+    std::unique_ptr<CheckpointPolicy> policy_;
 
     bool ckptInProgress_ = false;
     bool pendingCkptRequest_ = false;

@@ -51,7 +51,8 @@ LsmEngine::LsmEngine(SimContext &ctx, Ssd &ssd,
       cfg_(cfg),
       layout_(LsmLayout::compute(cfg, ssd.capacitySectors(),
                                  ssd.ftl().sectorsPerUnit())),
-      keymap_(cfg.recordCount)
+      keymap_(cfg.recordCount),
+      policy_(CheckpointPolicy::create(cfg_))
 {
     obs::nameLane(obs::Cat::Engine, kFlushLane, "flush");
 }
@@ -138,18 +139,44 @@ LsmEngine::load(
 void
 LsmEngine::start()
 {
-    if (cfg_.checkpointInterval > 0)
-        eq_.scheduleAfter(cfg_.checkpointInterval,
+    if (policy_->timerPeriod() > 0)
+        eq_.scheduleAfter(policy_->timerPeriod(),
                           [this] { onFlushTimer(); });
 }
 
 void
 LsmEngine::onFlushTimer()
 {
-    requestCheckpoint(obs::CkptTrigger::Timer);
-    if (cfg_.checkpointInterval > 0)
-        eq_.scheduleAfter(cfg_.checkpointInterval,
+    const PolicyDecision d = policy_->onTimer(policySignals());
+    if (d.checkpoint)
+        requestCheckpoint(d.trigger);
+    if (policy_->timerPeriod() > 0)
+        eq_.scheduleAfter(policy_->timerPeriod(),
                           [this] { onFlushTimer(); });
+}
+
+PolicySignals
+LsmEngine::policySignals() const
+{
+    PolicySignals sig;
+    sig.now = eq_.now();
+    sig.journalBytes = halfPayloadBytes_[activeHalf_];
+    sig.journalCapacityBytes = cfg_.journalHalfBytes;
+    sig.checkpointInProgress = flushInProgress_;
+    sig.checkpointStallTicks =
+        obs::attrLiveStageTicks(obs::Stage::CheckpointStall);
+    return sig;
+}
+
+void
+LsmEngine::noteWalAppend()
+{
+    policy_->noteAppend(eq_.now(), halfPayloadBytes_[activeHalf_]);
+    if (flushInProgress_)
+        return;
+    const PolicyDecision d = policy_->onAppend(policySignals());
+    if (d.checkpoint)
+        requestCheckpoint(d.trigger);
 }
 
 bool
@@ -245,11 +272,7 @@ LsmEngine::update(std::uint64_t key, std::uint32_t value_bytes,
             applyWalAck(w);
             stats_.add("engine.updates");
             stats_.add("engine.updateBytes", value_bytes);
-            if (!flushInProgress_ &&
-                halfPayloadBytes_[activeHalf_] >=
-                    cfg_.checkpointJournalBytes) {
-                requestCheckpoint(obs::CkptTrigger::JournalBytes);
-            }
+            noteWalAppend();
             cb(QueryResult{done,
                            ckpt_at_submit || flushInProgress_,
                            true});
@@ -304,11 +327,7 @@ LsmEngine::erase(std::uint64_t key, QueryCb cb)
                   cb = std::move(cb)](const WalRec &w, Tick done) {
             applyWalAck(w);
             stats_.add("engine.deletes");
-            if (!flushInProgress_ &&
-                halfPayloadBytes_[activeHalf_] >=
-                    cfg_.checkpointJournalBytes) {
-                requestCheckpoint(obs::CkptTrigger::JournalBytes);
-            }
+            noteWalAppend();
             cb(QueryResult{done,
                            ckpt_at_submit || flushInProgress_,
                            true});
@@ -360,12 +379,7 @@ LsmEngine::updateBatch(std::vector<BatchOp> ops, QueryCb cb)
                 txn->last = std::max(txn->last, done);
                 if (--txn->outstanding == 0) {
                     stats_.add("engine.batchCommits");
-                    if (!flushInProgress_ &&
-                        halfPayloadBytes_[activeHalf_] >=
-                            cfg_.checkpointJournalBytes) {
-                        requestCheckpoint(
-                            obs::CkptTrigger::JournalBytes);
-                    }
+                    noteWalAppend();
                     txn->cb(QueryResult{
                         txn->last,
                         ckpt_at_submit || flushInProgress_, true});
@@ -645,6 +659,7 @@ LsmEngine::startFlush()
 {
     flushInProgress_ = true;
     flushStart_ = eq_.now();
+    policy_->onCheckpointStart(flushStart_);
     stats_.add("engine.checkpoints");
     obs::instant(obs::Cat::Engine, kFlushLane, "flush.start",
                  flushStart_,
@@ -828,10 +843,11 @@ LsmEngine::finishFlush(Tick t)
         obs::attrNoteCheckpoint(flushRec_);
     }
     ++flushSeq_;
+    policy_->onCheckpointEnd(t, t - flushStart_);
     drainDeferred();
     pumpWal();
-    const bool threshold_hit = halfPayloadBytes_[activeHalf_] >=
-                               cfg_.checkpointJournalBytes;
+    const bool threshold_hit =
+        policy_->onAppend(policySignals()).checkpoint;
     if (pendingFlushRequest_ || threshold_hit) {
         pendingFlushRequest_ = false;
         requestCheckpoint(obs::CkptTrigger::Backlog);

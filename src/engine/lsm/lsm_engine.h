@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "engine/checkpoint_policy.h"
 #include "engine/engine_config.h"
 #include "engine/lsm/lsm_layout.h"
 #include "engine/storage_engine.h"
@@ -80,6 +81,18 @@ class LsmEngine : public StorageEngine
     checkpointDurations() const override
     {
         return flushDurations_;
+    }
+
+    double
+    journalFillRate() const override
+    {
+        return policy_->fillRateBytesPerSec();
+    }
+
+    /** The trigger policy driving this engine's flushes. */
+    const CheckpointPolicy &checkpointPolicy() const
+    {
+        return *policy_;
     }
 
     // ------------------------------------------------------------------
@@ -191,6 +204,10 @@ class LsmEngine : public StorageEngine
     bool maybeDefer(std::function<void()> fn);
     void drainDeferred();
     void onFlushTimer();
+    /** Current trigger-policy inputs. */
+    PolicySignals policySignals() const;
+    /** Feed the policy a WAL append commit; maybe trigger. */
+    void noteWalAppend();
 
     // WAL append path.
     void enqueueGroup(std::vector<PendingRec> group);
@@ -230,6 +247,7 @@ class LsmEngine : public StorageEngine
     LsmLayout layout_;
     std::vector<KeyState> keymap_;
     StatRegistry stats_;
+    std::unique_ptr<CheckpointPolicy> policy_;
 
     /** Device-durable OOB version stamps: a single monotone counter
      *  shared by every write/copy so the SPOR rebuild's newest-wins

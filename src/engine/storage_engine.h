@@ -135,6 +135,14 @@ class StorageEngine
     /** Completed checkpoint/flush durations, in ticks. */
     virtual const std::vector<Tick> &checkpointDurations() const = 0;
 
+    /**
+     * Live journal (WAL) fill rate in bytes per simulated second —
+     * the fast-EWMA estimate the checkpoint policy maintains
+     * (exported as the `journal.fillRate` metric). 0 for backends
+     * without a journal.
+     */
+    virtual double journalFillRate() const { return 0.0; }
+
     // ------------------------------------------------------------------
     // Introspection
     // ------------------------------------------------------------------

@@ -161,7 +161,8 @@ runExperiment(const ExperimentConfig &cfg)
 
     const bool want_artifacts = !cfg.obs.artifactDir.empty();
 
-    ClientPool pool(ctx, engine, cfg.workload, cfg.threads);
+    ClientPool pool(ctx, engine, cfg.workload, cfg.traffic,
+                    cfg.threads);
     if (want_artifacts) {
         const obs::MetricId lat_series =
             metrics.series("op.latency", cfg.obs.seriesInterval);
@@ -253,6 +254,9 @@ runExperiment(const ExperimentConfig &cfg)
         delta(after, before, "engine.journalChunksStored");
     r.journalChunkBytes = kChunkBytes;
     r.journalStalls = delta(after, before, "engine.journalStalls");
+    r.journalFillRate = engine.journalFillRate();
+    metrics.set(metrics.gauge("journal.fillRate"),
+                std::uint64_t(r.journalFillRate));
     r.mergedUnits = delta(after, before, "engine.mergedUnits");
     r.ckptLogsSeen = delta(after, before, "engine.ckptLogsSeen");
     r.ckptLatestEntries =

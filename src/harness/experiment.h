@@ -21,6 +21,7 @@
 #include "sim/histogram.h"
 #include "ssd/ssd_config.h"
 #include "workload/client.h"
+#include "workload/traffic.h"
 #include "workload/ycsb.h"
 
 namespace checkin {
@@ -33,6 +34,9 @@ struct ExperimentConfig
     SsdConfig ssd;
     EngineConfig engine;
     WorkloadSpec workload;
+    /** Load-driver loop mode + arrival process (closed by
+     *  default; workload/traffic.h). */
+    TrafficSpec traffic;
     std::uint32_t threads = 32;
 
     /**
@@ -109,6 +113,9 @@ struct RunResult
      *  the engine configuration. */
     std::uint32_t journalChunkBytes = 0;
     std::uint64_t journalStalls = 0;
+    /** End-of-run journal fill-rate estimate (bytes/sec; the
+     *  `journal.fillRate` metric). */
+    double journalFillRate = 0.0;
     std::uint64_t mergedUnits = 0;
     std::uint64_t ckptLogsSeen = 0;
     std::uint64_t ckptLatestEntries = 0;

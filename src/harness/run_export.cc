@@ -110,11 +110,26 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     w.key("client").beginObject();
     histJson(w, "all", r.client.all);
     histJson(w, "duringCheckpoint", r.client.duringCheckpoint);
+    w.kv("offeredOpsPerSec", r.client.offeredOpsPerSec());
     w.kv("opsCompleted", r.client.opsCompleted);
+    w.kv("opsOffered", r.client.opsOffered);
     histJson(w, "outsideCheckpoint", r.client.outsideCheckpoint);
+    histJson(w, "queueDelay", r.client.queueDelay);
     histJson(w, "reads", r.client.reads);
     histJson(w, "readsDuringCheckpoint",
              r.client.readsDuringCheckpoint);
+    w.kv("sloViolations", r.client.sloViolations);
+    w.key("tenants").beginArray();
+    for (const TenantStats &t : r.client.tenants) {
+        w.beginObject();
+        histJson(w, "latency", t.latency);
+        w.kv("name", t.name);
+        w.kv("opsCompleted", t.opsCompleted);
+        w.kv("sloLatencyTicks", t.sloLatency);
+        w.kv("sloViolations", t.sloViolations);
+        w.endObject();
+    }
+    w.endArray();
     histJson(w, "writes", r.client.writes);
     histJson(w, "writesDuringCheckpoint",
              r.client.writesDuringCheckpoint);
@@ -142,6 +157,7 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     w.kv("chunkBytes",
          std::uint64_t(r.journalChunkBytes));
     w.kv("chunksStored", r.journalChunksStored);
+    w.kv("fillRate", r.journalFillRate);
     w.kv("mergedUnits", r.mergedUnits);
     w.kv("payloadBytes", r.journalPayloadBytes);
     w.kv("spaceOverhead", r.journalSpaceOverhead());

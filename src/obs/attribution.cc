@@ -38,6 +38,7 @@ AttributionCollector::mark(OpToken op, Stage stage, Tick up_to)
     if (!s.active || up_to <= s.cursor)
         return;
     s.dwell[std::size_t(stage)] += up_to - s.cursor;
+    liveDwell_[std::size_t(stage)] += up_to - s.cursor;
     s.cursor = up_to;
 }
 
@@ -50,6 +51,7 @@ AttributionCollector::finishOp(OpToken op, Tick done)
         return;
     if (done > s.cursor) {
         s.dwell[std::size_t(Stage::Other)] += done - s.cursor;
+        liveDwell_[std::size_t(Stage::Other)] += done - s.cursor;
         s.cursor = done;
     }
     OpRecord rec;
@@ -84,6 +86,7 @@ AttributionCollector::clearForMeasurement()
     records_.clear();
     flight_.clear();
     ckpts_.clear();
+    liveDwell_.fill(0);
 }
 
 AttributionSummary

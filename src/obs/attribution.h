@@ -207,6 +207,18 @@ class AttributionCollector
 
     const FlightRecorder &flightRecorder() const { return flight_; }
 
+    /**
+     * Running dwell total for @p s across every mark so far — live,
+     * including segments of ops still in flight. Feedback consumers
+     * (the adaptive checkpoint policy) read this mid-run; it is
+     * reset with clearForMeasurement().
+     */
+    Tick
+    liveStageTicks(Stage s) const
+    {
+        return liveDwell_[std::size_t(s)];
+    }
+
     /** Timeline slots ever created; 0 proves no op was attributed. */
     std::size_t poolSize() const { return pool_.size(); }
 
@@ -272,6 +284,7 @@ class AttributionCollector
     std::vector<OpRecord> records_;
     FlightRecorder flight_;
     CheckpointTimeline ckpts_;
+    std::array<Tick, kStageCount> liveDwell_{};
 };
 
 namespace detail {
@@ -356,6 +369,16 @@ attrCurrentOp()
         a != nullptr && a->enabled())
         return a->currentOp();
     return kNoOpToken;
+}
+
+/** Live cumulative dwell of @p stage; 0 when attribution is off. */
+inline Tick
+attrLiveStageTicks(Stage stage)
+{
+    if (AttributionCollector *a = detail::t_attr;
+        a != nullptr && a->enabled())
+        return a->liveStageTicks(stage);
+    return 0;
 }
 
 /** Device-layer probe: stage boundary of the active SSD command. */

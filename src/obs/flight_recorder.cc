@@ -11,6 +11,8 @@ const char *
 stageName(Stage s)
 {
     switch (s) {
+        case Stage::QueueDelay:
+            return "queueDelay";
         case Stage::HostCpu:
             return "hostCpu";
         case Stage::CheckpointStall:
@@ -73,6 +75,10 @@ ckptTriggerName(CkptTrigger t)
             return "spacePressure";
         case CkptTrigger::Backlog:
             return "backlog";
+        case CkptTrigger::AdaptivePace:
+            return "adaptivePace";
+        case CkptTrigger::Safety:
+            return "safety";
     }
     return "?";
 }

@@ -42,6 +42,8 @@ namespace checkin::obs {
  */
 enum class Stage : std::uint8_t
 {
+    QueueDelay,      //!< open-loop arrival waited for a free client
+                     //!< slot (offered load exceeded service rate)
     HostCpu,         //!< engine scheduling + host CPU per query
     CheckpointStall, //!< query locked out / journal starved by a
                      //!< running checkpoint
@@ -58,7 +60,7 @@ enum class Stage : std::uint8_t
     Other,           //!< remainder not claimed by any probe
 };
 
-inline constexpr std::size_t kStageCount = 13;
+inline constexpr std::size_t kStageCount = 14;
 
 /** Stable lowercase stage name ("hostCpu", "nandMedia", ...). */
 const char *stageName(Stage s);
@@ -130,6 +132,8 @@ enum class CkptTrigger : std::uint8_t
     JournalBytes,  //!< active-journal-bytes threshold
     SpacePressure, //!< journal half out of space (appends stalled)
     Backlog,       //!< re-triggered right after a checkpoint finished
+    AdaptivePace,  //!< adaptive controller's pacing/lull decision
+    Safety,        //!< adaptive controller's hard overflow bound
 };
 
 const char *ckptTriggerName(CkptTrigger t);

@@ -1,6 +1,7 @@
 #include "workload/client.h"
 
 #include <algorithm>
+#include <cassert>
 #include <string>
 
 #include "obs/attribution.h"
@@ -43,15 +44,43 @@ opAttrClass(WorkloadGenerator::OpType type)
 ClientPool::ClientPool(SimContext &ctx, StorageEngine &engine,
                        const WorkloadSpec &spec,
                        std::uint32_t threads)
+    : ClientPool(ctx, engine, spec, TrafficSpec{}, threads)
+{
+}
+
+ClientPool::ClientPool(SimContext &ctx, StorageEngine &engine,
+                       const WorkloadSpec &spec,
+                       const TrafficSpec &traffic,
+                       std::uint32_t threads)
     : eq_(ctx.events()),
       engine_(engine),
       gen_(spec, engine.config().recordCount),
+      traffic_(traffic),
       opTarget_(spec.operationCount),
       threads_(threads)
 {
     for (std::uint32_t t = 0; t < threads_; ++t) {
         obs::nameLane(obs::Cat::Workload, t,
                       "client" + std::to_string(t));
+    }
+    if (traffic_.mode == LoopMode::Open) {
+        arrivals_.emplace(
+            traffic_,
+            ctx.deriveSeed(TrafficSpec::kArrivalStream));
+        if (traffic_.hasFlashCrowd()) {
+            WorkloadSpec crowd = spec;
+            crowd.distribution = Distribution::Latest;
+            crowd.seed =
+                ctx.deriveSeed(TrafficSpec::kFlashKeyStream);
+            flashGen_ = std::make_unique<WorkloadGenerator>(
+                crowd, engine.config().recordCount);
+        }
+        for (const TenantSpec &t : traffic_.tenants) {
+            TenantStats ts;
+            ts.name = t.name;
+            ts.sloLatency = t.sloLatency;
+            stats_.tenants.push_back(std::move(ts));
+        }
     }
 }
 
@@ -60,11 +89,47 @@ ClientPool::start()
 {
     started_ = true;
     stats_.firstIssue = eq_.now();
+    if (traffic_.mode == LoopMode::Open) {
+        freeSlots_.reserve(threads_);
+        // Popping from the back hands the lowest slot ids out first.
+        for (std::uint32_t t = threads_; t > 0; --t)
+            freeSlots_.push_back(t - 1);
+        scheduleNextArrival();
+        return;
+    }
     for (std::uint32_t t = 0; t < threads_ && opsIssued_ < opTarget_;
          ++t) {
         issueNext(t);
     }
 }
+
+void
+ClientPool::issueToEngine(const WorkloadGenerator::Op &op,
+                          StorageEngine::QueryCb cb)
+{
+    switch (op.type) {
+      case WorkloadGenerator::OpType::Read:
+        engine_.get(op.key, std::move(cb));
+        break;
+      case WorkloadGenerator::OpType::Update:
+        engine_.update(op.key, op.valueBytes, std::move(cb));
+        break;
+      case WorkloadGenerator::OpType::Rmw:
+        engine_.readModifyWrite(op.key, op.valueBytes,
+                                std::move(cb));
+        break;
+      case WorkloadGenerator::OpType::Scan:
+        engine_.scan(op.key, op.scanLength, std::move(cb));
+        break;
+      case WorkloadGenerator::OpType::Delete:
+        engine_.erase(op.key, std::move(cb));
+        break;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Closed loop
+// ----------------------------------------------------------------------
 
 void
 ClientPool::issueNext(std::uint32_t thread)
@@ -88,24 +153,84 @@ ClientPool::issueNext(std::uint32_t thread)
         issueNext(thread);
     };
     obs::AttrOpScope attr_scope(tok);
-    switch (op.type) {
-      case WorkloadGenerator::OpType::Read:
-        engine_.get(op.key, std::move(cb));
-        break;
-      case WorkloadGenerator::OpType::Update:
-        engine_.update(op.key, op.valueBytes, std::move(cb));
-        break;
-      case WorkloadGenerator::OpType::Rmw:
-        engine_.readModifyWrite(op.key, op.valueBytes,
-                                std::move(cb));
-        break;
-      case WorkloadGenerator::OpType::Scan:
-        engine_.scan(op.key, op.scanLength, std::move(cb));
-        break;
-      case WorkloadGenerator::OpType::Delete:
-        engine_.erase(op.key, std::move(cb));
-        break;
+    issueToEngine(op, std::move(cb));
+}
+
+// ----------------------------------------------------------------------
+// Open loop
+// ----------------------------------------------------------------------
+
+void
+ClientPool::scheduleNextArrival()
+{
+    if (stats_.opsOffered >= opTarget_)
+        return;
+    const Tick gap = arrivals_->nextInterarrival(eq_.now());
+    eq_.scheduleAfter(gap, [this] { onArrival(); });
+}
+
+void
+ClientPool::onArrival()
+{
+    const Tick arrival = eq_.now();
+    ++stats_.opsOffered;
+    stats_.lastArrival = arrival;
+    PendingOp p;
+    // The key picker switches to the `latest` distribution inside a
+    // flash-crowd window: the surge hammers recently-updated keys.
+    WorkloadGenerator &g =
+        flashGen_ != nullptr && arrivals_->inFlashCrowd(arrival)
+            ? *flashGen_
+            : gen_;
+    p.op = g.next();
+    p.arrival = arrival;
+    p.tenant = arrivals_->pickTenant();
+    // The timeline starts at arrival: queue wait is part of the
+    // latency an open-loop client observes.
+    p.tok = obs::attrBeginOp(opAttrClass(p.op.type), arrival);
+    queue_.push_back(std::move(p));
+    scheduleNextArrival();
+    if (!freeSlots_.empty()) {
+        const std::uint32_t slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        dispatch(slot);
     }
+}
+
+void
+ClientPool::dispatch(std::uint32_t slot)
+{
+    assert(!queue_.empty());
+    PendingOp p = std::move(queue_.front());
+    queue_.pop_front();
+    const Tick issued = eq_.now();
+    stats_.queueDelay.record(issued > p.arrival ? issued - p.arrival
+                                                : 0);
+    obs::attrMark(p.tok, obs::Stage::QueueDelay, issued);
+    auto cb = [this, type = p.op.type, slot, arrival = p.arrival,
+               tenant = p.tenant, tok = p.tok](
+                  const QueryResult &res) {
+        obs::attrFinishOp(tok, res.done);
+        // Latency from arrival: queue delay included.
+        record(type, slot, arrival, res);
+        if (tenant < stats_.tenants.size()) {
+            TenantStats &ts = stats_.tenants[tenant];
+            const Tick lat =
+                res.done > arrival ? res.done - arrival : 0;
+            ts.latency.record(lat);
+            ++ts.opsCompleted;
+            if (ts.sloLatency > 0 && lat > ts.sloLatency) {
+                ++ts.sloViolations;
+                ++stats_.sloViolations;
+            }
+        }
+        if (!queue_.empty())
+            dispatch(slot);
+        else
+            freeSlots_.push_back(slot);
+    };
+    obs::AttrOpScope attr_scope(p.tok);
+    issueToEngine(p.op, std::move(cb));
 }
 
 void

@@ -1,24 +1,49 @@
 /**
  * @file
- * Closed-loop client pool: N logical application threads, each
- * keeping exactly one query outstanding against the engine (the
- * paper's "number of threads" axis), with latency capture split by
- * operation class and checkpoint overlap.
+ * Unified load driver: a pool of N logical client threads running a
+ * WorkloadSpec against a StorageEngine in either loop mode of a
+ * TrafficSpec (workload/traffic.h).
+ *
+ * Closed loop (default): each thread keeps exactly one query
+ * outstanding — the paper's "number of threads" axis.
+ *
+ * Open loop: operations arrive on the TrafficSpec's arrival process,
+ * independent of completions, and wait in an unbounded FIFO for one
+ * of the N service slots. Latency is measured from *arrival*, so
+ * client-side queue delay lands in the latency tail (and in
+ * Stage::QueueDelay of the attribution timeline), with offered vs
+ * achieved throughput and per-tenant SLO violations accounted in
+ * ClientStats.
  */
 
 #ifndef CHECKIN_WORKLOAD_CLIENT_H_
 #define CHECKIN_WORKLOAD_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "engine/storage_engine.h"
 #include "sim/event_queue.h"
 #include "sim/histogram.h"
 #include "sim/sim_context.h"
+#include "workload/traffic.h"
 #include "workload/ycsb.h"
 
 namespace checkin {
+
+/** Per-tenant progress and SLO accounting (open loop). */
+struct TenantStats
+{
+    std::string name;
+    Tick sloLatency = 0;
+    LatencyHistogram latency;
+    std::uint64_t opsCompleted = 0;
+    std::uint64_t sloViolations = 0;
+};
 
 /** Latency and progress metrics of a client pool run. */
 struct ClientStats
@@ -30,9 +55,19 @@ struct ClientStats
     LatencyHistogram readsDuringCheckpoint;
     LatencyHistogram writesDuringCheckpoint;
     LatencyHistogram outsideCheckpoint;
+    /** Open loop: arrival → issue wait for a free service slot. */
+    LatencyHistogram queueDelay;
     std::uint64_t opsCompleted = 0;
+    /** Open loop: arrivals generated (≥ opsCompleted mid-run). */
+    std::uint64_t opsOffered = 0;
+    /** Open loop: completions over any tenant's SLO latency. */
+    std::uint64_t sloViolations = 0;
     Tick firstIssue = 0;
     Tick lastCompletion = 0;
+    /** Open loop: last arrival tick (offered-rate denominator). */
+    Tick lastArrival = 0;
+    /** Open loop: one entry per TrafficSpec tenant. */
+    std::vector<TenantStats> tenants;
 
     /** Wall-clock span of the run in ticks. */
     Tick
@@ -52,17 +87,42 @@ struct ClientStats
                    : double(opsCompleted) * double(kSec) /
                          double(span());
     }
+
+    /**
+     * Offered arrival rate in ops per simulated second (open loop;
+     * 0 in closed loop). Completions trail arrivals, so this is ≥
+     * opsPerSec() by construction — the gap is the backlog the
+     * engine could not absorb.
+     */
+    double
+    offeredOpsPerSec() const
+    {
+        const Tick span = lastArrival > firstIssue
+                              ? lastArrival - firstIssue
+                              : 0;
+        return span == 0 ? 0.0
+                         : double(opsOffered) * double(kSec) /
+                               double(span);
+    }
 };
 
-/** Drives a WorkloadSpec against a StorageEngine with closed-loop
- *  threads. */
+/** Drives a WorkloadSpec against a StorageEngine per a TrafficSpec's
+ *  loop mode. */
 class ClientPool
 {
   public:
+    /** Closed-loop pool (historical interface). */
     ClientPool(SimContext &ctx, StorageEngine &engine,
                const WorkloadSpec &spec, std::uint32_t threads);
 
-    /** Launch all threads' first operations. */
+    /** Loop mode, arrival process, and tenants per @p traffic;
+     *  @p threads is the thread count (closed) or service-slot
+     *  count (open). */
+    ClientPool(SimContext &ctx, StorageEngine &engine,
+               const WorkloadSpec &spec, const TrafficSpec &traffic,
+               std::uint32_t threads);
+
+    /** Launch all threads' first operations / the arrival clock. */
     void start();
 
     /** True once every operation completed. */
@@ -70,26 +130,51 @@ class ClientPool
 
     const ClientStats &stats() const { return stats_; }
 
-    /** Per-operation sample hook (timelines, custom collectors). */
+    /** Per-operation sample hook (timelines, custom collectors).
+     *  In open loop @p issued is the arrival tick. */
     using Sampler = std::function<void(Tick issued, Tick done,
                                        bool during_checkpoint,
                                        bool is_read)>;
     void setSampler(Sampler s) { sampler_ = std::move(s); }
 
   private:
+    /** An arrival waiting for (or holding) a service slot. */
+    struct PendingOp
+    {
+        WorkloadGenerator::Op op;
+        obs::OpToken tok = obs::kNoOpToken;
+        Tick arrival = 0;
+        std::uint32_t tenant = 0;
+    };
+
     void issueNext(std::uint32_t thread);
     void record(WorkloadGenerator::OpType type, std::uint32_t thread,
                 Tick issued, const QueryResult &res);
 
+    void scheduleNextArrival();
+    void onArrival();
+    void dispatch(std::uint32_t slot);
+    void issueToEngine(const WorkloadGenerator::Op &op,
+                       StorageEngine::QueryCb cb);
+
     EventQueue &eq_;
     StorageEngine &engine_;
     WorkloadGenerator gen_;
+    TrafficSpec traffic_;
     std::uint64_t opTarget_;
     std::uint64_t opsIssued_ = 0;
     std::uint32_t threads_;
     ClientStats stats_;
     Sampler sampler_;
     bool started_ = false;
+
+    // Open-loop state.
+    std::optional<ArrivalEngine> arrivals_;
+    /** Flash-crowd key picker: the workload's mix over the `latest`
+     *  distribution, on its own deterministic stream. */
+    std::unique_ptr<WorkloadGenerator> flashGen_;
+    std::deque<PendingOp> queue_;
+    std::vector<std::uint32_t> freeSlots_;
 };
 
 } // namespace checkin

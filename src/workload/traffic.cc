@@ -1,0 +1,136 @@
+#include "workload/traffic.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace checkin {
+
+const char *
+loopModeName(LoopMode m)
+{
+    switch (m) {
+        case LoopMode::Closed:
+            return "closed";
+        case LoopMode::Open:
+            return "open";
+    }
+    return "?";
+}
+
+const char *
+arrivalProcessName(ArrivalProcess p)
+{
+    switch (p) {
+        case ArrivalProcess::Poisson:
+            return "poisson";
+        case ArrivalProcess::Mmpp:
+            return "mmpp";
+        case ArrivalProcess::Diurnal:
+            return "diurnal";
+    }
+    return "?";
+}
+
+ArrivalEngine::ArrivalEngine(const TrafficSpec &spec,
+                             std::uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+    assert(spec_.offeredOpsPerSec > 0.0);
+    double total = 0.0;
+    for (const TenantSpec &t : spec_.tenants)
+        total += t.share;
+    double acc = 0.0;
+    for (const TenantSpec &t : spec_.tenants) {
+        acc += t.share / total;
+        tenantCdf_.push_back(acc);
+    }
+    if (!tenantCdf_.empty())
+        tenantCdf_.back() = 1.0; // absorb rounding
+}
+
+Tick
+ArrivalEngine::expDraw(double mean_ticks)
+{
+    // Inverse-CDF exponential; nextDouble() < 1 so the log argument
+    // is strictly positive.
+    const double u = rng_.nextDouble();
+    const double g = -std::log(1.0 - u) * mean_ticks;
+    if (g <= 1.0)
+        return 1;
+    return Tick(g);
+}
+
+void
+ArrivalEngine::advanceState(Tick now)
+{
+    if (spec_.process != ArrivalProcess::Mmpp)
+        return;
+    if (!statePrimed_) {
+        statePrimed_ = true;
+        inBurst_ = false;
+        stateUntil_ = now + expDraw(double(spec_.meanBaseDwell));
+    }
+    // Exponential dwells are memoryless, so re-drawing the remaining
+    // dwell at each boundary crossing preserves the process law.
+    while (now >= stateUntil_) {
+        inBurst_ = !inBurst_;
+        const double mean = inBurst_
+                                ? double(spec_.meanBurstDwell)
+                                : double(spec_.meanBaseDwell);
+        stateUntil_ += expDraw(mean);
+    }
+}
+
+double
+ArrivalEngine::rateAt(Tick now) const
+{
+    double rate = spec_.offeredOpsPerSec;
+    switch (spec_.process) {
+        case ArrivalProcess::Poisson:
+            break;
+        case ArrivalProcess::Mmpp:
+            if (inBurst_)
+                rate *= spec_.burstMultiplier;
+            break;
+        case ArrivalProcess::Diurnal: {
+            // Triangle wave in [-1, 1] over diurnalPeriod (no
+            // transcendental calls; the shape only needs to be a
+            // smooth-ish load curve).
+            const Tick period = spec_.diurnalPeriod > 0
+                                    ? spec_.diurnalPeriod
+                                    : Tick(1);
+            const double phase =
+                double(now % period) / double(period);
+            const double tri = phase < 0.5 ? 4.0 * phase - 1.0
+                                           : 3.0 - 4.0 * phase;
+            rate *= 1.0 + spec_.diurnalAmplitude * tri;
+            break;
+        }
+    }
+    if (inFlashCrowd(now))
+        rate *= spec_.flashCrowdMultiplier;
+    return rate > 1e-9 ? rate : 1e-9;
+}
+
+Tick
+ArrivalEngine::nextInterarrival(Tick now)
+{
+    advanceState(now);
+    const double rate = rateAt(now);
+    return expDraw(double(kSec) / rate);
+}
+
+std::uint32_t
+ArrivalEngine::pickTenant()
+{
+    if (tenantCdf_.empty())
+        return 0;
+    const double u = rng_.nextDouble();
+    for (std::uint32_t i = 0; i < tenantCdf_.size(); ++i) {
+        if (u < tenantCdf_[i])
+            return i;
+    }
+    return std::uint32_t(tenantCdf_.size() - 1);
+}
+
+} // namespace checkin

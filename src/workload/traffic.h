@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Open-loop traffic description and arrival-process engine.
+ *
+ * A TrafficSpec picks the load-driver loop mode shared by the
+ * harness, cluster shards, and benches:
+ *
+ *  - Closed (default): N logical threads, each keeping exactly one
+ *    query outstanding — the paper's "number of threads" axis.
+ *    Latency excludes any client-side queueing by construction.
+ *  - Open: operations arrive on their own clock, independent of
+ *    completions, and wait in an unbounded FIFO for one of the N
+ *    service slots. Latency is measured from *arrival*, so queue
+ *    delay — the quantity closed-loop drivers structurally cannot
+ *    see — shows up in the tail (Stage::QueueDelay in attribution).
+ *
+ * Arrival processes (all seeded via Rng::child streams, so a sweep
+ * worker count never changes a drawn sequence):
+ *
+ *  - Poisson: constant-rate memoryless arrivals.
+ *  - Mmpp: 2-state Markov-modulated Poisson process — exponential
+ *    dwells alternate between a base state and a burst state whose
+ *    rate is burstMultiplier * offered. The canonical bursty-traffic
+ *    model; bursts are what separate adaptive from fixed checkpoint
+ *    triggers at the tail.
+ *  - Diurnal: triangle-wave load curve around the offered rate
+ *    (period diurnalPeriod, peak-to-trough set by diurnalAmplitude).
+ *
+ * Orthogonally, a flash-crowd window multiplies the rate and directs
+ * the extra traffic at recently-updated keys (the YCSB `latest`
+ * distribution), and a tenant table splits offered load into shares
+ * with per-tenant latency SLOs for violation accounting.
+ */
+
+#ifndef CHECKIN_WORKLOAD_TRAFFIC_H_
+#define CHECKIN_WORKLOAD_TRAFFIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/types.h"
+
+namespace checkin {
+
+/** Load-driver loop mode (see file comment). */
+enum class LoopMode : std::uint8_t
+{
+    Closed,
+    Open,
+};
+
+const char *loopModeName(LoopMode m);
+
+/** Open-loop arrival process family. */
+enum class ArrivalProcess : std::uint8_t
+{
+    Poisson,
+    Mmpp,
+    Diurnal,
+};
+
+const char *arrivalProcessName(ArrivalProcess p);
+
+/** One tenant's slice of an open-loop mix. */
+struct TenantSpec
+{
+    std::string name = "tenant";
+    /** Fraction of offered arrivals (normalized over all tenants). */
+    double share = 1.0;
+    /** Per-op latency SLO; completions above it count as
+     *  violations. */
+    Tick sloLatency = 2 * kMsec;
+};
+
+/** Complete load-driver description. */
+struct TrafficSpec
+{
+    LoopMode mode = LoopMode::Closed;
+
+    // --- open-loop arrivals -------------------------------------------
+    ArrivalProcess process = ArrivalProcess::Poisson;
+    /** Long-run offered rate, operations per simulated second. */
+    double offeredOpsPerSec = 100'000.0;
+
+    /** Mmpp: burst-state rate multiplier. */
+    double burstMultiplier = 4.0;
+    /** Mmpp: mean dwell in the base state. */
+    Tick meanBaseDwell = 160 * kMsec;
+    /** Mmpp: mean dwell in the burst state. */
+    Tick meanBurstDwell = 40 * kMsec;
+
+    /** Diurnal: load-curve period. */
+    Tick diurnalPeriod = 2 * kSec;
+    /** Diurnal: relative swing; rate spans offered * (1 ± A). */
+    double diurnalAmplitude = 0.5;
+
+    /** Flash crowd: window start tick (0 + duration 0 = none). */
+    Tick flashCrowdStart = 0;
+    Tick flashCrowdDuration = 0;
+    /** Flash crowd: rate multiplier inside the window. */
+    double flashCrowdMultiplier = 1.0;
+
+    /** Tenants splitting the offered load; empty = one anonymous
+     *  tenant without SLO accounting. */
+    std::vector<TenantSpec> tenants;
+
+    // --- deterministic stream ids (SimContext::deriveSeed) ------------
+    static constexpr std::uint64_t kArrivalStream = 0x7AF1C0;
+    static constexpr std::uint64_t kFlashKeyStream = 0x7AF1C1;
+
+    /** True when any arrival lands inside the flash-crowd window. */
+    bool
+    hasFlashCrowd() const
+    {
+        return flashCrowdDuration > 0 && flashCrowdMultiplier != 1.0;
+    }
+};
+
+/**
+ * Draws interarrival gaps and tenant picks for a TrafficSpec.
+ *
+ * All randomness comes from the seed handed in at construction; the
+ * sequence depends only on (spec, seed) and the arrival ticks it is
+ * asked about, never on completions — the definition of open loop.
+ */
+class ArrivalEngine
+{
+  public:
+    ArrivalEngine(const TrafficSpec &spec, std::uint64_t seed);
+
+    /** Gap from @p now to the next arrival, ≥ 1 tick. */
+    Tick nextInterarrival(Tick now);
+
+    /** Tenant index of the next arrival (0 when no tenants). */
+    std::uint32_t pickTenant();
+
+    /** True when @p now falls inside the flash-crowd window. */
+    bool
+    inFlashCrowd(Tick now) const
+    {
+        return spec_.hasFlashCrowd() &&
+               now >= spec_.flashCrowdStart &&
+               now < spec_.flashCrowdStart + spec_.flashCrowdDuration;
+    }
+
+    /** Instantaneous offered rate at @p now, ops per second (the
+     *  MMPP state is the one current after the last draw). */
+    double rateAt(Tick now) const;
+
+  private:
+    void advanceState(Tick now);
+    Tick expDraw(double mean_ticks);
+
+    TrafficSpec spec_;
+    Rng rng_;
+    /** Normalized cumulative tenant shares. */
+    std::vector<double> tenantCdf_;
+    // MMPP state machine.
+    bool inBurst_ = false;
+    Tick stateUntil_ = 0;
+    bool statePrimed_ = false;
+};
+
+} // namespace checkin
+
+#endif // CHECKIN_WORKLOAD_TRAFFIC_H_

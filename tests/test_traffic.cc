@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Arrival-engine statistics and open-loop client accounting
+ * (workload/traffic.h, docs/TRAFFIC.md). The moment tests pin the
+ * generators to fixed seeds, so the expected values are exact
+ * properties of the deterministic draw sequence, with tolerances
+ * covering only sampling error at the chosen draw counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "harness/experiment.h"
+#include "harness/presets.h"
+#include "workload/traffic.h"
+
+namespace checkin {
+namespace {
+
+std::vector<Tick>
+drawGaps(const TrafficSpec &spec, std::uint64_t seed, std::size_t n)
+{
+    ArrivalEngine e(spec, seed);
+    std::vector<Tick> gaps;
+    gaps.reserve(n);
+    Tick now = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Tick g = e.nextInterarrival(now);
+        gaps.push_back(g);
+        now += g;
+    }
+    return gaps;
+}
+
+double
+meanOf(const std::vector<Tick> &v)
+{
+    double s = 0.0;
+    for (const Tick t : v)
+        s += double(t);
+    return s / double(v.size());
+}
+
+/** Coefficient of variation: stddev / mean. */
+double
+cvOf(const std::vector<Tick> &v)
+{
+    const double m = meanOf(v);
+    double sq = 0.0;
+    for (const Tick t : v)
+        sq += (double(t) - m) * (double(t) - m);
+    return std::sqrt(sq / double(v.size())) / m;
+}
+
+TrafficSpec
+openSpec(ArrivalProcess p, double rate)
+{
+    TrafficSpec s;
+    s.mode = LoopMode::Open;
+    s.process = p;
+    s.offeredOpsPerSec = rate;
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Arrival-process statistics
+// ---------------------------------------------------------------------
+
+TEST(ArrivalEngine, PoissonMomentsMatchTheRate)
+{
+    const TrafficSpec s = openSpec(ArrivalProcess::Poisson, 100'000.0);
+    const std::vector<Tick> gaps = drawGaps(s, 42, 20'000);
+    const double expected = double(kSec) / s.offeredOpsPerSec;
+    EXPECT_NEAR(meanOf(gaps), expected, 0.03 * expected);
+    // Exponential interarrivals: coefficient of variation 1.
+    EXPECT_NEAR(cvOf(gaps), 1.0, 0.05);
+}
+
+TEST(ArrivalEngine, MmppIsFasterOnAverageAndOverdispersed)
+{
+    TrafficSpec s = openSpec(ArrivalProcess::Mmpp, 100'000.0);
+    s.burstMultiplier = 4.0;
+    s.meanBaseDwell = 50 * kMsec;
+    s.meanBurstDwell = 25 * kMsec;
+    const std::vector<Tick> gaps = drawGaps(s, 42, 200'000);
+    // Time-weighted rate: (50ms * 1x + 25ms * 4x) / 75ms = 2x the
+    // base rate, so the per-arrival mean gap is half the Poisson
+    // gap. Dwell sampling noise dominates the tolerance.
+    const double base_gap = double(kSec) / s.offeredOpsPerSec;
+    const double m = meanOf(gaps);
+    EXPECT_GT(m, 0.3 * base_gap);
+    EXPECT_LT(m, 0.8 * base_gap);
+    // Mixing two exponential rates overdisperses the gaps.
+    EXPECT_GT(cvOf(gaps), 1.1);
+}
+
+TEST(ArrivalEngine, DiurnalPeakAndTroughBracketTheBaseRate)
+{
+    TrafficSpec s = openSpec(ArrivalProcess::Diurnal, 100'000.0);
+    s.diurnalAmplitude = 0.5;
+    s.diurnalPeriod = 200 * kMsec;
+    const ArrivalEngine e(s, 7);
+    const double trough = e.rateAt(0);
+    const double peak = e.rateAt(s.diurnalPeriod / 2);
+    EXPECT_NEAR(trough, 50'000.0, 1.0);
+    EXPECT_NEAR(peak, 150'000.0, 1.0);
+    EXPECT_NEAR(e.rateAt(s.diurnalPeriod / 4), 100'000.0, 1.0);
+}
+
+TEST(ArrivalEngine, FlashCrowdWindowMultipliesTheRate)
+{
+    TrafficSpec s = openSpec(ArrivalProcess::Poisson, 100'000.0);
+    s.flashCrowdStart = 100 * kMsec;
+    s.flashCrowdDuration = 50 * kMsec;
+    s.flashCrowdMultiplier = 4.0;
+    ASSERT_TRUE(s.hasFlashCrowd());
+    const ArrivalEngine e(s, 7);
+    EXPECT_FALSE(e.inFlashCrowd(100 * kMsec - 1));
+    EXPECT_TRUE(e.inFlashCrowd(100 * kMsec));
+    EXPECT_TRUE(e.inFlashCrowd(150 * kMsec - 1));
+    EXPECT_FALSE(e.inFlashCrowd(150 * kMsec));
+    EXPECT_NEAR(e.rateAt(120 * kMsec), 4.0 * e.rateAt(0), 1.0);
+}
+
+TEST(ArrivalEngine, DeterministicPerSeed)
+{
+    const TrafficSpec s = openSpec(ArrivalProcess::Mmpp, 120'000.0);
+    EXPECT_EQ(drawGaps(s, 11, 5'000), drawGaps(s, 11, 5'000));
+    EXPECT_NE(drawGaps(s, 11, 5'000), drawGaps(s, 12, 5'000));
+}
+
+TEST(ArrivalEngine, TenantPicksFollowTheShares)
+{
+    TrafficSpec s = openSpec(ArrivalProcess::Poisson, 100'000.0);
+    s.tenants = {
+        TenantSpec{"gold", 0.2, kMsec},
+        TenantSpec{"silver", 0.3, 5 * kMsec},
+        TenantSpec{"bronze", 0.5, 20 * kMsec},
+    };
+    ArrivalEngine e(s, 21);
+    std::vector<std::uint64_t> counts(3, 0);
+    const std::size_t n = 20'000;
+    for (std::size_t i = 0; i < n; ++i)
+        ++counts.at(e.pickTenant());
+    EXPECT_NEAR(double(counts[0]) / double(n), 0.2, 0.02);
+    EXPECT_NEAR(double(counts[1]) / double(n), 0.3, 0.02);
+    EXPECT_NEAR(double(counts[2]) / double(n), 0.5, 0.02);
+}
+
+// ---------------------------------------------------------------------
+// Open-loop client accounting through the harness
+// ---------------------------------------------------------------------
+
+TEST(OpenLoopClient, AccountingInvariantsHold)
+{
+    ExperimentConfig cfg = presets::small();
+    cfg.engine.mode = CheckpointMode::CheckIn;
+    cfg.threads = 16;
+    cfg.workload = WorkloadSpec::a();
+    cfg.workload.operationCount = 4'000;
+    cfg.traffic = openSpec(ArrivalProcess::Mmpp, 150'000.0);
+    cfg.traffic.tenants = {
+        TenantSpec{"gold", 0.25, kMsec},
+        TenantSpec{"bronze", 0.75, 10 * kMsec},
+    };
+    const RunResult r = runExperiment(cfg);
+
+    EXPECT_EQ(r.client.opsOffered, 4'000u);
+    EXPECT_EQ(r.client.opsCompleted, 4'000u);
+    // Every dispatched op records exactly one queue delay.
+    EXPECT_EQ(r.client.queueDelay.count(), 4'000u);
+    // Completions trail arrivals, so the achieved rate can never
+    // exceed the offered rate.
+    EXPECT_GE(r.client.offeredOpsPerSec(), r.client.opsPerSec());
+    EXPECT_GT(r.client.opsPerSec(), 0.0);
+
+    ASSERT_EQ(r.client.tenants.size(), 2u);
+    std::uint64_t tenant_ops = 0;
+    std::uint64_t tenant_violations = 0;
+    for (const TenantStats &t : r.client.tenants) {
+        tenant_ops += t.opsCompleted;
+        tenant_violations += t.sloViolations;
+        EXPECT_LE(t.sloViolations, t.opsCompleted);
+    }
+    EXPECT_EQ(tenant_ops, r.client.opsCompleted);
+    EXPECT_EQ(tenant_violations, r.client.sloViolations);
+}
+
+TEST(OpenLoopClient, ClosedLoopDefaultLeavesNewCountersIdle)
+{
+    ExperimentConfig cfg = presets::small();
+    cfg.engine.mode = CheckpointMode::CheckIn;
+    cfg.threads = 8;
+    cfg.workload.operationCount = 1'000;
+    ASSERT_EQ(cfg.traffic.mode, LoopMode::Closed);
+    const RunResult r = runExperiment(cfg);
+    EXPECT_EQ(r.client.opsCompleted, 1'000u);
+    EXPECT_EQ(r.client.opsOffered, 0u);
+    EXPECT_EQ(r.client.queueDelay.count(), 0u);
+    EXPECT_EQ(r.client.sloViolations, 0u);
+    EXPECT_TRUE(r.client.tenants.empty());
+}
+
+TEST(OpenLoopClient, ClusterRouterDrivesOpenLoopArrivals)
+{
+    ClusterConfig cfg = presets::cluster();
+    cfg.workload.operationCount = 2'000;
+    cfg.traffic = openSpec(ArrivalProcess::Mmpp, 150'000.0);
+    const ClusterResult r = runCluster(cfg);
+    EXPECT_EQ(r.router.opsOffered, 2'000u);
+    EXPECT_EQ(r.router.opsCompleted, 2'000u);
+    EXPECT_EQ(r.router.queueDelay.count(), 2'000u);
+    EXPECT_GE(r.router.lastCompletion, r.router.lastArrival);
+    EXPECT_GT(r.verifiedKeys, 0u);
+}
+
+TEST(OpenLoopClient, DeterministicForSameConfig)
+{
+    ExperimentConfig cfg = presets::small();
+    cfg.engine.mode = CheckpointMode::CheckIn;
+    cfg.threads = 16;
+    cfg.workload.operationCount = 2'000;
+    cfg.traffic = openSpec(ArrivalProcess::Mmpp, 140'000.0);
+    const RunResult a = runExperiment(cfg);
+    const RunResult b = runExperiment(cfg);
+    EXPECT_EQ(a.client.lastArrival, b.client.lastArrival);
+    EXPECT_EQ(a.client.all.quantile(0.999),
+              b.client.all.quantile(0.999));
+    EXPECT_EQ(a.client.queueDelay.quantile(0.999),
+              b.client.queueDelay.quantile(0.999));
+    EXPECT_EQ(a.simSpan, b.simSpan);
+}
+
+} // namespace
+} // namespace checkin

@@ -11,6 +11,7 @@ Stdlib-only schema check for the JSON files the simulator emits:
   cluster.json       cluster run export (src/cluster/cluster.h)
   BENCH_cluster.json cluster scaling report (bench/cluster_scaling)
   BENCH_engines.json storage-backend comparison (bench/engine_compare)
+  BENCH_openloop.json open-loop traffic sweep (bench/openloop)
   BENCH_*.json       bench/fig* reports (bench/bench_common.h);
                      every bench name must be registered below —
                      unregistered reports fail validation
@@ -29,13 +30,13 @@ import sys
 from pathlib import Path
 
 STAGES = {
-    "hostCpu", "checkpointStall", "journalWait", "ssdQueue",
-    "firmware", "ftlMap", "dramCache", "nandWait", "nandMedia",
-    "gcStall", "bus", "backpressure", "other",
+    "queueDelay", "hostCpu", "checkpointStall", "journalWait",
+    "ssdQueue", "firmware", "ftlMap", "dramCache", "nandWait",
+    "nandMedia", "gcStall", "bus", "backpressure", "other",
 }
 OP_CLASSES = {"read", "update", "rmw", "scan", "delete"}
 TRIGGERS = {"manual", "timer", "journalBytes", "spacePressure",
-            "backlog"}
+            "backlog", "adaptivePace", "safety"}
 POLICIES = {"independent", "synchronized", "staggered"}
 
 errors = []
@@ -353,6 +354,89 @@ def validate_bench_engines(path, doc):
                                 f"{ctx}.attribution.classes")
 
 
+def validate_bench_openloop(path, doc):
+    """BENCH_openloop.json: the open-loop fixed-vs-adaptive sweep.
+    Each run must satisfy the open-loop conservation invariants: the
+    achieved rate can never exceed the offered rate (completions
+    trail arrivals), every dispatched op records one queue delay,
+    and per-tenant SLO-violation counts must sum to the client
+    total."""
+    validate_bench(path, doc)
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        return
+    expected = {f"{s}-{p}"
+                for s in ("poisson", "mmpp", "diurnal", "flashcrowd",
+                          "multitenant")
+                for p in ("fixed", "adaptive")}
+    labels = [r.get("label") for r in runs if isinstance(r, dict)]
+    if sorted(labels) != sorted(expected):
+        err(path, f"labels {sorted(labels)} != expected grid "
+                  f"{sorted(expected)}")
+    for i, run in enumerate(runs):
+        ctx = f"runs[{i}]"
+        result = run.get("result") if isinstance(run, dict) else None
+        if not isinstance(result, dict):
+            continue
+        throughput = require(path, result, "throughputOps",
+                             (int, float))
+        client = require(path, result, "client", dict)
+        if client is None:
+            continue
+        offered_rate = require(path, client, "offeredOpsPerSec",
+                               (int, float))
+        ops_offered = require(path, client, "opsOffered", int)
+        ops_completed = require(path, client, "opsCompleted", int)
+        violations = require(path, client, "sloViolations", int)
+        tenants = require(path, client, "tenants", list)
+        check_hist(path, client.get("queueDelay"),
+                   f"{ctx}.client.queueDelay")
+        journal = require(path, result, "journal", dict)
+        if journal is not None:
+            require(path, journal, "fillRate", (int, float))
+            require(path, journal, "stalls", int)
+        if None in (throughput, offered_rate, ops_offered,
+                    ops_completed, violations, tenants):
+            continue
+        if ops_completed > ops_offered:
+            err(path, f"{ctx}: opsCompleted {ops_completed} > "
+                      f"opsOffered {ops_offered}")
+        if throughput > offered_rate:
+            err(path, f"{ctx}: achieved rate {throughput} > offered "
+                      f"rate {offered_rate}")
+        queue_count = client.get("queueDelay", {}).get("count")
+        if queue_count is not None and queue_count != ops_completed:
+            err(path, f"{ctx}: queueDelay count {queue_count} != "
+                      f"opsCompleted {ops_completed}")
+        tenant_violations = 0
+        tenant_ops = 0
+        for j, t in enumerate(tenants):
+            tctx = f"{ctx}.tenants[{j}]"
+            require(path, t, "name", str)
+            require(path, t, "sloLatencyTicks", int)
+            v = require(path, t, "sloViolations", int)
+            ops = require(path, t, "opsCompleted", int)
+            if v is None or ops is None:
+                continue
+            if v > ops:
+                err(path, f"{tctx}: sloViolations {v} > "
+                          f"opsCompleted {ops}")
+            tenant_violations += v
+            tenant_ops += ops
+        if tenants:
+            if tenant_violations != violations:
+                err(path, f"{ctx}: tenant sloViolations sum "
+                          f"{tenant_violations} != client total "
+                          f"{violations}")
+            if tenant_ops != ops_completed:
+                err(path, f"{ctx}: tenant opsCompleted sum "
+                          f"{tenant_ops} != client total "
+                          f"{ops_completed}")
+        elif violations != 0:
+            err(path, f"{ctx}: sloViolations {violations} with no "
+                      "tenants configured")
+
+
 # Bench reports validated by the generic shape check. A BENCH_*.json
 # whose name is in neither this set nor VALIDATORS fails validation:
 # a new bench must register here (or with its own validator) so a
@@ -374,6 +458,7 @@ VALIDATORS = {
     "cluster.json": validate_cluster,
     "BENCH_cluster.json": validate_bench_cluster,
     "BENCH_engines.json": validate_bench_engines,
+    "BENCH_openloop.json": validate_bench_openloop,
 }
 
 
