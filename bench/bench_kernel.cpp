@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "obs/telemetry.h"
 #include "sim/event_queue.h"
 #include "sim/inline_event.h"
 #include "sim/rng.h"
@@ -165,11 +166,14 @@ struct KernelRun
  */
 constexpr std::uint64_t kActors = 256;
 
-template <typename Queue>
+template <typename Queue, typename Prep = void (*)(Queue &)>
 KernelRun
-driveKernel(std::uint64_t target, std::uint64_t seed)
+driveKernel(
+    std::uint64_t target, std::uint64_t seed,
+    Prep prep = [](Queue &) {})
 {
     Queue q;
+    prep(q);
     Rng rng(seed);
     std::uint64_t dispatched = 0;
     std::uint64_t sink = 0;
@@ -366,6 +370,88 @@ fullStack(BenchReport &report, bool quick)
                 "(asserted)\n");
 }
 
+void
+telemetryGate(BenchReport &report, bool quick)
+{
+    printHeader("Telemetry zero-overhead gate",
+                "disabled sampler stores nothing; a disarmed step "
+                "hook changes no dispatch/alloc counts");
+
+    // Gate 1: a disabled sampler must ignore registration and every
+    // hot-path note — the layers' probes compile down to a pointer +
+    // flag check, never storage.
+    obs::TelemetrySampler off;
+    off.addGauge("gate.g", [] { return std::uint64_t(1); });
+    off.addCounter("gate.c", [] { return std::uint64_t(1); });
+    EventQueue dummy;
+    off.begin(dummy); // no-op: must not install the hook
+    off.noteEvent(obs::TelemetryEvent::JournalStall, 1, 1);
+    off.noteSloResult(1, true);
+    off.noteCheckpointStart(1);
+    off.noteCheckpointEnd(2, 1);
+    off.finalize(2);
+    if (off.probeCount() != 0 || off.sampleCount() != 0 ||
+        off.eventCount() != 0 || off.storageBytes() != 0 ||
+        dummy.stepHookDue() != kInvalidTick) {
+        std::fprintf(
+            stderr,
+            "FAIL: disabled telemetry sampler was touched "
+            "(probes %zu, samples %llu, events %llu, bytes %llu)\n",
+            off.probeCount(),
+            (unsigned long long)off.sampleCount(),
+            (unsigned long long)off.eventCount(),
+            (unsigned long long)off.storageBytes());
+        std::exit(1);
+    }
+
+    // Gate 2: the same event storm with and without an installed
+    // (never armed) hook must dispatch identically and allocate
+    // identically — the disarmed path is one always-false compare.
+    const std::uint64_t target = quick ? 200'000 : 2'000'000;
+    const KernelRun plain = driveKernel<EventQueue>(target, 7);
+    const KernelRun hooked = driveKernel<EventQueue>(
+        target, 7, [](EventQueue &q) {
+            q.installStepHook([](void *, Tick) {}, nullptr);
+        });
+    if (plain.dispatched != hooked.dispatched ||
+        plain.allocs != hooked.allocs) {
+        std::fprintf(stderr,
+                     "FAIL: disarmed step hook changed the kernel "
+                     "(dispatched %llu vs %llu, allocs %llu vs "
+                     "%llu)\n",
+                     (unsigned long long)plain.dispatched,
+                     (unsigned long long)hooked.dispatched,
+                     (unsigned long long)plain.allocs,
+                     (unsigned long long)hooked.allocs);
+        std::exit(1);
+    }
+
+    Table t({"kernel", "events/sec", "allocs/event"});
+    t.addRow({"no hook",
+              Table::num(std::uint64_t(plain.eventsPerSec)),
+              Table::num(double(plain.allocs) /
+                             double(plain.dispatched),
+                         3)});
+    t.addRow({"hook installed, disarmed",
+              Table::num(std::uint64_t(hooked.eventsPerSec)),
+              Table::num(double(hooked.allocs) /
+                             double(hooked.dispatched),
+                         3)});
+    std::printf("%s", t.render().c_str());
+    std::printf("\ndisabled-telemetry storage/samples: 0 "
+                "(asserted)\ndisarmed-hook dispatch/alloc parity "
+                "(asserted)\n");
+
+    RunResult r;
+    r.raw["telemetry.gate.dispatched"] = hooked.dispatched;
+    r.raw["telemetry.gate.allocs"] = hooked.allocs;
+    r.raw["telemetry.gate.eventsPerSec"] =
+        std::uint64_t(hooked.eventsPerSec);
+    r.raw["telemetry.gate.plainEventsPerSec"] =
+        std::uint64_t(plain.eventsPerSec);
+    report.add("telemetry_gate", r);
+}
+
 } // namespace
 } // namespace checkin
 
@@ -380,5 +466,6 @@ main(int argc, char **argv)
     checkin::bench::BenchReport report("kernel");
     checkin::microbench(report, quick);
     checkin::fullStack(report, quick);
+    checkin::telemetryGate(report, quick);
     return 0;
 }

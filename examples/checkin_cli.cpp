@@ -8,7 +8,10 @@
  *               [--threads N] [--ops N] [--record-count N]
  *               [--interval-ms N] [--threshold-mib N] [--unit BYTES]
  *               [--pattern 1..4] [--seed N] [--device-mib N] [--csv]
- *               [--help]
+ *               [--openloop RATE] [--telemetry]
+ *               [--telemetry-window MS] [--blackbox-depth N]
+ *               [--artifact-dir D] [--help]
+ *   checkin_cli report DIR [--out FILE]
  *
  * Presets: small paper faulty cluster
  * Engines: checkin lsm
@@ -18,17 +21,23 @@
  * `--preset cluster` switches to the sharded cluster simulation
  * (src/cluster/) and additionally understands `--shards N` and
  * `--policy independent|synchronized|staggered|all`.
+ *
+ * `report` renders a run's artifact bundle (telemetry.json and
+ * friends, written when --telemetry and --artifact-dir were given)
+ * into self-contained HTML plus a terminal summary.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
 #include "harness/experiment.h"
 #include "harness/presets.h"
+#include "harness/report.h"
 #include "harness/table.h"
 
 namespace {
@@ -57,6 +66,17 @@ usage(int code)
         "  --seed N          workload seed (default 42)\n"
         "  --device-mib N    raw flash capacity (default 128)\n"
         "  --csv             one CSV line instead of the report\n"
+        "\nobservability (single-node and cluster):\n"
+        "  --openloop RATE   open-loop arrivals at RATE ops/s with a\n"
+        "                    default 2 ms-SLO tenant (SLO accounting\n"
+        "                    + anomaly detection need this)\n"
+        "  --telemetry       continuous telemetry: windowed series +\n"
+        "                    anomaly black box (telemetry.json,\n"
+        "                    blackbox.json under --artifact-dir)\n"
+        "  --telemetry-window MS  sampling window (default 1)\n"
+        "  --blackbox-depth N     black-box ring depth: N samples,\n"
+        "                         4N events (default 64)\n"
+        "  --artifact-dir D  write the artifact bundle under D\n"
         "\ncluster preset only:\n"
         "  --shards N        engine shards behind the router "
         "(default 4)\n"
@@ -64,7 +84,11 @@ usage(int code)
         "(default independent)\n"
         "  --sync-threads N  synchronizer worker threads (0 = "
         "auto, default 1)\n"
-        "  --artifact-dir D  write cluster.json under D/cluster/\n");
+        "\nreport subcommand:\n"
+        "  checkin_cli report DIR [--out FILE]\n"
+        "                    render DIR's artifacts (telemetry.json\n"
+        "                    required) as self-contained HTML (default\n"
+        "                    DIR/report.html) + a terminal summary\n");
     std::exit(code);
 }
 
@@ -119,6 +143,73 @@ parsePolicy(const std::string &s)
     usage(2);
 }
 
+/** Open-loop arrivals with one default-SLO tenant (SLO accounting
+ *  and the SloStreak anomaly need a tenant with an SLO). */
+void
+applyOpenloop(TrafficSpec &traffic, double rate)
+{
+    traffic.mode = LoopMode::Open;
+    traffic.offeredOpsPerSec = rate;
+    if (traffic.tenants.empty())
+        traffic.tenants.push_back(TenantSpec{});
+}
+
+void
+applyTelemetryFlag(obs::TelemetryOptions &t, const std::string &arg,
+                   const std::string &value)
+{
+    if (arg == "--telemetry-window")
+        t.window = std::stoull(value) * kMsec;
+    else if (arg == "--blackbox-depth") {
+        t.blackboxSamples = std::uint32_t(std::stoul(value));
+        t.blackboxEvents = 4 * t.blackboxSamples;
+    }
+}
+
+int
+runReport(int argc, char **argv)
+{
+    std::string dir;
+    std::string out;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        else if (arg == "--out" && i + 1 < argc)
+            out = argv[++i];
+        else if (dir.empty() && arg[0] != '-')
+            dir = arg;
+        else {
+            std::fprintf(stderr, "report: unexpected '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (dir.empty()) {
+        std::fprintf(stderr, "report needs an artifact directory\n");
+        usage(2);
+    }
+    if (out.empty())
+        out = dir + "/report.html";
+    try {
+        const std::string html = renderRunReportHtml(dir);
+        std::ofstream f(out, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", out.c_str());
+            return 1;
+        }
+        f << html;
+        f.close();
+        std::printf("%s", renderRunReportText(dir).c_str());
+        std::printf("wrote %s (%zu bytes)\n", out.c_str(),
+                    html.size());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "report failed: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}
+
 void
 printPolicyRow(Table &t, const char *policy, const ClusterResult &r)
 {
@@ -170,6 +261,13 @@ runClusterCli(int argc, char **argv)
                 cfg.coordination = parsePolicy(p);
         } else if (arg == "--artifact-dir")
             cfg.artifactDir = next();
+        else if (arg == "--openloop")
+            applyOpenloop(cfg.traffic, std::stod(next()));
+        else if (arg == "--telemetry")
+            cfg.shard.obs.telemetry.enabled = true;
+        else if (arg == "--telemetry-window" ||
+                 arg == "--blackbox-depth")
+            applyTelemetryFlag(cfg.shard.obs.telemetry, arg, next());
         else if (arg == "--sync-threads")
             cfg.syncThreads = unsigned(std::stoul(next()));
         else if (arg == "--threads")
@@ -253,6 +351,16 @@ runClusterCli(int argc, char **argv)
                 (unsigned long long)last.sync.messages,
                 (unsigned long long)last.totalEvents,
                 (unsigned long long)last.verifiedKeys);
+    if (last.telemetry.enabled) {
+        std::printf("telemetry: %llu samples / %llu events / %llu "
+                    "anomalies across %u shards\n",
+                    (unsigned long long)last.telemetry.samples,
+                    (unsigned long long)last.telemetry.events,
+                    (unsigned long long)last.telemetry.anomalies,
+                    cfg.shardCount);
+    }
+    if (!last.artifacts.empty())
+        std::printf("artifacts: %s\n", last.artifacts.dir.c_str());
     return 0;
 }
 
@@ -262,6 +370,9 @@ int
 main(int argc, char **argv)
 {
     using namespace checkin;
+
+    if (argc > 1 && std::strcmp(argv[1], "report") == 0)
+        return runReport(argc, argv);
 
     // Dispatch on the preset before the flag loop: the cluster
     // preset runs a different simulation with its own flag set.
@@ -341,6 +452,15 @@ main(int argc, char **argv)
             cfg.workload.seed = std::stoull(next());
         else if (arg == "--device-mib")
             device_mib = std::stoull(next());
+        else if (arg == "--openloop")
+            applyOpenloop(cfg.traffic, std::stod(next()));
+        else if (arg == "--telemetry")
+            cfg.obs.telemetry.enabled = true;
+        else if (arg == "--telemetry-window" ||
+                 arg == "--blackbox-depth")
+            applyTelemetryFlag(cfg.obs.telemetry, arg, next());
+        else if (arg == "--artifact-dir")
+            cfg.obs.artifactDir = next();
         else if (arg == "--csv")
             csv = true;
         else {
@@ -414,5 +534,14 @@ main(int argc, char **argv)
                 (unsigned long long)r.nandPrograms);
     std::printf("journal overhead  %10.1f %%\n",
                 r.journalSpaceOverhead() * 100.0);
+    if (r.telemetry.enabled) {
+        std::printf("telemetry         %10llu samples / %llu events "
+                    "/ %llu anomalies\n",
+                    (unsigned long long)r.telemetry.samples,
+                    (unsigned long long)r.telemetry.events,
+                    (unsigned long long)r.telemetry.anomalies);
+    }
+    if (!r.artifacts.empty())
+        std::printf("artifacts         %s\n", r.artifacts.dir.c_str());
     return 0;
 }

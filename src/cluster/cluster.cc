@@ -147,9 +147,33 @@ runCluster(const ClusterConfig &cfg)
                           (double(r.simSpan) / double(kSec));
     }
 
+    if (cfg.shard.obs.telemetry.enabled) {
+        for (auto &s : shards) {
+            const obs::TelemetrySummary t = s->telemetry().summary();
+            r.telemetry.enabled = true;
+            r.telemetry.windowTicks = t.windowTicks;
+            r.telemetry.probes += t.probes;
+            r.telemetry.samples += t.samples;
+            r.telemetry.events += t.events;
+            r.telemetry.anomalies += t.anomalies;
+        }
+    }
+
     if (!cfg.artifactDir.empty()) {
         obs::ArtifactWriter writer(cfg.artifactDir, cfg.runName);
         writer.writeText("cluster.json", clusterResultJson(cfg, r));
+        if (cfg.shard.obs.telemetry.enabled) {
+            // Merge in shard-index order: bytes are identical for
+            // any synchronizer thread count.
+            std::vector<const obs::TelemetrySampler *> samplers;
+            samplers.reserve(shards.size());
+            for (auto &s : shards)
+                samplers.push_back(&s->telemetry());
+            writer.writeText("telemetry.json",
+                             obs::clusterTelemetryJson(samplers));
+            writer.writeText("blackbox.json",
+                             obs::clusterBlackboxJson(samplers));
+        }
         r.artifacts = writer.bundle();
     }
     return r;
@@ -224,6 +248,16 @@ clusterResultJson(const ClusterConfig &cfg, const ClusterResult &r)
     w.kv("messages", r.sync.messages);
     w.kv("windows", r.sync.windows);
     w.endObject();
+
+    w.key("telemetry").beginObject();
+    w.kv("anomalies", r.telemetry.anomalies);
+    w.kv("enabled", r.telemetry.enabled);
+    w.kv("events", r.telemetry.events);
+    w.kv("probes", r.telemetry.probes);
+    w.kv("samples", r.telemetry.samples);
+    w.kv("windowTicks", std::uint64_t(r.telemetry.windowTicks));
+    w.endObject();
+
     w.kv("throughputOps", r.throughputOps);
     w.kv("totalEvents", r.totalEvents);
     w.kv("verifiedKeys", r.verifiedKeys);

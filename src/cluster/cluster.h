@@ -22,6 +22,7 @@
 #include "cluster/shard.h"
 #include "cluster/synchronizer.h"
 #include "obs/artifacts.h"
+#include "obs/telemetry.h"
 
 namespace checkin {
 
@@ -44,6 +45,10 @@ struct ClusterResult
     std::uint64_t totalEvents = 0;
     /** Keys verified across all shards post-run. */
     std::uint64_t verifiedKeys = 0;
+
+    /** Cluster-wide telemetry rollup (probes/samples/events/anomalies
+     *  summed over shards; enabled per cfg.shard.obs.telemetry). */
+    obs::TelemetrySummary telemetry;
 
     /** cluster.json location when cfg.artifactDir was set. */
     obs::ArtifactBundle artifacts;

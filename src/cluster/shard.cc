@@ -36,11 +36,16 @@ ShardNode::ShardNode(std::uint32_t shard, std::uint64_t seed,
       cfg_(cfg),
       globalKeys_(std::move(global_keys)),
       sizerSpec_(sizer_spec),
-      responseLatency_(response_latency)
+      responseLatency_(response_latency),
+      telem_(cfg.obs.telemetry)
 {
     attr_.setEnabled(attribution);
     if (attribution)
         ctx_.setAttribution(&attr_);
+    // The stack built in buildAndLoad() registers its probes against
+    // this sampler via the shard's context.
+    if (telem_.enabled())
+        ctx_.setTelemetry(&telem_);
 }
 
 ShardNode::~ShardNode() = default;
@@ -84,6 +89,10 @@ ShardNode::buildAndLoad()
     ckptCount0_ = engine_->checkpointDurations().size();
     if (attr_.enabled())
         attr_.clearForMeasurement();
+
+    // Arm sampling on the shard's own queue: windows are in shard
+    // sim time, untouched by synchronizer threading.
+    telem_.begin(eq);
 
     engine_->start();
 }
@@ -154,6 +163,9 @@ ShardNode::drainCheckpoint()
     SimContextScope scope(ctx_);
     while (engine_->checkpointInProgress() && ctx_.events().step()) {
     }
+    // Flush the residual window before verification reads perturb
+    // the shard's device counters.
+    telem_.finalize(ctx_.events().now());
 }
 
 ShardSummary

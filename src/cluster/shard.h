@@ -23,6 +23,7 @@
 #include "fault/fault_plan.h"
 #include "harness/experiment.h"
 #include "obs/attribution.h"
+#include "obs/telemetry.h"
 #include "sim/histogram.h"
 #include "ssd/ssd.h"
 #include "workload/ycsb.h"
@@ -84,7 +85,11 @@ class ShardNode : public ClusterNode
 
     StorageEngine &engine() { return *engine_; }
 
-    /** Let an in-flight checkpoint finish (post-run drain). */
+    /** Shard-local telemetry (enabled per cfg.obs.telemetry). */
+    const obs::TelemetrySampler &telemetry() const { return telem_; }
+
+    /** Let an in-flight checkpoint finish (post-run drain) and
+     *  finalize shard telemetry. */
     void drainCheckpoint();
 
   protected:
@@ -103,6 +108,9 @@ class ShardNode : public ClusterNode
     std::unique_ptr<Ssd> ssd_;
     std::unique_ptr<StorageEngine> engine_;
     obs::AttributionCollector attr_;
+    /** Per-shard sampler, driven by this shard's own event queue so
+     *  merged artifacts are independent of synchronizer threading. */
+    obs::TelemetrySampler telem_;
 
     // Post-load baselines.
     std::uint64_t nandReads0_ = 0;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "engine/record.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace checkin {
@@ -63,6 +64,24 @@ JournalManager::JournalManager(SimContext &ctx, Ssd &ssd,
     image_[0].assign(layout_.journalChunks(), 0);
     image_[1].assign(layout_.journalChunks(), 0);
     obs::nameLane(obs::Cat::Engine, kJournalLane, "journal");
+    telem_ = ctx.telemetry();
+    if (telem_ != nullptr && telem_->enabled()) {
+        telem_->addGauge("journal.bytes", [this] {
+            return activeJournalBytes();
+        });
+        telem_->addGauge("journal.jmtSize", [this] {
+            return std::uint64_t(jmt_.size());
+        });
+        telem_->addGauge("journal.pending", [this] {
+            return std::uint64_t(buffer_.size());
+        });
+        telem_->addGauge("journal.stalled", [this] {
+            return std::uint64_t(stalledForSpace_ ? 1 : 0);
+        });
+        telem_->addCounter("journal.stalls", [this] {
+            return stats_.get("engine.journalStalls");
+        });
+    }
 }
 
 std::uint32_t
@@ -157,6 +176,10 @@ JournalManager::startFlush()
         stats_.add("engine.journalStalls");
         obs::instant(obs::Cat::Engine, kJournalLane, "journal.stall",
                      eq_.now(), {{"bufferedLogs", buffer_.size()}});
+        if (telem_ != nullptr) {
+            telem_->noteEvent(obs::TelemetryEvent::JournalStall,
+                              eq_.now(), buffer_.size());
+        }
         if (onPressure_)
             onPressure_();
         return;

@@ -205,6 +205,8 @@ class JournalManager
     const DiskLayout &layout_;
     const EngineConfig &cfg_;
     StatRegistry &stats_;
+    /** Telemetry sampler of the run (nullptr: telemetry off). */
+    obs::TelemetrySampler *telem_ = nullptr;
     PressureCb onPressure_;
 
     std::deque<Pending> buffer_;

@@ -9,6 +9,7 @@
 
 #include "engine/record.h"
 #include "obs/attribution.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace checkin {
@@ -45,6 +46,24 @@ KvEngine::KvEngine(SimContext &ctx, Ssd &ssd, const EngineConfig &cfg)
         requestCheckpoint(obs::CkptTrigger::SpacePressure);
     });
     obs::nameLane(obs::Cat::Engine, kCkptLane, "checkpoint");
+    telem_ = ctx.telemetry();
+    if (telem_ != nullptr && telem_->enabled()) {
+        telem_->addGauge("engine.deferredOps", [this] {
+            return std::uint64_t(deferred_.size());
+        });
+        telem_->addGauge("engine.keymapSize", [this] {
+            return std::uint64_t(keymap_.size());
+        });
+        telem_->addGauge("engine.ckptInProgress", [this] {
+            return std::uint64_t(ckptInProgress_ ? 1 : 0);
+        });
+        telem_->addGauge("journal.fillRate", [this] {
+            return std::uint64_t(policy_->fillRateBytesPerSec());
+        });
+        telem_->addCounter("engine.checkpoints", [this] {
+            return stats_.get("engine.checkpoints");
+        });
+    }
 }
 
 void
@@ -500,6 +519,13 @@ KvEngine::doScan(std::uint64_t start_key, std::uint32_t count,
 void
 KvEngine::requestCheckpoint(obs::CkptTrigger reason)
 {
+    // A safety-bound trip is an anomaly even when the request
+    // coalesces into a checkpoint already in flight.
+    if (telem_ != nullptr && reason == obs::CkptTrigger::Safety) {
+        telem_->noteEvent(obs::TelemetryEvent::SafetyTrip,
+                          eq_.now(),
+                          journal_.activeJournalBytes());
+    }
     if (ckptInProgress_) {
         pendingCkptRequest_ = true;
         return;
@@ -522,6 +548,8 @@ KvEngine::startCheckpoint()
     ckptInProgress_ = true;
     ckptStart_ = eq_.now();
     policy_->onCheckpointStart(ckptStart_);
+    if (telem_ != nullptr)
+        telem_->noteCheckpointStart(ckptStart_);
     stats_.add("engine.checkpoints");
     obs::instant(obs::Cat::Engine, kCkptLane, "ckpt.start",
                  ckptStart_, {{"jmtEntries", journal_.jmtSize()}});
@@ -722,6 +750,8 @@ KvEngine::finishCheckpoint(std::uint8_t half, Tick t)
     journal_.onHalfFreed(half);
     ckptInProgress_ = false;
     ckptDurations_.push_back(t - ckptStart_);
+    if (telem_ != nullptr)
+        telem_->noteCheckpointEnd(t, t - ckptStart_);
     stats_.add("engine.ckptTicks", t - ckptStart_);
     obs::span(obs::Cat::Engine, kCkptLane, "checkpoint", ckptStart_,
               t, {{"half", half}});

@@ -197,6 +197,8 @@ class KvEngine : public StorageEngine
     JournalManager journal_;
     std::unique_ptr<CheckpointStrategy> strategy_;
     std::unique_ptr<CheckpointPolicy> policy_;
+    /** Telemetry sampler of the run (nullptr: telemetry off). */
+    obs::TelemetrySampler *telem_ = nullptr;
 
     bool ckptInProgress_ = false;
     bool pendingCkptRequest_ = false;

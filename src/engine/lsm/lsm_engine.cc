@@ -8,6 +8,7 @@
 
 #include "engine/record.h"
 #include "obs/attribution.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace checkin {
@@ -55,6 +56,37 @@ LsmEngine::LsmEngine(SimContext &ctx, Ssd &ssd,
       policy_(CheckpointPolicy::create(cfg_))
 {
     obs::nameLane(obs::Cat::Engine, kFlushLane, "flush");
+    telem_ = ctx.telemetry();
+    if (telem_ != nullptr && telem_->enabled()) {
+        telem_->addGauge("engine.deferredOps", [this] {
+            return std::uint64_t(deferred_.size());
+        });
+        telem_->addGauge("engine.keymapSize", [this] {
+            return std::uint64_t(keymap_.size());
+        });
+        telem_->addGauge("engine.ckptInProgress", [this] {
+            return std::uint64_t(flushInProgress_ ? 1 : 0);
+        });
+        telem_->addGauge("journal.bytes", [this] {
+            return halfPayloadBytes_[activeHalf_];
+        });
+        telem_->addGauge("journal.jmtSize", [this] {
+            return std::uint64_t(
+                halfRecords_[activeHalf_].size());
+        });
+        telem_->addGauge("journal.stalled", [this] {
+            return std::uint64_t(walStalled_ ? 1 : 0);
+        });
+        telem_->addGauge("journal.fillRate", [this] {
+            return std::uint64_t(policy_->fillRateBytesPerSec());
+        });
+        telem_->addCounter("engine.checkpoints", [this] {
+            return stats_.get("engine.checkpoints");
+        });
+        telem_->addCounter("journal.stalls", [this] {
+            return stats_.get("engine.journalStalls");
+        });
+    }
 }
 
 std::uint32_t
@@ -534,6 +566,11 @@ LsmEngine::pumpWal()
         if (!walStalled_) {
             walStalled_ = true;
             stats_.add("engine.journalStalls");
+            if (telem_ != nullptr) {
+                telem_->noteEvent(
+                    obs::TelemetryEvent::JournalStall, eq_.now(),
+                    pendingGroups_.size());
+            }
         }
         requestCheckpoint(obs::CkptTrigger::SpacePressure);
         return;
@@ -640,6 +677,11 @@ LsmEngine::pumpWal()
 void
 LsmEngine::requestCheckpoint(obs::CkptTrigger reason)
 {
+    if (telem_ != nullptr && reason == obs::CkptTrigger::Safety) {
+        telem_->noteEvent(obs::TelemetryEvent::SafetyTrip,
+                          eq_.now(),
+                          halfPayloadBytes_[activeHalf_]);
+    }
     if (flushInProgress_) {
         pendingFlushRequest_ = true;
         return;
@@ -660,6 +702,8 @@ LsmEngine::startFlush()
     flushInProgress_ = true;
     flushStart_ = eq_.now();
     policy_->onCheckpointStart(flushStart_);
+    if (telem_ != nullptr)
+        telem_->noteCheckpointStart(flushStart_);
     stats_.add("engine.checkpoints");
     obs::instant(obs::Cat::Engine, kFlushLane, "flush.start",
                  flushStart_,
@@ -820,6 +864,8 @@ LsmEngine::finishFlush(Tick t)
 {
     flushInProgress_ = false;
     flushDurations_.push_back(t - flushStart_);
+    if (telem_ != nullptr)
+        telem_->noteCheckpointEnd(t, t - flushStart_);
     stats_.add("engine.ckptTicks", t - flushStart_);
     obs::span(obs::Cat::Engine, kFlushLane, "flush", flushStart_, t);
     if (obs::attributionOn()) {

@@ -285,6 +285,8 @@ class LsmEngine : public StorageEngine
     obs::CheckpointStat flushRec_;
     std::uint64_t flushSeq_ = 0;
     std::deque<std::function<void()>> deferred_;
+    /** Telemetry sampler of the run (nullptr: telemetry off). */
+    obs::TelemetrySampler *telem_ = nullptr;
 };
 
 } // namespace checkin

@@ -122,6 +122,14 @@ runExperiment(const ExperimentConfig &cfg)
 
     obs::MetricsRegistry metrics;
     ctx.setMetrics(&metrics);
+
+    // The telemetry sampler must exist before the device: layer
+    // constructors (journal, SSD, engine, client pool) register
+    // their probes and capture the pointer. Sampling only starts at
+    // begin() after the load, so artifacts cover the measured run.
+    obs::TelemetrySampler telemetry(cfg.obs.telemetry);
+    if (telemetry.enabled())
+        ctx.setTelemetry(&telemetry);
     SimContextScope active(ctx);
 
     // The fault plan must exist before the device: the Ssd wires it
@@ -163,6 +171,20 @@ runExperiment(const ExperimentConfig &cfg)
 
     ClientPool pool(ctx, engine, cfg.workload, cfg.traffic,
                     cfg.threads);
+    if (telemetry.enabled() && attr != nullptr) {
+        // Per-stage dwell rates: windowed deltas of the collector's
+        // live cumulative per-stage dwell.
+        for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+            telemetry.addCounter(
+                std::string("attr.dwell.") +
+                    obs::stageName(obs::Stage(s)),
+                [attr, s] {
+                    return std::uint64_t(
+                        attr->liveStageTicks(obs::Stage(s)));
+                });
+        }
+    }
+    telemetry.begin(eq);
     if (want_artifacts) {
         const obs::MetricId lat_series =
             metrics.series("op.latency", cfg.obs.seriesInterval);
@@ -186,6 +208,9 @@ runExperiment(const ExperimentConfig &cfg)
     // Let an in-flight checkpoint finish so its cost is attributed.
     while (engine.checkpointInProgress() && eq.step()) {
     }
+    // Flush the residual telemetry window before verification reads
+    // perturb the device counters.
+    telemetry.finalize(eq.now());
 
     // Full-store content check: every committed key must read back
     // its exact chunk tokens wherever it currently lives.
@@ -324,6 +349,14 @@ runExperiment(const ExperimentConfig &cfg)
         }
     }
 
+    r.telemetry = telemetry.summary();
+    if (telemetry.enabled()) {
+        metrics.set(metrics.counter("telemetry.samples"),
+                    telemetry.sampleCount());
+        metrics.set(metrics.counter("telemetry.anomalies"),
+                    telemetry.anomalyCount());
+    }
+
     if (want_artifacts) {
         metrics.importStats(ssd.nand().stats());
         metrics.importStats(ssd.ftl().stats());
@@ -342,6 +375,12 @@ runExperiment(const ExperimentConfig &cfg)
                 attr->toJson(cfg.obs.attrTailQuantile));
             writer.writeText("checkpoints.json",
                              attr->checkpointsJson());
+        }
+        if (telemetry.enabled()) {
+            writer.writeText("telemetry.json",
+                             telemetry.telemetryJson());
+            writer.writeText("blackbox.json",
+                             telemetry.blackboxJson());
         }
         writer.writeText("summary.json", runResultJson(r));
         r.artifacts = writer.bundle();

@@ -137,6 +137,10 @@ struct RunResult
     /** Per-checkpoint phase timeline (same gating). */
     std::vector<obs::CheckpointStat> checkpointTimeline;
 
+    /** Continuous-telemetry rollup (enabled=false unless
+     *  cfg.obs.telemetry.enabled was set). */
+    obs::TelemetrySummary telemetry;
+
     /** Space overhead: stored journal bytes / payload bytes - 1. */
     double
     journalSpaceOverhead() const

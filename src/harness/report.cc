@@ -1,0 +1,461 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/json_parse.h"
+#include "sim/types.h"
+
+namespace checkin {
+
+namespace {
+
+using obs::JsonValue;
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+JsonValue
+loadOptional(const std::string &dir, const std::string &name)
+{
+    const std::string text = readFileOrEmpty(dir + "/" + name);
+    if (text.empty())
+        return JsonValue{};
+    return obs::parseJson(text);
+}
+
+std::string
+htmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '&':
+            out += "&amp;";
+            break;
+          case '<':
+            out += "&lt;";
+            break;
+          case '>':
+            out += "&gt;";
+            break;
+          case '"':
+            out += "&quot;";
+            break;
+          default:
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string
+fmt(double v, int prec = 1)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+/** Marker ticks drawn over every sparkline. */
+struct Markers
+{
+    std::vector<std::uint64_t> checkpoints; //!< start ticks
+    std::vector<std::uint64_t> anomalies;   //!< trigger ticks
+};
+
+/** Everything the renderers share, parsed once. */
+struct Bundle
+{
+    std::string dir;
+    JsonValue telemetry; //!< required
+    JsonValue blackbox;
+    JsonValue summary; //!< single-node run summary (optional)
+    JsonValue cluster; //!< cluster run summary (optional)
+    Markers markers;
+};
+
+void
+collectDumpTicks(const JsonValue &body,
+                 std::vector<std::uint64_t> &out)
+{
+    const JsonValue &dumps = body.at("dumps");
+    for (const JsonValue &d : dumps.items)
+        out.push_back(d.at("triggerTick").asU64());
+}
+
+Bundle
+loadBundle(const std::string &dir)
+{
+    Bundle b;
+    b.dir = dir;
+    const std::string telem = readFileOrEmpty(dir +
+                                              "/telemetry.json");
+    if (telem.empty())
+        throw std::runtime_error(
+            "no telemetry.json in '" + dir +
+            "' — run with telemetry enabled (e.g. checkin_cli "
+            "--telemetry)");
+    b.telemetry = obs::parseJson(telem);
+    b.blackbox = loadOptional(dir, "blackbox.json");
+    b.summary = loadOptional(dir, "summary.json");
+    b.cluster = loadOptional(dir, "cluster.json");
+
+    for (const JsonValue &c :
+         b.summary.at("checkpointTimeline").items)
+        b.markers.checkpoints.push_back(c.at("startTick").asU64());
+    if (b.blackbox.find("shards") != nullptr) {
+        for (const JsonValue &s : b.blackbox.at("shards").items)
+            collectDumpTicks(s, b.markers.anomalies);
+    } else {
+        collectDumpTicks(b.blackbox, b.markers.anomalies);
+    }
+    std::sort(b.markers.anomalies.begin(),
+              b.markers.anomalies.end());
+    return b;
+}
+
+// ----------------------------------------------------------------------
+// Sparklines
+// ----------------------------------------------------------------------
+
+constexpr int kSparkW = 360;
+constexpr int kSparkH = 44;
+constexpr int kSparkPad = 2;
+
+double
+sparkX(std::uint64_t window, std::uint64_t w0, std::uint64_t w1)
+{
+    if (w1 <= w0)
+        return kSparkPad;
+    const double f =
+        double(window - w0) / double(w1 - w0);
+    return kSparkPad + f * double(kSparkW - 2 * kSparkPad);
+}
+
+double
+sparkY(std::uint64_t v, std::uint64_t vmax)
+{
+    if (vmax == 0)
+        return double(kSparkH - kSparkPad);
+    const double f = double(v) / double(vmax);
+    return double(kSparkH - kSparkPad) -
+           f * double(kSparkH - 2 * kSparkPad);
+}
+
+/** One probe series as an inline SVG sparkline with markers. */
+void
+sparkline(std::ostringstream &os, const JsonValue &series,
+          std::uint64_t window_ticks, std::uint64_t w0,
+          std::uint64_t w1, const Markers &markers)
+{
+    const JsonValue &points = series.at("points");
+    std::uint64_t vmax = 0;
+    for (const JsonValue &p : points.items)
+        vmax = std::max(vmax, p.at(1).asU64());
+
+    os << "<svg width=\"" << kSparkW << "\" height=\"" << kSparkH
+       << "\" viewBox=\"0 0 " << kSparkW << " " << kSparkH
+       << "\" class=\"spark\">";
+    // Checkpoint markers (grey) under the data, anomalies (red) over.
+    if (window_ticks > 0) {
+        for (const std::uint64_t t : markers.checkpoints) {
+            const std::uint64_t w = t / window_ticks;
+            if (w < w0 || w > w1)
+                continue;
+            const double x = sparkX(w, w0, w1);
+            os << "<line x1=\"" << fmt(x, 1) << "\" y1=\"0\" x2=\""
+               << fmt(x, 1) << "\" y2=\"" << kSparkH
+               << "\" class=\"ckpt\"/>";
+        }
+    }
+    os << "<polyline fill=\"none\" class=\"line\" points=\"";
+    bool first = true;
+    for (const JsonValue &p : points.items) {
+        if (!first)
+            os << " ";
+        first = false;
+        os << fmt(sparkX(p.at(0).asU64(), w0, w1), 1) << ","
+           << fmt(sparkY(p.at(1).asU64(), vmax), 1);
+    }
+    os << "\"/>";
+    if (window_ticks > 0) {
+        for (const std::uint64_t t : markers.anomalies) {
+            const std::uint64_t w = t / window_ticks;
+            if (w < w0 || w > w1)
+                continue;
+            const double x = sparkX(w, w0, w1);
+            os << "<line x1=\"" << fmt(x, 1) << "\" y1=\"0\" x2=\""
+               << fmt(x, 1) << "\" y2=\"" << kSparkH
+               << "\" class=\"anom\"/>";
+        }
+    }
+    os << "</svg>";
+}
+
+// ----------------------------------------------------------------------
+// Sections
+// ----------------------------------------------------------------------
+
+void
+headerSection(std::ostringstream &os, const Bundle &b)
+{
+    const JsonValue &t = b.telemetry;
+    os << "<h1>Check-In run report</h1>\n<p class=\"sub\">"
+       << htmlEscape(b.dir) << "</p>\n";
+    os << "<table class=\"kv\">\n";
+    auto row = [&os](const std::string &k, const std::string &v) {
+        os << "<tr><td>" << k << "</td><td>" << v << "</td></tr>\n";
+    };
+    row("window", std::to_string(t.at("windowTicks").asU64()) +
+                      " ticks");
+    row("span", std::to_string(t.at("baselineTick").asU64()) +
+                    " &rarr; " +
+                    std::to_string(t.at("finalTick").asU64()) +
+                    " ticks");
+    row("samples", std::to_string(t.at("samples").asU64()));
+    row("events", std::to_string(t.at("events").asU64()));
+    row("anomalies", std::to_string(t.at("anomalies").asU64()));
+    if (const JsonValue *sc = t.find("shardCount"))
+        row("shards", std::to_string(sc->asU64()));
+    if (b.summary.isObject()) {
+        row("throughput",
+            fmt(b.summary.at("throughputOps").asDouble(), 0) +
+                " ops/s");
+        row("checkpoints",
+            std::to_string(
+                b.summary.at("checkpoints").at("count").asU64()));
+    } else if (b.cluster.isObject()) {
+        row("throughput",
+            fmt(b.cluster.at("throughputOps").asDouble(), 0) +
+                " ops/s");
+    }
+    os << "</table>\n";
+}
+
+void
+seriesSection(std::ostringstream &os, const Bundle &b)
+{
+    const JsonValue &t = b.telemetry;
+    const std::uint64_t window = t.at("windowTicks").asU64();
+    const std::uint64_t w0 =
+        window > 0 ? t.at("baselineTick").asU64() / window : 0;
+    const std::uint64_t w1 =
+        window > 0 ? t.at("finalTick").asU64() / window : 0;
+
+    os << "<h2>Probe series</h2>\n"
+       << "<p class=\"sub\">grey: checkpoint starts; red: anomaly "
+          "triggers; counters plot per-window deltas</p>\n"
+       << "<table class=\"series\">\n"
+       << "<tr><th>probe</th><th>kind</th><th>final</th>"
+       << "<th>sparkline</th></tr>\n";
+    for (const auto &[name, s] : t.at("probes").fields) {
+        os << "<tr><td class=\"name\">" << htmlEscape(name)
+           << "</td><td>" << htmlEscape(s.at("kind").asString())
+           << "</td><td class=\"num\">" << s.at("final").asU64()
+           << "</td><td>";
+        sparkline(os, s, window, w0, w1, b.markers);
+        os << "</td></tr>\n";
+    }
+    os << "</table>\n";
+}
+
+void
+tailStageSection(std::ostringstream &os, const Bundle &b)
+{
+    const JsonValue &attr = b.summary.at("attribution");
+    if (!attr.at("enabled").asBool())
+        return;
+    const JsonValue &tail = attr.at("tailClasses");
+    if (!tail.isObject() || tail.fields.empty())
+        return;
+    os << "<h2>Tail-stage attribution</h2>\n<p class=\"sub\">ops at "
+          "or above the p"
+       << fmt(attr.at("tailQuantile").asDouble() * 100.0, 1)
+       << " latency ("
+       << attr.at("tailOps").asU64()
+       << " ops); stage dwell in ticks</p>\n"
+       << "<table class=\"series\">\n"
+       << "<tr><th>class</th><th>ops</th><th>stage</th>"
+       << "<th>dwell</th><th>share</th></tr>\n";
+    for (const auto &[cls, body] : tail.fields) {
+        const double total =
+            std::max(1.0, body.at("totalTicks").asDouble());
+        for (const auto &[stage, dwell] :
+             body.at("stages").fields) {
+            os << "<tr><td class=\"name\">" << htmlEscape(cls)
+               << "</td><td class=\"num\">"
+               << body.at("ops").asU64() << "</td><td>"
+               << htmlEscape(stage) << "</td><td class=\"num\">"
+               << dwell.asU64() << "</td><td class=\"num\">"
+               << fmt(dwell.asDouble() / total * 100.0, 1)
+               << "%</td></tr>\n";
+        }
+    }
+    os << "</table>\n";
+}
+
+void
+dumpSection(std::ostringstream &os, const JsonValue &body,
+            const JsonValue &probe_names, int shard)
+{
+    for (const JsonValue &d : body.at("dumps").items) {
+        os << "<h3>anomaly: "
+           << htmlEscape(d.at("anomaly").asString());
+        if (shard >= 0)
+            os << " (shard " << shard << ")";
+        os << "</h3>\n<p class=\"sub\">trigger tick "
+           << d.at("triggerTick").asU64() << ", value "
+           << d.at("value").asU64() << ", seq "
+           << d.at("seq").asU64() << "; pre-trigger window: "
+           << d.at("samples").items.size() << " samples, "
+           << d.at("events").items.size() << " events ("
+           << probe_names.items.size() << " probes)</p>\n";
+        const auto &events = d.at("events").items;
+        if (events.empty())
+            continue;
+        os << "<table class=\"series\">\n"
+           << "<tr><th>tick</th><th>event</th><th>value</th>"
+           << "</tr>\n";
+        // The newest entries carry the incident; cap the table so
+        // a deep ring stays readable.
+        const std::size_t show =
+            std::min<std::size_t>(events.size(), 16);
+        for (std::size_t i = events.size() - show;
+             i < events.size(); ++i) {
+            const JsonValue &e = events[i];
+            os << "<tr><td class=\"num\">" << e.at(0).asU64()
+               << "</td><td>" << htmlEscape(e.at(1).asString())
+               << "</td><td class=\"num\">" << e.at(2).asU64()
+               << "</td></tr>\n";
+        }
+        os << "</table>\n";
+    }
+}
+
+void
+anomalySection(std::ostringstream &os, const Bundle &b)
+{
+    if (!b.blackbox.isObject())
+        return;
+    os << "<h2>Black box</h2>\n";
+    if (b.blackbox.at("anomalies").asU64() == 0) {
+        os << "<p class=\"sub\">no anomalies fired</p>\n";
+        return;
+    }
+    if (b.blackbox.find("shards") != nullptr) {
+        const auto &shards = b.blackbox.at("shards").items;
+        for (const JsonValue &s : shards) {
+            dumpSection(os, s, s.at("probeNames"),
+                        int(s.at("shard").asU64()));
+        }
+    } else {
+        dumpSection(os, b.blackbox, b.blackbox.at("probeNames"),
+                    -1);
+    }
+}
+
+const char *kCss =
+    "body{font:14px/1.4 system-ui,sans-serif;margin:24px;"
+    "color:#1a1a2e;max-width:900px}"
+    "h1{font-size:20px}h2{font-size:16px;margin-top:28px}"
+    "h3{font-size:14px;margin-top:20px}"
+    ".sub{color:#667;font-size:12px;margin:2px 0 10px}"
+    "table.kv td{padding:2px 12px 2px 0;font-size:13px}"
+    "table.kv td:first-child{color:#667}"
+    "table.series{border-collapse:collapse;font-size:12px}"
+    "table.series th{text-align:left;padding:3px 10px;"
+    "border-bottom:1px solid #ccd}"
+    "table.series td{padding:2px 10px;border-bottom:1px solid #eef}"
+    "td.name{font-family:ui-monospace,monospace}"
+    "td.num{text-align:right;font-family:ui-monospace,monospace}"
+    ".spark .line{stroke:#3b6ea5;stroke-width:1.2}"
+    ".spark .ckpt{stroke:#bbb;stroke-width:0.6}"
+    ".spark .anom{stroke:#c0392b;stroke-width:1}";
+
+} // namespace
+
+std::string
+renderRunReportHtml(const std::string &dir)
+{
+    const Bundle b = loadBundle(dir);
+    std::ostringstream os;
+    os << "<!doctype html>\n<html><head><meta charset=\"utf-8\">\n"
+       << "<title>Check-In run report</title>\n<style>" << kCss
+       << "</style></head>\n<body>\n";
+    headerSection(os, b);
+    seriesSection(os, b);
+    tailStageSection(os, b);
+    anomalySection(os, b);
+    os << "</body></html>\n";
+    return os.str();
+}
+
+std::string
+renderRunReportText(const std::string &dir)
+{
+    const Bundle b = loadBundle(dir);
+    const JsonValue &t = b.telemetry;
+    std::ostringstream os;
+    os << "run report: " << dir << "\n";
+    os << "  window " << t.at("windowTicks").asU64() << " ticks, "
+       << t.at("baselineTick").asU64() << " -> "
+       << t.at("finalTick").asU64() << "\n";
+    os << "  " << t.at("probes").fields.size() << " probes, "
+       << t.at("samples").asU64() << " samples, "
+       << t.at("events").asU64() << " events, "
+       << t.at("anomalies").asU64() << " anomalies\n";
+    if (b.summary.isObject()) {
+        os << "  throughput "
+           << fmt(b.summary.at("throughputOps").asDouble(), 0)
+           << " ops/s, "
+           << b.summary.at("checkpoints").at("count").asU64()
+           << " checkpoints\n";
+    }
+    // Only series that actually moved: a screenful, not a dump.
+    os << "  active series:\n";
+    for (const auto &[name, s] : t.at("probes").fields) {
+        if (s.at("final").asU64() == 0)
+            continue;
+        os << "    " << name << " [" << s.at("kind").asString()
+           << "] final=" << s.at("final").asU64()
+           << " windows=" << s.at("points").items.size() << "\n";
+    }
+    auto dumpsOf = [&os](const JsonValue &body, int shard) {
+        for (const JsonValue &d : body.at("dumps").items) {
+            os << "    " << d.at("anomaly").asString();
+            if (shard >= 0)
+                os << " (shard " << shard << ")";
+            os << " @" << d.at("triggerTick").asU64() << " value="
+               << d.at("value").asU64() << " ("
+               << d.at("samples").items.size() << " samples, "
+               << d.at("events").items.size() << " events)\n";
+        }
+    };
+    if (b.blackbox.isObject()) {
+        os << "  black box ("
+           << b.blackbox.at("anomalies").asU64() << " anomalies):\n";
+        if (b.blackbox.find("shards") != nullptr) {
+            for (const JsonValue &s : b.blackbox.at("shards").items)
+                dumpsOf(s, int(s.at("shard").asU64()));
+        } else {
+            dumpsOf(b.blackbox, -1);
+        }
+    }
+    return os.str();
+}
+
+} // namespace checkin

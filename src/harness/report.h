@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Run report generator: renders one run's artifact bundle into a
+ * self-contained HTML page plus a terminal summary.
+ *
+ * The generator reads back the JSON artifacts the harness wrote
+ * (telemetry.json is required; blackbox.json, summary.json and
+ * cluster.json are used when present) via the repo's own parser
+ * (obs/json_parse.h) — no external dependencies, and the output HTML
+ * inlines all CSS and SVG so a single file travels through CI
+ * artifact uploads intact.
+ *
+ * Rendered sections:
+ *  - run header (window width, sample/event/anomaly totals),
+ *  - one SVG sparkline per probe series with checkpoint markers
+ *    (from summary.json's checkpointTimeline) and anomaly markers
+ *    (from blackbox.json dump triggers),
+ *  - the tail-stage attribution table (summary.json),
+ *  - one section per black-box dump: trigger, recent events, and
+ *    the retained pre-trigger sample window.
+ *
+ * Exposed by `checkin_cli report <dir>`.
+ */
+
+#ifndef CHECKIN_HARNESS_REPORT_H_
+#define CHECKIN_HARNESS_REPORT_H_
+
+#include <string>
+
+namespace checkin {
+
+/**
+ * Render the artifact bundle in @p dir as self-contained HTML.
+ * @throws std::runtime_error when @p dir has no telemetry.json or a
+ *         file fails to parse.
+ */
+std::string renderRunReportHtml(const std::string &dir);
+
+/** Terminal summary of the same bundle (plain text, one screen). */
+std::string renderRunReportText(const std::string &dir);
+
+} // namespace checkin
+
+#endif // CHECKIN_HARNESS_REPORT_H_

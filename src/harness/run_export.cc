@@ -170,6 +170,16 @@ writeRunResultJson(obs::JsonWriter &w, const RunResult &r)
     w.endObject();
 
     w.kv("simSpanTicks", r.simSpan);
+
+    w.key("telemetry").beginObject();
+    w.kv("anomalies", r.telemetry.anomalies);
+    w.kv("enabled", r.telemetry.enabled);
+    w.kv("events", r.telemetry.events);
+    w.kv("probes", r.telemetry.probes);
+    w.kv("samples", r.telemetry.samples);
+    w.kv("windowTicks", std::uint64_t(r.telemetry.windowTicks));
+    w.endObject();
+
     w.kv("throughputOps", r.throughputOps);
 
     w.endObject();

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "sim/types.h"
 
 namespace checkin::obs {
@@ -49,6 +50,13 @@ struct ObsOptions
 
     /** Slowest-K ops retained by the flight recorder. */
     std::uint32_t attrFlightRecorderK = 16;
+
+    /**
+     * Continuous telemetry: windowed sampling + anomaly black box
+     * (obs/telemetry.h). Adds telemetry.json and blackbox.json to
+     * the bundle and fills RunResult::telemetry.
+     */
+    TelemetryOptions telemetry;
 };
 
 /** Files written for one run. */

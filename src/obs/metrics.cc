@@ -6,6 +6,30 @@
 
 namespace checkin::obs {
 
+namespace {
+
+/** RFC 4180 field escaping: names containing a comma, quote, or
+ *  newline are quoted with internal quotes doubled, so a series name
+ *  like `lat,p99` cannot shift columns in the exported CSV. */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (const char c : s) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace
+
 MetricId
 MetricsRegistry::internScalar(const std::string &name, Kind kind)
 {
@@ -133,7 +157,7 @@ MetricsRegistry::writeScalarsCsv(std::ostream &os) const
 {
     os << "name,value\n";
     for (const auto &[name, id] : scalarIndex_)
-        os << name << ',' << scalarValues_[id] << '\n';
+        os << csvField(name) << ',' << scalarValues_[id] << '\n';
 }
 
 std::string
@@ -156,7 +180,7 @@ MetricsRegistry::writeSeriesCsv(std::ostream &os) const
             const TimeSeries::Bucket &bk = s.buckets()[b];
             if (bk.count == 0)
                 continue;
-            os << name << ',' << b << ','
+            os << csvField(name) << ',' << b << ','
                << std::uint64_t(b) * s.interval() << ',' << bk.count
                << ',' << bk.sum << ',' << bk.max << '\n';
         }

@@ -1,0 +1,514 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "obs/json.h"
+#include "sim/event_queue.h"
+
+namespace checkin::obs {
+
+const char *
+probeKindName(ProbeKind k)
+{
+    return k == ProbeKind::Counter ? "counter" : "gauge";
+}
+
+const char *
+telemetryEventName(TelemetryEvent ev)
+{
+    switch (ev) {
+      case TelemetryEvent::CkptStart:
+        return "ckptStart";
+      case TelemetryEvent::CkptEnd:
+        return "ckptEnd";
+      case TelemetryEvent::JournalStall:
+        return "journalStall";
+      case TelemetryEvent::SafetyTrip:
+        return "safetyTrip";
+      case TelemetryEvent::SloViolation:
+        return "sloViolation";
+      case TelemetryEvent::MediaError:
+        return "mediaError";
+      case TelemetryEvent::PowerCut:
+        return "powerCut";
+    }
+    return "unknown";
+}
+
+const char *
+anomalyName(Anomaly a)
+{
+    switch (a) {
+      case Anomaly::SloStreak:
+        return "sloStreak";
+      case Anomaly::SafetyTrip:
+        return "safetyTrip";
+      case Anomaly::CkptOverrun:
+        return "ckptOverrun";
+      case Anomaly::MediaError:
+        return "mediaError";
+      case Anomaly::PowerCut:
+        return "powerCut";
+    }
+    return "unknown";
+}
+
+TelemetrySampler::TelemetrySampler(TelemetryOptions opts)
+    : opts_(opts), enabled_(opts.enabled)
+{
+    if (opts_.window == 0)
+        opts_.window = 1;
+}
+
+void
+TelemetrySampler::addGauge(std::string name, ProbeFn fn)
+{
+    if (!enabled_)
+        return;
+    probes_.push_back(Probe{std::move(name), ProbeKind::Gauge,
+                            std::move(fn), 0, 0, {}});
+}
+
+void
+TelemetrySampler::addCounter(std::string name, ProbeFn fn)
+{
+    if (!enabled_)
+        return;
+    probes_.push_back(Probe{std::move(name), ProbeKind::Counter,
+                            std::move(fn), 0, 0, {}});
+}
+
+void
+TelemetrySampler::begin(EventQueue &eq)
+{
+    if (!enabled_ || active_)
+        return;
+    eq_ = &eq;
+    baselineTick_ = eq.now();
+    finalTick_ = baselineTick_;
+    // Counter baselines: windows cover the measured run only, so
+    // sum(window deltas) == final counter - baseline, exactly.
+    for (Probe &p : probes_) {
+        if (p.kind == ProbeKind::Counter)
+            p.lastRaw = p.fn();
+    }
+    active_ = true;
+    eq.installStepHook(&TelemetrySampler::hookThunk, this);
+    eq.setStepHookDue((baselineTick_ / opts_.window + 1) *
+                      opts_.window);
+}
+
+void
+TelemetrySampler::finalize(Tick now)
+{
+    if (!active_)
+        return;
+    sample(now);
+    finalTick_ = now;
+    active_ = false;
+    if (eq_ != nullptr)
+        eq_->clearStepHook();
+}
+
+void
+TelemetrySampler::hookThunk(void *self, Tick now)
+{
+    static_cast<TelemetrySampler *>(self)->onHook(now);
+}
+
+void
+TelemetrySampler::onHook(Tick now)
+{
+    sample(now);
+    // Re-arm at the next window boundary past now; the hook fires at
+    // most once per window, so window indices strictly increase.
+    eq_->setStepHookDue((now / opts_.window + 1) * opts_.window);
+}
+
+void
+TelemetrySampler::sample(Tick now)
+{
+    const std::uint64_t w = std::uint64_t(now / opts_.window);
+    SampleRec rec;
+    rec.tick = now;
+    rec.values.reserve(probes_.size());
+    for (Probe &p : probes_) {
+        const std::uint64_t raw = p.fn();
+        rec.values.push_back(raw);
+        if (p.kind == ProbeKind::Counter) {
+            const std::uint64_t d = raw - p.lastRaw;
+            p.lastRaw = raw;
+            p.final += d;
+            if (d == 0)
+                continue;
+            // finalize() may land in the last hook's window: merge
+            // rather than emit a duplicate window index.
+            if (!p.points.empty() && p.points.back().first == w)
+                p.points.back().second += d;
+            else
+                p.points.emplace_back(w, d);
+        } else {
+            p.final = raw;
+            if (!p.points.empty() && p.points.back().first == w)
+                p.points.back().second = raw;
+            else
+                p.points.emplace_back(w, raw);
+        }
+    }
+    if (opts_.blackboxSamples > 0) {
+        if (sampleRing_.size() < opts_.blackboxSamples) {
+            sampleRing_.push_back(std::move(rec));
+        } else {
+            sampleRing_[sampleHead_] = std::move(rec);
+            sampleHead_ = (sampleHead_ + 1) % sampleRing_.size();
+        }
+    }
+    ++samples_;
+}
+
+void
+TelemetrySampler::record(TelemetryEvent ev, Tick now,
+                         std::uint64_t value)
+{
+    if (opts_.blackboxEvents > 0) {
+        const EventRec rec{now, ev, value};
+        if (eventRing_.size() < opts_.blackboxEvents) {
+            eventRing_.push_back(rec);
+        } else {
+            eventRing_[eventHead_] = rec;
+            eventHead_ = (eventHead_ + 1) % eventRing_.size();
+        }
+    }
+    ++events_;
+    switch (ev) {
+      case TelemetryEvent::SafetyTrip:
+        trigger(Anomaly::SafetyTrip, now, value);
+        break;
+      case TelemetryEvent::MediaError:
+        trigger(Anomaly::MediaError, now, value);
+        break;
+      case TelemetryEvent::PowerCut:
+        trigger(Anomaly::PowerCut, now, value);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+TelemetrySampler::slo(Tick now, bool violated)
+{
+    if (!violated) {
+        sloStreak_ = 0;
+        return;
+    }
+    record(TelemetryEvent::SloViolation, now, ++sloStreak_);
+    if (sloStreak_ >= opts_.sloStreak) {
+        trigger(Anomaly::SloStreak, now, sloStreak_);
+        sloStreak_ = 0; // re-arm: the next streak counts from zero
+    }
+}
+
+void
+TelemetrySampler::ckptEnd(Tick now, Tick duration)
+{
+    record(TelemetryEvent::CkptEnd, now,
+           std::uint64_t(duration));
+    if (ckptSeen_ >= opts_.ckptOverrunMinHistory &&
+        ckptEwma_ > 0.0 &&
+        double(duration) > opts_.ckptOverrunFactor * ckptEwma_) {
+        trigger(Anomaly::CkptOverrun, now, std::uint64_t(duration));
+    }
+    ckptEwma_ = ckptSeen_ == 0
+                    ? double(duration)
+                    : 0.25 * double(duration) + 0.75 * ckptEwma_;
+    ++ckptSeen_;
+}
+
+void
+TelemetrySampler::trigger(Anomaly a, Tick now, std::uint64_t value)
+{
+    ++anomalies_;
+    if (dumps_.size() >= opts_.maxDumps)
+        return;
+    Dump d;
+    d.anomaly = a;
+    d.triggerTick = now;
+    d.value = value;
+    d.seq = anomalies_ - 1;
+    d.samples = orderedSamples();
+    d.events = orderedEvents();
+    dumps_.push_back(std::move(d));
+}
+
+std::vector<TelemetrySampler::SampleRec>
+TelemetrySampler::orderedSamples() const
+{
+    std::vector<SampleRec> out;
+    out.reserve(sampleRing_.size());
+    for (std::size_t i = 0; i < sampleRing_.size(); ++i) {
+        out.push_back(
+            sampleRing_[(sampleHead_ + i) % sampleRing_.size()]);
+    }
+    return out;
+}
+
+std::vector<TelemetrySampler::EventRec>
+TelemetrySampler::orderedEvents() const
+{
+    std::vector<EventRec> out;
+    out.reserve(eventRing_.size());
+    for (std::size_t i = 0; i < eventRing_.size(); ++i) {
+        out.push_back(
+            eventRing_[(eventHead_ + i) % eventRing_.size()]);
+    }
+    return out;
+}
+
+std::vector<TelemetrySeries>
+TelemetrySampler::series() const
+{
+    std::vector<TelemetrySeries> out;
+    out.reserve(probes_.size());
+    for (const Probe &p : probes_)
+        out.push_back(TelemetrySeries{p.name, p.kind, p.final,
+                                      p.points});
+    std::sort(out.begin(), out.end(),
+              [](const TelemetrySeries &a, const TelemetrySeries &b) {
+                  return a.name < b.name;
+              });
+    return out;
+}
+
+TelemetrySummary
+TelemetrySampler::summary() const
+{
+    TelemetrySummary s;
+    s.enabled = enabled_;
+    s.windowTicks = opts_.window;
+    s.probes = probes_.size();
+    s.samples = samples_;
+    s.events = events_;
+    s.anomalies = anomalies_;
+    return s;
+}
+
+std::size_t
+TelemetrySampler::storageBytes() const
+{
+    std::size_t b = probes_.capacity() * sizeof(Probe);
+    for (const Probe &p : probes_) {
+        b += p.name.capacity();
+        b += p.points.capacity() *
+             sizeof(std::pair<std::uint64_t, std::uint64_t>);
+    }
+    b += sampleRing_.capacity() * sizeof(SampleRec);
+    for (const SampleRec &s : sampleRing_)
+        b += s.values.capacity() * sizeof(std::uint64_t);
+    b += eventRing_.capacity() * sizeof(EventRec);
+    b += dumps_.capacity() * sizeof(Dump);
+    for (const Dump &d : dumps_) {
+        b += d.events.capacity() * sizeof(EventRec);
+        b += d.samples.capacity() * sizeof(SampleRec);
+        for (const SampleRec &s : d.samples)
+            b += s.values.capacity() * sizeof(std::uint64_t);
+    }
+    return b;
+}
+
+namespace {
+
+void
+writeSeriesMap(JsonWriter &w,
+               const std::map<std::string, TelemetrySeries> &byName)
+{
+    w.key("probes").beginObject();
+    for (const auto &[name, s] : byName) {
+        w.newline().key(name).beginObject();
+        w.kv("final", s.final);
+        w.kv("kind", probeKindName(s.kind));
+        w.key("points").beginArray();
+        for (const auto &[win, v] : s.points) {
+            w.beginArray();
+            w.value(win).value(v);
+            w.endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.newline().endObject();
+}
+
+} // namespace
+
+std::string
+TelemetrySampler::telemetryJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("anomalies", anomalies_);
+    w.kv("baselineTick", std::uint64_t(baselineTick_));
+    w.kv("events", events_);
+    w.kv("finalTick", std::uint64_t(finalTick_));
+    std::vector<TelemetrySeries> sv = series();
+    std::map<std::string, TelemetrySeries> byName;
+    for (TelemetrySeries &s : sv) {
+        std::string n = s.name;
+        byName.emplace(std::move(n), std::move(s));
+    }
+    writeSeriesMap(w, byName);
+    w.kv("samples", samples_);
+    w.kv("windowTicks", std::uint64_t(opts_.window));
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+void
+writeBlackboxBody(JsonWriter &w, const TelemetrySampler &t)
+{
+    w.kv("anomalies", t.anomalies_);
+    w.kv("depthEvents",
+         std::uint64_t(t.opts_.blackboxEvents));
+    w.kv("depthSamples",
+         std::uint64_t(t.opts_.blackboxSamples));
+    w.key("dumps").beginArray();
+    for (const TelemetrySampler::Dump &d : t.dumps_) {
+        w.newline().beginObject();
+        w.kv("anomaly", anomalyName(d.anomaly));
+        w.key("events").beginArray();
+        for (const TelemetrySampler::EventRec &e : d.events) {
+            w.beginArray();
+            w.value(std::uint64_t(e.tick))
+                .value(telemetryEventName(e.ev))
+                .value(e.value);
+            w.endArray();
+        }
+        w.endArray();
+        w.key("samples").beginArray();
+        for (const TelemetrySampler::SampleRec &s : d.samples) {
+            w.newline().beginObject();
+            w.kv("tick", std::uint64_t(s.tick));
+            w.key("values").beginArray();
+            for (std::uint64_t v : s.values)
+                w.value(v);
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.kv("seq", d.seq);
+        w.kv("triggerTick", std::uint64_t(d.triggerTick));
+        w.kv("value", d.value);
+        w.endObject();
+    }
+    w.newline().endArray();
+    w.key("probeNames").beginArray();
+    for (const TelemetrySampler::Probe &p : t.probes_)
+        w.value(p.name);
+    w.endArray();
+}
+
+std::string
+TelemetrySampler::blackboxJson() const
+{
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    writeBlackboxBody(w, *this);
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+std::string
+clusterTelemetryJson(
+    const std::vector<const TelemetrySampler *> &shards)
+{
+    std::map<std::string, TelemetrySeries> byName;
+    // Per-window rollups: "cluster.<name>" sums the shards' values
+    // at each window index.
+    std::map<std::string,
+             std::map<std::uint64_t, std::uint64_t>>
+        rollPoints;
+    std::map<std::string, TelemetrySeries> roll;
+    std::uint64_t anomalies = 0;
+    std::uint64_t events = 0;
+    std::uint64_t samples = 0;
+    Tick baseline = 0;
+    Tick final_tick = 0;
+    Tick window = 1;
+    bool first = true;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        const TelemetrySampler &t = *shards[i];
+        anomalies += t.anomalyCount();
+        events += t.eventCount();
+        samples += t.sampleCount();
+        if (first || t.baselineTick() < baseline)
+            baseline = t.baselineTick();
+        if (first || t.finalTick() > final_tick)
+            final_tick = t.finalTick();
+        if (first)
+            window = t.options().window;
+        first = false;
+        for (TelemetrySeries &s : t.series()) {
+            const std::string base = s.name;
+            auto [it, inserted] = roll.try_emplace(
+                "cluster." + base,
+                TelemetrySeries{"cluster." + base, s.kind, 0, {}});
+            it->second.final += s.final;
+            auto &pts = rollPoints["cluster." + base];
+            for (const auto &[win, v] : s.points)
+                pts[win] += v;
+            s.name = "shard" + std::to_string(i) + "." + base;
+            byName.emplace(s.name, std::move(s));
+        }
+    }
+    for (auto &[name, s] : roll) {
+        s.points.assign(rollPoints[name].begin(),
+                        rollPoints[name].end());
+        byName.emplace(name, std::move(s));
+    }
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("anomalies", anomalies);
+    w.kv("baselineTick", std::uint64_t(baseline));
+    w.kv("events", events);
+    w.kv("finalTick", std::uint64_t(final_tick));
+    writeSeriesMap(w, byName);
+    w.kv("samples", samples);
+    w.kv("shardCount", std::uint64_t(shards.size()));
+    w.kv("windowTicks", std::uint64_t(window));
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+std::string
+clusterBlackboxJson(
+    const std::vector<const TelemetrySampler *> &shards)
+{
+    std::uint64_t anomalies = 0;
+    for (const TelemetrySampler *t : shards)
+        anomalies += t->anomalyCount();
+    std::ostringstream os;
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("anomalies", anomalies);
+    w.key("shards").beginArray();
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+        w.newline().beginObject();
+        writeBlackboxBody(w, *shards[i]);
+        w.kv("shard", std::uint64_t(i));
+        w.endObject();
+    }
+    w.newline().endArray();
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+} // namespace checkin::obs

@@ -184,6 +184,13 @@ EventQueue::step()
     --pending_;
     ++dispatched_;
     cb();
+    if (now_ >= hookDue_) {
+        // Disarm before the call: the hook re-arms itself (and may
+        // schedule events), so a throwing or lazy hook cannot fire
+        // twice for one deadline.
+        hookDue_ = kInvalidTick;
+        hookFn_(hookCtx_, now_);
+    }
     return true;
 }
 

@@ -109,6 +109,46 @@ class EventQueue
      */
     void clear();
 
+    /**
+     * Post-dispatch sampling hook (obs/telemetry.h): once installed,
+     * @p fn(ctx, now()) runs right after the event whose dispatch
+     * advanced the clock to the armed tick or beyond. The hook is
+     * disarmed before the call and must re-arm itself through
+     * setStepHookDue(), so it fires at most once per armed deadline
+     * and a hook that stops re-arming costs nothing. When disarmed
+     * (the default) a step pays exactly one always-false compare —
+     * bench_kernel gates that this is unmeasurable.
+     */
+    using StepHookFn = void (*)(void *ctx, Tick now);
+
+    /** Install @p fn as the step hook (disarmed until armed). */
+    void
+    installStepHook(StepHookFn fn, void *ctx)
+    {
+        hookFn_ = fn;
+        hookCtx_ = ctx;
+        hookDue_ = kInvalidTick;
+    }
+
+    /** Remove the step hook and disarm it. */
+    void
+    clearStepHook()
+    {
+        hookFn_ = nullptr;
+        hookCtx_ = nullptr;
+        hookDue_ = kInvalidTick;
+    }
+
+    /** Arm the hook to fire at the first dispatch at/after @p due. */
+    void
+    setStepHookDue(Tick due)
+    {
+        hookDue_ = hookFn_ != nullptr ? due : kInvalidTick;
+    }
+
+    /** Armed deadline; kInvalidTick when disarmed. */
+    Tick stepHookDue() const { return hookDue_; }
+
     /** Calendar geometry (exposed for tests and PERF.md tuning). */
     static constexpr Tick kBucketTicks = 1 << 13; // 8.192 us windows
     static constexpr std::size_t kBucketCount = 256; // ~2 ms horizon
@@ -208,6 +248,12 @@ class EventQueue
 
     // Tier 2b: far-future overflow min-heap (std::*_heap on vector).
     std::vector<Event> overflow_;
+
+    // Step hook (telemetry sampling); disarmed = kInvalidTick, so
+    // the common path is one compare that always fails.
+    StepHookFn hookFn_ = nullptr;
+    void *hookCtx_ = nullptr;
+    Tick hookDue_ = kInvalidTick;
 
     Tick windowStart_ = 0; // aligned to kBucketTicks
     Tick now_ = 0;

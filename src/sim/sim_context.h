@@ -37,6 +37,7 @@ namespace checkin {
 
 namespace obs {
 class MetricsRegistry;
+class TelemetrySampler;
 } // namespace obs
 
 class FaultPlan;
@@ -100,6 +101,15 @@ class SimContext
     FaultPlan *faults() const { return faults_; }
     void setFaults(FaultPlan *f) { faults_ = f; }
 
+    /**
+     * The run's telemetry sampler (nullptr: telemetry off). Layers
+     * capture the pointer at construction and register probes /
+     * emit events through it; every use is a pointer + flag check
+     * (obs/telemetry.h), so a run without telemetry pays nothing.
+     */
+    obs::TelemetrySampler *telemetry() const { return telemetry_; }
+    void setTelemetry(obs::TelemetrySampler *t) { telemetry_ = t; }
+
   private:
     std::uint64_t seed_;
     std::string runName_;
@@ -109,6 +119,7 @@ class SimContext
     obs::MetricsRegistry *metrics_ = nullptr;
     obs::AttributionCollector *attr_ = nullptr;
     FaultPlan *faults_ = nullptr;
+    obs::TelemetrySampler *telemetry_ = nullptr;
 };
 
 namespace detail {

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/attribution.h"
+#include "obs/telemetry.h"
 
 namespace checkin {
 
@@ -52,6 +53,37 @@ Ssd::Ssd(SimContext &ctx, const NandConfig &nand_cfg,
     sCmdRetries_ = stats_.intern("ssd.cmdRetries");
     sCmdErrors_ = stats_.intern("ssd.cmdErrors");
     obs::nameLane(obs::Cat::Ssd, kFrontendLane, "frontend");
+    telem_ = ctx.telemetry();
+    if (telem_ != nullptr && telem_->enabled()) {
+        // Device-level probes: the SSD registers for the whole
+        // device stack because the FTL/NAND have no SimContext of
+        // their own. Counter probes read the stat registries by
+        // name: a map lookup per sampling window, not per event.
+        telem_->addGauge("ftl.freeBlocks", [this] {
+            return std::uint64_t(ftl_.freeBlocks());
+        });
+        telem_->addCounter("ftl.retiredBlocks", [this] {
+            return ftl_.stats().get("ftl.retiredBlocks");
+        });
+        telem_->addCounter("gc.invocations", [this] {
+            return ftl_.stats().get("gc.invocations");
+        });
+        telem_->addCounter("gc.migratedSlots", [this] {
+            return ftl_.stats().get("gc.migratedSlots");
+        });
+        telem_->addCounter("nand.reads", [this] {
+            return nand_.stats().get("nand.reads");
+        });
+        telem_->addCounter("nand.programs", [this] {
+            return nand_.stats().get("nand.programs");
+        });
+        telem_->addCounter("nand.erases", [this] {
+            return nand_.stats().get("nand.erases");
+        });
+        telem_->addCounter("ssd.mediaErrors", [this] {
+            return stats_.get(sCmdErrors_);
+        });
+    }
 }
 
 Tick
@@ -165,6 +197,13 @@ Ssd::processCommand(const Command &cmd)
                          "ssd.mediaError", data_ready,
                          {{"lba", cmd.lba},
                           {"retries", res.retries}});
+            if (telem_ != nullptr) {
+                // Stamped at submission time, not the completion
+                // tick: black-box entries must never postdate a
+                // later dump's trigger.
+                telem_->noteEvent(obs::TelemetryEvent::MediaError,
+                                  eq_.now(), cmd.lba);
+            }
             res.tick = data_ready;
             res.status = CmdStatus::MediaError;
             break;
@@ -300,6 +339,8 @@ Ftl::RebuildReport
 Ssd::suddenPowerLoss()
 {
     stats_.add("ssd.powerLosses");
+    if (telem_ != nullptr)
+        telem_->noteEvent(obs::TelemetryEvent::PowerCut, eq_.now());
     // Capacitor-backed flush of volatile device state (SPOR).
     isce_.flushSmallBuffer(eq_.now());
     ftl_.flushOpenPages(eq_.now());

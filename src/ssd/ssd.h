@@ -147,6 +147,8 @@ class Ssd
     StatId sQueueFullStalls_;
     StatId sCmdRetries_;
     StatId sCmdErrors_;
+    /** Telemetry sampler of the run (nullptr: telemetry off). */
+    obs::TelemetrySampler *telem_ = nullptr;
     Isce isce_;
     std::multiset<Tick> inflightPrograms_;
     std::multiset<Tick> inflightCommands_;

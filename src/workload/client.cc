@@ -5,6 +5,7 @@
 #include <string>
 
 #include "obs/attribution.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace checkin {
@@ -80,6 +81,36 @@ ClientPool::ClientPool(SimContext &ctx, StorageEngine &engine,
             ts.name = t.name;
             ts.sloLatency = t.sloLatency;
             stats_.tenants.push_back(std::move(ts));
+        }
+    }
+    telem_ = ctx.telemetry();
+    if (telem_ != nullptr && telem_->enabled()) {
+        telem_->addGauge("client.queueDepth", [this] {
+            return std::uint64_t(queue_.size());
+        });
+        telem_->addGauge("client.freeSlots", [this] {
+            return std::uint64_t(freeSlots_.size());
+        });
+        telem_->addCounter("client.opsCompleted", [this] {
+            return stats_.opsCompleted;
+        });
+        telem_->addCounter("client.opsOffered", [this] {
+            return stats_.opsOffered;
+        });
+        telem_->addCounter("client.sloViolations", [this] {
+            return stats_.sloViolations;
+        });
+        // Per-tenant achieved load + SLO burn rate (windowed deltas
+        // of these counters are rates over the sampling window).
+        for (std::size_t i = 0; i < stats_.tenants.size(); ++i) {
+            const std::string base =
+                "tenant." + stats_.tenants[i].name + ".";
+            telem_->addCounter(base + "opsCompleted", [this, i] {
+                return stats_.tenants[i].opsCompleted;
+            });
+            telem_->addCounter(base + "sloViolations", [this, i] {
+                return stats_.tenants[i].sloViolations;
+            });
         }
     }
 }
@@ -219,10 +250,14 @@ ClientPool::dispatch(std::uint32_t slot)
                 res.done > arrival ? res.done - arrival : 0;
             ts.latency.record(lat);
             ++ts.opsCompleted;
-            if (ts.sloLatency > 0 && lat > ts.sloLatency) {
+            const bool violated =
+                ts.sloLatency > 0 && lat > ts.sloLatency;
+            if (violated) {
                 ++ts.sloViolations;
                 ++stats_.sloViolations;
             }
+            if (telem_ != nullptr && ts.sloLatency > 0)
+                telem_->noteSloResult(res.done, violated);
         }
         if (!queue_.empty())
             dispatch(slot);

@@ -166,6 +166,8 @@ class ClientPool
     std::uint32_t threads_;
     ClientStats stats_;
     Sampler sampler_;
+    /** Telemetry sampler of the run (nullptr: telemetry off). */
+    obs::TelemetrySampler *telem_ = nullptr;
     bool started_ = false;
 
     // Open-loop state.

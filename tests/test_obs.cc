@@ -200,6 +200,26 @@ TEST(MetricsRegistry, ScalarsSeriesAndHistogramsExport)
     EXPECT_NE(csv.find("lat,2,200,1,30,30"), std::string::npos);
 }
 
+TEST(MetricsRegistry, CsvEscapesDelimitersAndQuotes)
+{
+    // RFC 4180: names with a comma/quote/newline are quoted with
+    // internal quotes doubled, so they cannot shift CSV columns.
+    obs::MetricsRegistry m;
+    m.add(m.counter("bad,name\"x\""), 3);
+    m.sample(m.series("s,1", 10), 5, 50);
+
+    const std::string sc = m.scalarsCsv();
+    EXPECT_EQ(sc.rfind("name,value\n", 0), 0u);
+    EXPECT_NE(sc.find("\"bad,name\"\"x\"\"\",3"), std::string::npos)
+        << sc;
+
+    const std::string se = m.seriesCsv();
+    EXPECT_EQ(se.rfind("series,bucket,start_tick,count,sum,max\n", 0),
+              0u);
+    EXPECT_NE(se.find("\"s,1\",0,0,1,50,50"), std::string::npos)
+        << se;
+}
+
 TEST(MetricsRegistry, ImportStatsMergesLegacyCounters)
 {
     StatRegistry legacy;

@@ -9,6 +9,12 @@ Stdlib-only schema check for the JSON files the simulator emits:
   metrics.json       typed metrics registry export
   summary.json       RunResult export (harness/run_export.h)
   cluster.json       cluster run export (src/cluster/cluster.h)
+  telemetry.json     windowed probe series (obs/telemetry.h);
+                     window indices must strictly increase and every
+                     counter's window deltas must sum exactly to its
+                     final value
+  blackbox.json      anomaly dumps; every retained sample/event tick
+                     must be <= the dump's trigger tick
   BENCH_cluster.json cluster scaling report (bench/cluster_scaling)
   BENCH_engines.json storage-backend comparison (bench/engine_compare)
   BENCH_openloop.json open-loop traffic sweep (bench/openloop)
@@ -22,7 +28,9 @@ Usage:
 Each PATH may be a single .json file or a directory (validated
 recursively; files are dispatched on their name). Exits nonzero and
 prints one line per problem if any file is malformed; prints a
-per-file OK line otherwise. Unknown .json names are skipped.
+per-file OK line otherwise. A .json file whose name is not registered
+fails validation: every artifact the simulator learns to emit must
+come with a schema here.
 """
 
 import json
@@ -437,6 +445,140 @@ def validate_bench_openloop(path, doc):
                       "tenants configured")
 
 
+ANOMALIES = {"sloStreak", "safetyTrip", "ckptOverrun", "mediaError",
+             "powerCut"}
+TELEMETRY_EVENTS = {"ckptStart", "ckptEnd", "journalStall",
+                    "safetyTrip", "sloViolation", "mediaError",
+                    "powerCut"}
+
+
+def check_probe_series(path, name, series, ctx):
+    kind = require(path, series, "kind", str)
+    final = require(path, series, "final", int)
+    points = require(path, series, "points", list)
+    if kind is not None and kind not in ("gauge", "counter"):
+        err(path, f"{ctx}: unknown probe kind '{kind}'")
+    if None in (kind, final, points):
+        return None
+    prev = None
+    total = 0
+    for j, p in enumerate(points):
+        if (not isinstance(p, list) or len(p) != 2 or
+                not all(isinstance(x, int) for x in p)):
+            err(path, f"{ctx}.points[{j}] is not [window, value]")
+            return None
+        if prev is not None and p[0] <= prev:
+            err(path, f"{ctx}: window {p[0]} after {prev} — "
+                      "windows must strictly increase")
+        prev = p[0]
+        total += p[1]
+    # Exact reconciliation: a counter's window deltas are the whole
+    # story of how it reached its final value.
+    if kind == "counter" and total != final:
+        err(path, f"{ctx}: window deltas sum to {total}, "
+                  f"final {final}")
+    return final
+
+
+def validate_telemetry(path, doc):
+    """telemetry.json (single-node or cluster-merged): window
+    monotonicity, exact counter reconciliation, and — in the cluster
+    variant — every cluster.* rollup equal to the sum of its
+    shardN.* series."""
+    require(path, doc, "anomalies", int)
+    require(path, doc, "events", int)
+    require(path, doc, "samples", int)
+    baseline = require(path, doc, "baselineTick", int)
+    final_tick = require(path, doc, "finalTick", int)
+    window = require(path, doc, "windowTicks", int)
+    probes = require(path, doc, "probes", dict)
+    if None in (baseline, final_tick, window, probes):
+        return
+    if window <= 0:
+        err(path, f"windowTicks {window} must be positive")
+        return
+    if final_tick < baseline:
+        err(path, f"finalTick {final_tick} < baselineTick "
+                  f"{baseline}")
+    finals = {}
+    for name, series in probes.items():
+        final = check_probe_series(path, name, series,
+                                   f"probes.{name}")
+        if final is not None:
+            finals[name] = final
+    if "shardCount" not in doc:
+        return
+    shard_count = doc["shardCount"]
+    for name, final in finals.items():
+        if not name.startswith("cluster."):
+            continue
+        base = name[len("cluster."):]
+        shard_sum = sum(finals.get(f"shard{s}.{base}", 0)
+                        for s in range(shard_count))
+        if shard_sum != final:
+            err(path, f"probes.{name}: final {final} != shard sum "
+                      f"{shard_sum}")
+
+
+def check_blackbox_body(path, body, ctx):
+    require(path, body, "anomalies", int)
+    require(path, body, "depthEvents", int)
+    require(path, body, "depthSamples", int)
+    probe_names = require(path, body, "probeNames", list)
+    dumps = require(path, body, "dumps", list)
+    if dumps is None:
+        return
+    for i, d in enumerate(dumps):
+        dctx = f"{ctx}dumps[{i}]"
+        anomaly = require(path, d, "anomaly", str)
+        if anomaly is not None and anomaly not in ANOMALIES:
+            err(path, f"{dctx}: unknown anomaly '{anomaly}'")
+        trigger = require(path, d, "triggerTick", int)
+        require(path, d, "seq", int)
+        require(path, d, "value", int)
+        events = require(path, d, "events", list)
+        samples = require(path, d, "samples", list)
+        if None in (trigger, events, samples):
+            continue
+        # A dump is a *pre-trigger* window: nothing in it may
+        # postdate the moment the anomaly fired.
+        for j, e in enumerate(events):
+            if not isinstance(e, list) or len(e) != 3:
+                err(path, f"{dctx}.events[{j}] is not "
+                          "[tick, event, value]")
+                continue
+            if not isinstance(e[0], int) or e[0] > trigger:
+                err(path, f"{dctx}.events[{j}]: tick {e[0]} > "
+                          f"trigger tick {trigger}")
+            if e[1] not in TELEMETRY_EVENTS:
+                err(path, f"{dctx}.events[{j}]: unknown event "
+                          f"'{e[1]}'")
+        for j, s in enumerate(samples):
+            tick = require(path, s, "tick", int)
+            values = require(path, s, "values", list)
+            if tick is not None and tick > trigger:
+                err(path, f"{dctx}.samples[{j}]: tick {tick} > "
+                          f"trigger tick {trigger}")
+            if (values is not None and probe_names is not None and
+                    len(values) != len(probe_names)):
+                err(path, f"{dctx}.samples[{j}]: {len(values)} "
+                          f"values for {len(probe_names)} probes")
+
+
+def validate_blackbox(path, doc):
+    """blackbox.json: single-node body or cluster per-shard list."""
+    if "shards" in doc:
+        require(path, doc, "anomalies", int)
+        shards = require(path, doc, "shards", list)
+        if shards is None:
+            return
+        for i, s in enumerate(shards):
+            require(path, s, "shard", int)
+            check_blackbox_body(path, s, f"shards[{i}].")
+        return
+    check_blackbox_body(path, doc, "")
+
+
 # Bench reports validated by the generic shape check. A BENCH_*.json
 # whose name is in neither this set nor VALIDATORS fails validation:
 # a new bench must register here (or with its own validator) so a
@@ -456,6 +598,8 @@ VALIDATORS = {
     "metrics.json": validate_metrics,
     "summary.json": validate_summary,
     "cluster.json": validate_cluster,
+    "telemetry.json": validate_telemetry,
+    "blackbox.json": validate_blackbox,
     "BENCH_cluster.json": validate_bench_cluster,
     "BENCH_engines.json": validate_bench_engines,
     "BENCH_openloop.json": validate_bench_openloop,
@@ -497,7 +641,13 @@ def main(argv):
         root = Path(arg)
         if root.is_dir():
             for path in sorted(root.rglob("*.json")):
-                validated += dispatch(path)
+                if not dispatch(path):
+                    # Unregistered artifacts fail: a new emitter must
+                    # bring its schema to VALIDATORS.
+                    err(path, "unregistered artifact name — add a "
+                              "validator to tools/"
+                              "validate_artifacts.py")
+                validated += 1
         elif root.exists():
             if not dispatch(root):
                 err(root, "unrecognized artifact name")
